@@ -1,0 +1,464 @@
+(* Benchmark harness: one Bechamel group per experiment of
+   EXPERIMENTS.md (the paper has no quantitative tables; these are the
+   measurements validating its complexity/decidability claims plus the
+   reproduction scenarios — see DESIGN.md's per-experiment index).
+
+   Run with:  dune exec bench/main.exe            (all experiments)
+              dune exec bench/main.exe -- E2 E7   (a selection) *)
+
+open Bechamel
+
+module Q = Temporal.Q
+
+let rng_of seed = Random.State.make [| 0xC0FFEE; seed |]
+
+(* ------------------------------------------------------------------ *)
+(* Workload generators                                                  *)
+
+let resources = [ "r1"; "r2"; "r3"; "r4" ]
+let servers = [ "s1"; "s2"; "s3" ]
+
+let random_program ~size seed =
+  Sral.Generate.program ~allow_par:false ~allow_io:false ~resources ~servers
+    ~size (rng_of seed)
+
+(* A conjunctive SRAC formula with [n] atomic constraints over the
+   program's own accesses — the shape access policies actually take. *)
+let random_formula ~n program seed =
+  let rng = rng_of (seed + 17) in
+  let accesses = Array.of_list (Sral.Program.accesses program) in
+  let pick () = accesses.(Random.State.int rng (Array.length accesses)) in
+  let atom () =
+    match Random.State.int rng 3 with
+    | 0 -> Srac.Formula.Atom (pick ())
+    | 1 -> Srac.Formula.Ordered (pick (), pick ())
+    | _ ->
+        Srac.Formula.Card
+          {
+            lo = 0;
+            hi = Some (5 + Random.State.int rng 4);
+            sel = Srac.Selector.Server (List.nth servers (Random.State.int rng 3));
+          }
+  in
+  let rec conj k = if k <= 1 then atom () else Srac.Formula.And (atom (), conj (k - 1)) in
+  conj (max 1 n)
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Theorem 3.2: spatial checking across the m × n grid            *)
+
+let e2_tests =
+  let cases =
+    List.concat_map
+      (fun m -> List.map (fun n -> (m, n)) [ 4; 8 ])
+      [ 20; 80; 320 ]
+  in
+  Test.make_grouped ~name:"E2-spatial-check"
+    (List.map
+       (fun (m, n) ->
+         let program = random_program ~size:m (m + n) in
+         let formula = random_formula ~n program (m * n) in
+         Test.make
+           ~name:(Printf.sprintf "m=%03d,n=%02d" m n)
+           (Staged.stage (fun () ->
+                Srac.Program_sat.check_bool ~modality:Srac.Program_sat.Forall
+                  program formula)))
+       cases)
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Theorem 3.1: regex -> SRAL -> language-equivalence roundtrip   *)
+
+let e3_tests =
+  let table =
+    Automata.Symbol.of_accesses
+      (List.concat_map
+         (fun r -> List.map (fun s -> Sral.Access.read r ~at:s) servers)
+         resources)
+  in
+  Test.make_grouped ~name:"E3-completeness"
+    (List.map
+       (fun size ->
+         let re =
+           Automata.Regex.generate ~symbols:(Automata.Symbol.alphabet table)
+             ~size (rng_of size)
+         in
+         Test.make
+           ~name:(Printf.sprintf "regex-size=%02d" size)
+           (Staged.stage (fun () ->
+                let program = Automata.To_program.program ~table re in
+                let nfa = Automata.Of_program.nfa ~table program in
+                let dfa =
+                  Automata.Dfa.of_nfa
+                    ~alphabet:(Automata.Symbol.alphabet table)
+                    nfa
+                in
+                Automata.Dfa.is_empty dfa)))
+       [ 8; 16; 32 ])
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 4.1: duration-calculus checking vs interpretation size *)
+
+let e4_tests =
+  let interval = Temporal.Interval.of_ints 0 4096 in
+  let step_fn k =
+    Temporal.Step_fn.of_intervals
+      (List.init k (fun i -> Temporal.Interval.of_ints (4 * i) ((4 * i) + 2)))
+  in
+  Test.make_grouped ~name:"E4-temporal-dc"
+    (List.map
+       (fun k ->
+         let v = step_fn k in
+         let interp name = if name = "v" then v else invalid_arg name in
+         let formula =
+           Temporal.Duration_calculus.Chop
+             ( Temporal.Duration_calculus.Dur_cmp
+                 (Temporal.State_expr.Var "v", Temporal.Duration_calculus.Le, Q.of_int k),
+               Temporal.Duration_calculus.Dur_cmp
+                 (Temporal.State_expr.Var "v", Temporal.Duration_calculus.Ge, Q.zero) )
+         in
+         Test.make
+           ~name:(Printf.sprintf "breakpoints=%04d" (2 * k))
+           (Staged.stage (fun () ->
+                Temporal.Duration_calculus.sat interp interval formula)))
+       [ 8; 32; 128; 512 ])
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Eq. 4.1: validity functions for long journeys, both schemes    *)
+
+let e5_tests =
+  let journey k scheme =
+    let arrivals = List.init k (fun i -> Q.of_int (10 * i)) in
+    let active = Temporal.Step_fn.of_intervals [ Temporal.Interval.of_ints 0 (10 * k) ] in
+    fun () ->
+      Temporal.Validity.is_valid_at ~scheme ~arrivals ~dur:(Some (Q.of_int 7))
+        active
+        (Q.of_int ((10 * k) - 1))
+  in
+  Test.make_grouped ~name:"E5-validity"
+    (List.concat_map
+       (fun k ->
+         [
+           Test.make
+             ~name:(Printf.sprintf "journey,servers=%02d" k)
+             (Staged.stage (journey k Temporal.Validity.Whole_journey));
+           Test.make
+             ~name:(Printf.sprintf "per-server,servers=%02d" k)
+             (Staged.stage (journey k Temporal.Validity.Per_server));
+         ])
+       [ 2; 8; 32 ])
+
+(* ------------------------------------------------------------------ *)
+(* E6 — ablation: plain RBAC vs coordinated decision                   *)
+
+let e6_tests =
+  let policy () =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r" (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+    policy
+  in
+  let access = Sral.Access.read "db" ~at:"s1" in
+  let program = Sral.Parser.program "read cfg @ s1; read db @ s1" in
+  let spatial =
+    Srac.Formula.Ordered (Sral.Access.read "cfg" ~at:"s1", access)
+  in
+  let plain =
+    let p = policy () in
+    let session = Rbac.Session.create p ~user:"u" in
+    Rbac.Session.activate session "r";
+    fun () -> Rbac.Engine.decide_access session access
+  in
+  let coordinated bindings name =
+    let control = Coordinated.System.create ~bindings (policy ()) in
+    let session = Coordinated.System.new_session control ~user:"u" in
+    Rbac.Session.activate session "r";
+    Coordinated.System.arrive control ~object_id:name ~server:"s1" ~time:Q.zero;
+    let t = ref 0 in
+    fun () ->
+      incr t;
+      Coordinated.System.check control ~session ~object_id:name ~program
+        ~time:(Q.of_int !t) access
+  in
+  let perm = Rbac.Perm.make ~operation:"read" ~target:"db@s1" in
+  Test.make_grouped ~name:"E6-rbac-overhead"
+    [
+      Test.make ~name:"plain-rbac" (Staged.stage plain);
+      Test.make ~name:"coordinated-nobinding"
+        (Staged.stage (coordinated [] "o-none"));
+      Test.make ~name:"coordinated-spatial"
+        (Staged.stage
+           (coordinated
+              [ Coordinated.Perm_binding.make ~spatial perm ]
+              "o-spatial"));
+      Test.make ~name:"coordinated-temporal"
+        (Staged.stage
+           (coordinated
+              [ Coordinated.Perm_binding.make ~dur:(Q.of_int 1_000_000_000) perm ]
+              "o-temporal"));
+      Test.make ~name:"coordinated-both"
+        (Staged.stage
+           (coordinated
+              [
+                Coordinated.Perm_binding.make ~spatial
+                  ~dur:(Q.of_int 1_000_000_000) perm;
+              ]
+              "o-both"));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — baseline crossover: naive enumeration vs the symbolic checker  *)
+
+let e7_tests =
+  (* programs whose bounded trace model explodes: k parallel branches *)
+  let program k =
+    Sral.Ast.par
+      (List.init k (fun i ->
+           Sral.Ast.Seq
+             ( Sral.Ast.Access (Sral.Access.read (Printf.sprintf "a%d" i) ~at:"s1"),
+               Sral.Ast.Access (Sral.Access.read (Printf.sprintf "b%d" i) ~at:"s2") )))
+  in
+  let formula =
+    Srac.Formula.at_most 999 (Srac.Selector.Server "s1")
+  in
+  Test.make_grouped ~name:"E7-naive-vs-dfa"
+    (List.concat_map
+       (fun k ->
+         let p = program k in
+         [
+           Test.make
+             ~name:(Printf.sprintf "naive,par=%d" k)
+             (Staged.stage (fun () ->
+                  (Srac.Naive.check ~modality:Srac.Program_sat.Forall p formula)
+                    .Srac.Program_sat.holds));
+           Test.make
+             ~name:(Printf.sprintf "symbolic,par=%d" k)
+             (Staged.stage (fun () ->
+                  Srac.Program_sat.check_bool
+                    ~modality:Srac.Program_sat.Forall p formula));
+         ])
+       [ 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Section 5 prototype: end-to-end emulation throughput           *)
+
+let e8_tests =
+  let run_world ~agents ~server_count () =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r" (Rbac.Perm.make ~operation:"*" ~target:"*@*");
+    let control = Coordinated.System.create policy in
+    let world = Naplet.World.create control in
+    let names = List.init server_count (fun i -> Printf.sprintf "s%d" i) in
+    List.iter
+      (fun s -> Naplet.World.add_server world (Naplet.Server.create s))
+      names;
+    let rng = rng_of (agents + server_count) in
+    for i = 1 to agents do
+      let program =
+        Sral.Generate.program ~allow_io:false ~resources
+          ~servers:names ~size:10 rng
+      in
+      Naplet.World.spawn world
+        ~id:(Printf.sprintf "a%d" i)
+        ~owner:"u" ~roles:[ "r" ] ~home:(List.hd names) program
+    done;
+    Naplet.World.run world
+  in
+  Test.make_grouped ~name:"E8-naplet-throughput"
+    (List.map
+       (fun (agents, server_count) ->
+         Test.make
+           ~name:(Printf.sprintf "agents=%02d,servers=%02d" agents server_count)
+           (Staged.stage (fun () -> run_world ~agents ~server_count ())))
+       [ (1, 4); (8, 4); (16, 8) ])
+
+(* ------------------------------------------------------------------ *)
+(* E9 — interleaving: shuffle-product growth                           *)
+
+let e9_tests =
+  let branch i =
+    Sral.Ast.Seq
+      ( Sral.Ast.Access (Sral.Access.read (Printf.sprintf "x%d" i) ~at:"s1"),
+        Sral.Ast.Access (Sral.Access.write (Printf.sprintf "y%d" i) ~at:"s2") )
+  in
+  Test.make_grouped ~name:"E9-shuffle"
+    (List.map
+       (fun k ->
+         let program = Sral.Ast.par (List.init k branch) in
+         Test.make
+           ~name:(Printf.sprintf "par-branches=%d" k)
+           (Staged.stage (fun () ->
+                let lang = Automata.Language.of_program program in
+                Automata.Language.state_count lang)))
+       [ 2; 4; 6 ])
+
+(* ------------------------------------------------------------------ *)
+(* E11/E12 — periodic-vs-duration and aggregation ablations            *)
+
+let e11_tests =
+  let window =
+    Temporal.Periodic.daily ~start_hour:(Q.of_int 22) ~length_hours:(Q.of_int 5)
+  in
+  let arrival = Q.of_int 25 in
+  let active = Temporal.Step_fn.of_changes ~init:false [ (arrival, true) ] in
+  let probe = Q.of_int 26 in
+  let policy () =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r" (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+    policy
+  in
+  let perm = Rbac.Perm.make ~operation:"read" ~target:"db@s1" in
+  let access = Sral.Access.read "db" ~at:"s1" in
+  let program = Sral.Parser.program "read db @ s1" in
+  let with_bindings bindings name =
+    let control = Coordinated.System.create ~bindings (policy ()) in
+    let session = Coordinated.System.new_session control ~user:"u" in
+    Rbac.Session.activate session "r";
+    Coordinated.System.arrive control ~object_id:name ~server:"s1" ~time:Q.zero;
+    let t = ref 0 in
+    fun () ->
+      incr t;
+      Coordinated.System.check control ~session ~object_id:name ~program
+        ~time:(Q.of_int !t) access
+  in
+  let raw =
+    List.init 8 (fun i ->
+        Coordinated.Perm_binding.make ~dur:(Q.of_int (1_000_000 + i)) perm)
+  in
+  Test.make_grouped ~name:"E11-E12-ablations"
+    [
+      Test.make ~name:"periodic-window-check"
+        (Staged.stage (fun () -> Temporal.Periodic.contains window probe));
+      Test.make ~name:"duration-validity-check"
+        (Staged.stage (fun () ->
+             Temporal.Validity.is_valid_at
+               ~scheme:Temporal.Validity.Whole_journey ~arrivals:[ arrival ]
+               ~dur:(Some (Q.of_int 4)) active probe));
+      Test.make ~name:"decision-8-raw-bindings"
+        (Staged.stage (with_bindings raw "raw"));
+      Test.make ~name:"decision-aggregated-binding"
+        (Staged.stage
+           (with_bindings (Coordinated.Aggregate.aggregate raw) "agg"));
+      (* runtime monitoring routes for a 40-access history *)
+      (let c =
+         Srac.Formula.And
+           ( Srac.Formula.at_most 50 (Srac.Selector.Resource "db"),
+             Srac.Formula.Ordered
+               (Sral.Access.read "cfg" ~at:"s1", Sral.Access.read "db" ~at:"s1")
+           )
+       in
+       let history =
+         Sral.Access.read "cfg" ~at:"s1"
+         :: List.init 40 (fun _ -> Sral.Access.read "db" ~at:"s1")
+       in
+       Test.make ~name:"monitor-trace-recheck"
+         (Staged.stage (fun () ->
+              Srac.Trace_sat.sat ~proofs:Srac.Proof.always history c)));
+      (let c =
+         Srac.Formula.And
+           ( Srac.Formula.at_most 50 (Srac.Selector.Resource "db"),
+             Srac.Formula.Ordered
+               (Sral.Access.read "cfg" ~at:"s1", Sral.Access.read "db" ~at:"s1")
+           )
+       in
+       let history =
+         Sral.Access.read "cfg" ~at:"s1"
+         :: List.init 40 (fun _ -> Sral.Access.read "db" ~at:"s1")
+       in
+       let residual = Srac.Derivative.after_trace c history in
+       Test.make ~name:"monitor-derivative-step"
+         (Staged.stage (fun () ->
+              Srac.Derivative.satisfied_by_empty
+                (Srac.Derivative.after residual
+                   (Sral.Access.read "db" ~at:"s1")))));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E1 / E10 — whole-scenario reproductions                             *)
+
+let scenario_tests =
+  Test.make_grouped ~name:"E1-E10-scenarios"
+    [
+      Test.make ~name:"E1-fig1-integrity-audit"
+        (Staged.stage (fun () -> Scenarios.Integrity_audit.run ()));
+      Test.make ~name:"E1-fig1-audit-with-deadline"
+        (Staged.stage (fun () ->
+             Scenarios.Integrity_audit.run ~deadline:(Q.of_int 6) ()));
+      Test.make ~name:"E10-license-guard"
+        (Staged.stage (fun () -> Scenarios.License_guard.run ()));
+      Test.make ~name:"E10-newspaper-deadline"
+        (Staged.stage (fun () -> Scenarios.Newspaper.run ()));
+      Test.make ~name:"E12-teamwork"
+        (Staged.stage (fun () -> Scenarios.Teamwork.run ()));
+      Test.make ~name:"E12-parallel-audit-3-clones"
+        (Staged.stage (fun () ->
+             Scenarios.Integrity_audit.run_parallel ~clones:3 ()));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                               *)
+
+let all_groups =
+  [
+    ("E2", e2_tests);
+    ("E3", e3_tests);
+    ("E4", e4_tests);
+    ("E5", e5_tests);
+    ("E6", e6_tests);
+    ("E7", e7_tests);
+    ("E8", e8_tests);
+    ("E9", e9_tests);
+    ("E11", e11_tests);
+    ("E1", scenario_tests);
+  ]
+
+let run_group test =
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2) rows in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | _ -> Float.nan
+      in
+      let pretty =
+        if Float.is_nan estimate then "n/a"
+        else if estimate > 1e9 then Printf.sprintf "%8.3f  s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%8.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%8.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%8.1f ns" estimate
+      in
+      Printf.printf "  %-50s %s/run\n%!" name pretty)
+    rows
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst all_groups
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all_groups with
+      | Some test ->
+          Printf.printf "== %s ==\n%!" id;
+          run_group test
+      | None -> Printf.printf "unknown experiment id %S (known: %s)\n" id
+                  (String.concat ", " (List.map fst all_groups)))
+    selected

@@ -1,0 +1,343 @@
+(* stacc — the command-line face of the coordinated spatio-temporal
+   access-control library.
+
+     stacc parse   <file|->            parse & pretty-print an SRAL program
+     stacc traces  <file|-> [-b N]     enumerate (bounded) traces
+     stacc check   <file|-> -c CONSTR  decide P |= C (Theorem 3.2)
+     stacc audit                       run the Figure 1 integrity audit
+     stacc simulate -p POLICY -a PROG  run one agent under a policy file *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" ->
+      let buf = Buffer.create 1024 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 1
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+  | path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let program_of_input input =
+  match Sral.Parser.program (read_input input) with
+  | p -> Ok p
+  | exception Sral.Parser.Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
+let input_arg =
+  let doc = "SRAL program file ('-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let run input =
+    match program_of_input input with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok p ->
+        Format.printf "%a@." Sral.Pretty.pp p;
+        Format.printf "# size: %d nodes, %d access occurrences@."
+          (Sral.Program.size p) (Sral.Program.access_count p);
+        Format.printf "# servers: %s@."
+          (String.concat ", " (Sral.Program.servers p));
+        Format.printf "# resources: %s@."
+          (String.concat ", " (Sral.Program.resources p));
+        0
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and pretty-print an SRAL program.")
+    Term.(const run $ input_arg)
+
+(* --- traces --- *)
+
+let traces_cmd =
+  let bound_arg =
+    let doc = "Loop unrolling bound." in
+    Arg.(value & opt int 2 & info [ "b"; "bound" ] ~docv:"N" ~doc)
+  in
+  let limit_arg =
+    let doc = "Print at most this many traces." in
+    Arg.(value & opt int 50 & info [ "l"; "limit" ] ~docv:"N" ~doc)
+  in
+  let run input bound limit =
+    match program_of_input input with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok p ->
+        let traces =
+          Sral.Trace_ops.to_list (Sral.Trace_ops.traces_bounded ~loop_bound:bound p)
+        in
+        Format.printf "# %d trace(s) with loops unrolled %d time(s)@."
+          (List.length traces) bound;
+        List.iteri
+          (fun i t -> if i < limit then Format.printf "%a@." Sral.Trace.pp t)
+          traces;
+        if List.length traces > limit then
+          Format.printf "... (%d more)@." (List.length traces - limit);
+        0
+  in
+  Cmd.v
+    (Cmd.info "traces" ~doc:"Enumerate the (bounded) trace model.")
+    Term.(const run $ input_arg $ bound_arg $ limit_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let constraint_arg =
+    let doc = "SRAC constraint, e.g. 'seq(read a @ s1, write b @ s2)'." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "constraint" ] ~docv:"CONSTRAINT" ~doc)
+  in
+  let forall_arg =
+    let doc = "Require every trace to satisfy the constraint (default: some)." in
+    Arg.(value & flag & info [ "forall" ] ~doc)
+  in
+  let run input constraint_src forall =
+    match program_of_input input with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok p -> (
+        match Srac.Formula.of_string constraint_src with
+        | exception Invalid_argument msg ->
+            Format.eprintf "constraint error: %s@." msg;
+            1
+        | c ->
+            let modality =
+              if forall then Srac.Program_sat.Forall else Srac.Program_sat.Exists
+            in
+            let outcome = Srac.Program_sat.check ~modality p c in
+            Format.printf "%s: %b@."
+              (if forall then "every trace satisfies" else "some trace satisfies")
+              outcome.Srac.Program_sat.holds;
+            (match outcome.Srac.Program_sat.witness with
+            | Some t ->
+                Format.printf "%s: %a@."
+                  (if outcome.Srac.Program_sat.holds then "witness"
+                   else "counterexample")
+                  Sral.Trace.pp t
+            | None -> ());
+            if outcome.Srac.Program_sat.holds then 0 else 2)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Decide whether the program satisfies an SRAC constraint.")
+    Term.(const run $ input_arg $ constraint_arg $ forall_arg)
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let deadline_arg =
+    let doc = "Verification deadline in time units (rational, e.g. 15 or 15/2)." in
+    Arg.(value & opt (some string) None & info [ "deadline" ] ~docv:"D" ~doc)
+  in
+  let tampered_arg =
+    let doc = "Hash the modules out of dependency order (must be denied)." in
+    Arg.(value & flag & info [ "out-of-order" ] ~doc)
+  in
+  let run deadline out_of_order =
+    let deadline = Option.map Temporal.Q.of_string deadline in
+    let report =
+      Scenarios.Integrity_audit.run ?deadline ~respect_order:(not out_of_order)
+        ()
+    in
+    Format.printf "granted: %d, denied: %d@."
+      report.Scenarios.Integrity_audit.granted
+      report.Scenarios.Integrity_audit.denied;
+    Format.printf "all modules verified: %b@."
+      report.Scenarios.Integrity_audit.all_verified;
+    Format.printf "deadline expired during audit: %b@."
+      report.Scenarios.Integrity_audit.deadline_hit;
+    List.iter
+      (fun (m, h) -> Format.printf "  %s  %s@." m h)
+      report.Scenarios.Integrity_audit.hashes;
+    if report.Scenarios.Integrity_audit.all_verified then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run the Section 6 / Figure 1 integrity audit scenario.")
+    Term.(const run $ deadline_arg $ tampered_arg)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let minimize_arg =
+    let doc = "Minimize the DFA before rendering." in
+    Arg.(value & flag & info [ "minimize" ] ~doc)
+  in
+  let run input minimize =
+    match program_of_input input with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok p ->
+        let table = Automata.Symbol.of_accesses (Sral.Program.accesses p) in
+        let nfa = Automata.Of_program.nfa ~table p in
+        let dfa =
+          Automata.Dfa.of_nfa ~alphabet:(Automata.Symbol.alphabet table) nfa
+        in
+        let dfa = if minimize then Automata.Dfa.minimize dfa else dfa in
+        print_string (Automata.Dot.dfa ~name:"trace_model" ~table dfa);
+        0
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Render the program's trace-model DFA as GraphViz.")
+    Term.(const run $ input_arg $ minimize_arg)
+
+(* --- policy --- *)
+
+let policy_cmd =
+  let aggregate_arg =
+    let doc = "Also print the aggregated (merged) bindings." in
+    Cmdliner.Arg.(value & flag & info [ "aggregate" ] ~doc)
+  in
+  let run input aggregate =
+    match Coordinated.Policy_lang.parse (read_input input) with
+    | exception Coordinated.Policy_lang.Error (line, msg) ->
+        Format.eprintf "%s:%d: %s@." input line msg;
+        1
+    | exception Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | parsed ->
+        Format.printf "# parsed OK: %d user(s), %d role(s), %d binding(s)@."
+          (List.length (Rbac.Policy.users parsed.Coordinated.Policy_lang.policy))
+          (List.length (Rbac.Policy.roles parsed.Coordinated.Policy_lang.policy))
+          (List.length parsed.Coordinated.Policy_lang.bindings);
+        print_string (Coordinated.Policy_lang.render parsed);
+        if aggregate then begin
+          let merged =
+            Coordinated.Aggregate.aggregate
+              parsed.Coordinated.Policy_lang.bindings
+          in
+          Format.printf "@.# after aggregation: %d binding(s)@."
+            (List.length merged);
+          List.iter
+            (fun b -> Format.printf "# %a@." Coordinated.Perm_binding.pp b)
+            merged
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:"Parse, validate and re-render a policy file; optionally show              the aggregated bindings.")
+    Term.(const run $ input_arg $ aggregate_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let run input =
+    match Coordinated.Policy_lang.parse (read_input input) with
+    | exception Coordinated.Policy_lang.Error (line, msg) ->
+        Format.eprintf "%s:%d: %s@." input line msg;
+        1
+    | exception Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | parsed -> (
+        match Coordinated.Lint.check parsed with
+        | [] ->
+            Format.printf "no findings.@.";
+            0
+        | findings ->
+            List.iter
+              (fun f -> Format.printf "%a@." Coordinated.Lint.pp_finding f)
+              findings;
+            2)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyse a policy file for dead or unsatisfiable              rules.")
+    Term.(const run $ input_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let policy_arg =
+    let doc = "Policy file (see Policy_lang for the syntax)." in
+    Arg.(required & opt (some string) None & info [ "p"; "policy" ] ~docv:"FILE" ~doc)
+  in
+  let agent_arg =
+    let doc = "SRAL program file for the agent ('-' for stdin)." in
+    Arg.(required & opt (some string) None & info [ "a"; "agent" ] ~docv:"FILE" ~doc)
+  in
+  let owner_arg =
+    let doc = "Owner (user) of the agent." in
+    Arg.(required & opt (some string) None & info [ "owner" ] ~docv:"USER" ~doc)
+  in
+  let roles_arg =
+    let doc = "Roles to activate (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "r"; "role" ] ~docv:"ROLE" ~doc)
+  in
+  let run policy_file agent_file owner roles =
+    match
+      ( (try Ok (Coordinated.System.of_policy_text (read_input policy_file))
+         with
+        | Coordinated.Policy_lang.Error (line, msg) ->
+            Error (Printf.sprintf "%s:%d: %s" policy_file line msg)
+        | Sys_error msg -> Error msg),
+        program_of_input agent_file )
+    with
+    | Error msg, _ | _, Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok control, Ok program ->
+        let world = Naplet.World.create control in
+        List.iter
+          (fun s -> Naplet.World.add_server world (Naplet.Server.create s))
+          (Sral.Program.servers program);
+        let home =
+          match Sral.Program.servers program with
+          | s :: _ -> s
+          | [] ->
+              Naplet.World.add_server world (Naplet.Server.create "home");
+              "home"
+        in
+        Naplet.World.spawn world ~id:"agent-1" ~owner ~roles ~home program;
+        let metrics = Naplet.World.run world in
+        Format.printf "%a@.@." Naplet.Metrics.pp metrics;
+        Format.printf "--- audit log ---@.%a@.@." Coordinated.Audit_log.pp
+          (Coordinated.System.log control);
+        Format.printf "--- timeline ---@.%s@."
+          (Coordinated.Timeline.render ~width:48
+             (Coordinated.System.log control));
+        0
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run one mobile agent under a policy in the Naplet emulation.")
+    Term.(const run $ policy_arg $ agent_arg $ owner_arg $ roles_arg)
+
+let () =
+  let info =
+    Cmd.info "stacc" ~version:"1.0.0"
+      ~doc:
+        "Coordinated spatio-temporal access control for mobile coalitions \
+         (Fu & Xu, IPPS 2005)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            parse_cmd;
+            traces_cmd;
+            check_cmd;
+            dot_cmd;
+            audit_cmd;
+            policy_cmd;
+            lint_cmd;
+            simulate_cmd;
+          ]))

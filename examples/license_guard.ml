@@ -1,0 +1,25 @@
+(* The introduction's coordination example: overusing a licensed
+   software package at site s1 closes site s2 forever.  The decision at
+   s2 is driven entirely by the execution proofs the mobile object
+   accumulated at s1 — access control coordinated *across* servers.
+
+   Run with:  dune exec examples/license_guard.exe *)
+
+let show label (o : Scenarios.License_guard.outcome) =
+  Format.printf "%-34s s1 granted %d, s2 granted %d, denied %d, s2 locked: %b@."
+    label o.Scenarios.License_guard.granted_s1
+    o.Scenarios.License_guard.granted_s2 o.Scenarios.License_guard.denied
+    o.Scenarios.License_guard.s2_locked_out
+
+let () =
+  Format.printf "trial limit: 5 uses observed at s1@.@.";
+  show "3 uses at s1, then s2:" (Scenarios.License_guard.run ~s1_uses:3 ());
+  show "5 uses at s1 (the limit), then s2:"
+    (Scenarios.License_guard.run ~s1_uses:5 ());
+  show "6 uses at s1 (over), then s2:"
+    (Scenarios.License_guard.run ~s1_uses:6 ());
+  show "7 uses at s1, then s2:" (Scenarios.License_guard.run ());
+  Format.printf
+    "@.with Example 3.5's everywhere-bound #(0,5,sigma_RSW) added:@.@.";
+  show "4 at s1 + 3 at s2, global limit 5:"
+    (Scenarios.License_guard.run ~s1_uses:4 ~s2_uses:3 ~global_limit:5 ())

@@ -1,0 +1,60 @@
+let label ?table s =
+  match table with
+  | Some tbl -> Format.asprintf "%a" (Symbol.pp_symbol tbl) s
+  | None -> Printf.sprintf "s%d" s
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let header name = Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name
+
+let state_line q ~final ~start =
+  let shape = if final then "doublecircle" else "circle" in
+  let extra = if start then " style=bold" else "" in
+  Printf.sprintf "  %d [shape=%s%s];\n" q shape extra
+
+let nfa ?(name = "nfa") ?table (n : Nfa.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (header name);
+  for q = 0 to Nfa.num_states n - 1 do
+    Buffer.add_string buf
+      (state_line q ~final:(Nfa.is_final n q) ~start:(q = n.Nfa.start))
+  done;
+  for q = 0 to Nfa.num_states n - 1 do
+    List.iter
+      (fun (s, q') ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %d -> %d [label=\"%s\"];\n" q q'
+             (escape (label ?table s))))
+      n.Nfa.moves.(q);
+    List.iter
+      (fun q' ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %d -> %d [label=\"eps\" style=dashed];\n" q q'))
+      n.Nfa.eps.(q)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let is_sink (d : Dfa.t) q =
+  (not d.Dfa.finals.(q)) && Array.for_all (fun dst -> dst = q) d.Dfa.next.(q)
+
+let dfa ?(name = "dfa") ?table (d : Dfa.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (header name);
+  for q = 0 to d.Dfa.num_states - 1 do
+    if not (is_sink d q) then
+      Buffer.add_string buf
+        (state_line q ~final:d.Dfa.finals.(q) ~start:(q = d.Dfa.start))
+  done;
+  for q = 0 to d.Dfa.num_states - 1 do
+    if not (is_sink d q) then
+      Array.iteri
+        (fun i dst ->
+          if not (is_sink d dst) then
+            Buffer.add_string buf
+              (Printf.sprintf "  %d -> %d [label=\"%s\"];\n" q dst
+                 (escape (label ?table d.Dfa.alphabet.(i)))))
+        d.Dfa.next.(q)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

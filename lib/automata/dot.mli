@@ -1,0 +1,8 @@
+(** GraphViz rendering of automata, with transition labels resolved
+    through a symbol table when provided (accesses print in SRAL
+    syntax; otherwise symbols print as [s0], [s1], ...). *)
+
+val nfa : ?name:string -> ?table:Symbol.table -> Nfa.t -> string
+val dfa : ?name:string -> ?table:Symbol.table -> Dfa.t -> string
+(** The DFA's sink state (a non-final state with only self-loops) is
+    omitted along with its edges, to keep renderings readable. *)

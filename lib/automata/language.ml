@@ -1,0 +1,68 @@
+type t = { table : Symbol.table; dfa : Dfa.t }
+
+let of_program ?(extra_accesses = []) p =
+  let table = Symbol.of_accesses (Sral.Program.accesses p @ extra_accesses) in
+  let nfa = Of_program.nfa ~table p in
+  let dfa = Dfa.minimize (Dfa.of_nfa ~alphabet:(Symbol.alphabet table) nfa) in
+  { table; dfa }
+
+let of_regex ~table r =
+  let dfa =
+    Dfa.minimize
+      (Dfa.of_nfa ~alphabet:(Symbol.alphabet table) (Nfa.of_regex r))
+  in
+  { table; dfa }
+
+let contains t trace =
+  let rec encode = function
+    | [] -> Some []
+    | a :: rest -> (
+        match Symbol.find t.table a with
+        | None -> None
+        | Some s -> Option.map (fun w -> s :: w) (encode rest))
+  in
+  match encode trace with
+  | None -> false
+  | Some word -> Dfa.accepts t.dfa word
+
+let is_empty t = Dfa.is_empty t.dfa
+
+let require_shared t1 t2 =
+  if t1.table != t2.table then
+    invalid_arg "Language: operands must share their symbol table"
+
+let equiv t1 t2 =
+  require_shared t1 t2;
+  Dfa.equiv t1.dfa t2.dfa
+
+let subset t1 t2 =
+  require_shared t1 t2;
+  Dfa.subset t1.dfa t2.dfa
+
+let binop op t1 t2 =
+  require_shared t1 t2;
+  { table = t1.table; dfa = Dfa.minimize (op t1.dfa t2.dfa) }
+
+let inter t1 t2 = binop Dfa.inter t1 t2
+let union t1 t2 = binop Dfa.union t1 t2
+let diff t1 t2 = binop Dfa.diff t1 t2
+
+let witness t =
+  Option.map
+    (List.map (fun s -> Symbol.access t.table s))
+    (Dfa.shortest_witness t.dfa)
+
+let to_regex t =
+  (* View the DFA as an NFA and eliminate states. *)
+  let d = t.dfa in
+  let moves =
+    Array.init d.num_states (fun q ->
+        Array.to_list (Array.mapi (fun i dst -> (d.alphabet.(i), dst)) d.next.(q)))
+  in
+  let nfa =
+    Nfa.of_tables ~num_states:d.num_states ~start:d.start ~finals:d.finals
+      ~moves ()
+  in
+  State_elim.regex nfa
+
+let state_count t = Dfa.num_states t.dfa

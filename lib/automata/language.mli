@@ -1,0 +1,42 @@
+(** High-level trace-model (language) operations on SRAL programs.
+
+    This is the facade the [srac] checker and the test-suites use; it
+    packages a symbol table together with a minimized DFA. *)
+
+type t = { table : Symbol.table; dfa : Dfa.t }
+
+val of_program : ?extra_accesses:Sral.Access.t list -> Sral.Ast.t -> t
+(** Minimized trace model of a program, over the alphabet of the
+    program's accesses plus [extra_accesses] (the accesses a constraint
+    mentions must be part of the alphabet for complementation to be
+    meaningful). *)
+
+val of_regex : table:Symbol.table -> Regex.t -> t
+(** Over the table's full alphabet. *)
+
+val contains : t -> Sral.Trace.t -> bool
+(** Is the trace in the model?  Traces using unknown accesses are not. *)
+
+val is_empty : t -> bool
+val equiv : t -> t -> bool
+(** Language equality.  The models must share their symbol table
+    (physical equality); build both from the same table.
+    @raise Invalid_argument otherwise. *)
+
+val subset : t -> t -> bool
+(** Same sharing requirement as {!equiv}. *)
+
+val inter : t -> t -> t
+(** Intersection (same table required, result shares it). *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val witness : t -> Sral.Trace.t option
+(** A shortest trace of the model, if any. *)
+
+val to_regex : t -> Regex.t
+(** Back to a regular expression (via state elimination on the DFA
+    viewed as an NFA). *)
+
+val state_count : t -> int

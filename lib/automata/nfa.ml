@@ -1,0 +1,204 @@
+type t = {
+  num_states : int;
+  start : int;
+  finals : bool array;
+  moves : (Symbol.t * int) list array;
+  eps : int list array;
+}
+
+let make ~num_states ~start ~finals ~moves ~eps =
+  assert (Array.length finals = num_states);
+  assert (Array.length moves = num_states);
+  assert (Array.length eps = num_states);
+  assert (start >= 0 && start < num_states);
+  { num_states; start; finals; moves; eps }
+
+let empty_lang =
+  make ~num_states:1 ~start:0 ~finals:[| false |] ~moves:[| [] |] ~eps:[| [] |]
+
+let eps_lang =
+  make ~num_states:1 ~start:0 ~finals:[| true |] ~moves:[| [] |] ~eps:[| [] |]
+
+let sym s =
+  make ~num_states:2 ~start:0 ~finals:[| false; true |]
+    ~moves:[| [ (s, 1) ]; [] |]
+    ~eps:[| []; [] |]
+
+(* Disjoint union of the state spaces: states of [n2] are shifted by
+   [n1.num_states].  Returns the shift. *)
+let disjoint n1 n2 =
+  let shift = n1.num_states in
+  let num_states = n1.num_states + n2.num_states in
+  let finals = Array.make num_states false in
+  Array.blit n1.finals 0 finals 0 shift;
+  Array.iteri (fun i b -> finals.(shift + i) <- b) n2.finals;
+  let moves = Array.make num_states [] in
+  Array.blit n1.moves 0 moves 0 shift;
+  Array.iteri
+    (fun i l -> moves.(shift + i) <- List.map (fun (s, q) -> (s, q + shift)) l)
+    n2.moves;
+  let eps = Array.make num_states [] in
+  Array.blit n1.eps 0 eps 0 shift;
+  Array.iteri (fun i l -> eps.(shift + i) <- List.map (( + ) shift) l) n2.eps;
+  (shift, num_states, finals, moves, eps)
+
+let cat n1 n2 =
+  let shift, num_states, finals, moves, eps = disjoint n1 n2 in
+  (* finals of n1 get an eps edge to n2.start and stop being final *)
+  for q = 0 to n1.num_states - 1 do
+    if n1.finals.(q) then begin
+      finals.(q) <- false;
+      eps.(q) <- (n2.start + shift) :: eps.(q)
+    end
+  done;
+  make ~num_states ~start:n1.start ~finals ~moves ~eps
+
+let alt n1 n2 =
+  let shift, num_states0, finals0, moves0, eps0 = disjoint n1 n2 in
+  (* fresh start with eps edges to both starts *)
+  let num_states = num_states0 + 1 in
+  let start = num_states0 in
+  let finals = Array.append finals0 [| false |] in
+  let moves = Array.append moves0 [| [] |] in
+  let eps = Array.append eps0 [| [ n1.start; n2.start + shift ] |] in
+  make ~num_states ~start ~finals ~moves ~eps
+
+let star n =
+  (* fresh start, final; eps to old start; old finals eps back to fresh *)
+  let num_states = n.num_states + 1 in
+  let start = n.num_states in
+  let finals = Array.append (Array.map (fun _ -> false) n.finals) [| true |] in
+  let moves = Array.append n.moves [| [] |] in
+  let eps =
+    Array.append
+      (Array.mapi
+         (fun q l -> if n.finals.(q) then start :: l else l)
+         n.eps)
+      [| [ n.start ] |]
+  in
+  make ~num_states ~start ~finals ~moves ~eps
+
+let shuffle n1 n2 =
+  let m = n2.num_states in
+  let pair q1 q2 = (q1 * m) + q2 in
+  let num_states = n1.num_states * m in
+  let finals = Array.make num_states false in
+  let moves = Array.make num_states [] in
+  let eps = Array.make num_states [] in
+  for q1 = 0 to n1.num_states - 1 do
+    for q2 = 0 to m - 1 do
+      let q = pair q1 q2 in
+      finals.(q) <- n1.finals.(q1) && n2.finals.(q2);
+      moves.(q) <-
+        List.map (fun (s, q1') -> (s, pair q1' q2)) n1.moves.(q1)
+        @ List.map (fun (s, q2') -> (s, pair q1 q2')) n2.moves.(q2);
+      eps.(q) <-
+        List.map (fun q1' -> pair q1' q2) n1.eps.(q1)
+        @ List.map (fun q2' -> pair q1 q2') n2.eps.(q2)
+    done
+  done;
+  make ~num_states ~start:(pair n1.start n2.start) ~finals ~moves ~eps
+
+let of_tables ~num_states ~start ~finals ~moves ?eps () =
+  let eps = match eps with Some e -> e | None -> Array.make num_states [] in
+  if
+    Array.length finals <> num_states
+    || Array.length moves <> num_states
+    || Array.length eps <> num_states
+    || start < 0
+    || start >= num_states
+  then invalid_arg "Nfa.of_tables: inconsistent sizes";
+  { num_states; start; finals; moves; eps }
+
+let rec of_regex = function
+  | Regex.Empty -> empty_lang
+  | Regex.Eps -> eps_lang
+  | Regex.Sym s -> sym s
+  | Regex.Alt (r1, r2) -> alt (of_regex r1) (of_regex r2)
+  | Regex.Cat (r1, r2) -> cat (of_regex r1) (of_regex r2)
+  | Regex.Star r -> star (of_regex r)
+
+let eps_closure n states =
+  let seen = Array.make n.num_states false in
+  let rec visit q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter visit n.eps.(q)
+    end
+  in
+  List.iter visit states;
+  let acc = ref [] in
+  for q = n.num_states - 1 downto 0 do
+    if seen.(q) then acc := q :: !acc
+  done;
+  !acc
+
+let step n states s =
+  let targets =
+    List.concat_map
+      (fun q -> List.filter_map (fun (s', q') -> if s = s' then Some q' else None) n.moves.(q))
+      states
+  in
+  eps_closure n targets
+
+let accepts n word =
+  let final_states =
+    List.fold_left (step n) (eps_closure n [ n.start ]) word
+  in
+  List.exists (fun q -> n.finals.(q)) final_states
+
+let num_states n = n.num_states
+let is_final n q = n.finals.(q)
+
+let symbols n =
+  let acc = ref [] in
+  Array.iter (fun l -> List.iter (fun (s, _) -> acc := s :: !acc) l) n.moves;
+  List.sort_uniq Int.compare !acc
+
+let trim n =
+  let reachable = Array.make n.num_states false in
+  let rec visit q =
+    if not reachable.(q) then begin
+      reachable.(q) <- true;
+      List.iter (fun (_, q') -> visit q') n.moves.(q);
+      List.iter visit n.eps.(q)
+    end
+  in
+  visit n.start;
+  let remap = Array.make n.num_states (-1) in
+  let count = ref 0 in
+  for q = 0 to n.num_states - 1 do
+    if reachable.(q) then begin
+      remap.(q) <- !count;
+      incr count
+    end
+  done;
+  let num_states = !count in
+  let finals = Array.make num_states false in
+  let moves = Array.make num_states [] in
+  let eps = Array.make num_states [] in
+  for q = 0 to n.num_states - 1 do
+    if reachable.(q) then begin
+      let q' = remap.(q) in
+      finals.(q') <- n.finals.(q);
+      moves.(q') <-
+        List.filter_map
+          (fun (s, dst) -> if reachable.(dst) then Some (s, remap.(dst)) else None)
+          n.moves.(q);
+      eps.(q') <-
+        List.filter_map
+          (fun dst -> if reachable.(dst) then Some remap.(dst) else None)
+          n.eps.(q)
+    end
+  done;
+  make ~num_states ~start:remap.(n.start) ~finals ~moves ~eps
+
+let pp ppf n =
+  Format.fprintf ppf "@[<v>nfa: %d states, start %d@," n.num_states n.start;
+  for q = 0 to n.num_states - 1 do
+    Format.fprintf ppf "  %d%s:" q (if n.finals.(q) then " (final)" else "");
+    List.iter (fun (s, q') -> Format.fprintf ppf " --s%d-->%d" s q') n.moves.(q);
+    List.iter (fun q' -> Format.fprintf ppf " --eps-->%d" q') n.eps.(q);
+    Format.pp_print_cut ppf ()
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** Nondeterministic finite automata with epsilon moves.
+
+    NFAs represent trace models symbolically.  Besides the Thompson
+    combinators mirroring Definition 3.2 ([cat], [alt], [star]), the
+    {!shuffle} product implements the interleaving operator [#] that
+    gives [p1 || p2] its trace model. *)
+
+type t = private {
+  num_states : int;
+  start : int;
+  finals : bool array;  (** length [num_states] *)
+  moves : (Symbol.t * int) list array;  (** symbol transitions per state *)
+  eps : int list array;  (** epsilon transitions per state *)
+}
+
+(** {2 Constructors} *)
+
+val empty_lang : t
+(** Accepts nothing. *)
+
+val eps_lang : t
+(** Accepts exactly the empty trace. *)
+
+val sym : Symbol.t -> t
+(** Accepts exactly the one-symbol trace. *)
+
+val cat : t -> t -> t
+val alt : t -> t -> t
+val star : t -> t
+
+val shuffle : t -> t -> t
+(** Interleaving product: accepts all interleavings of a trace of the
+    first operand with a trace of the second.  State count is the
+    product of the operands' counts. *)
+
+val of_regex : Regex.t -> t
+(** Thompson construction. *)
+
+val of_tables :
+  num_states:int ->
+  start:int ->
+  finals:bool array ->
+  moves:(Symbol.t * int) list array ->
+  ?eps:int list array ->
+  unit ->
+  t
+(** Escape hatch for building an NFA from explicit transition tables
+    (e.g. to view a DFA as an NFA for state elimination).  [eps]
+    defaults to no epsilon transitions.
+    @raise Invalid_argument on inconsistent sizes. *)
+
+(** {2 Queries} *)
+
+val eps_closure : t -> int list -> int list
+(** Sorted, duplicate-free epsilon closure of a set of states. *)
+
+val accepts : t -> Symbol.t list -> bool
+(** Direct subset simulation (no determinization). *)
+
+val num_states : t -> int
+val is_final : t -> int -> bool
+
+val symbols : t -> Symbol.t list
+(** Distinct symbols on transitions, sorted. *)
+
+val trim : t -> t
+(** Restrict to states reachable from the start.  (Co-reachability is
+    not required by the downstream algorithms.) *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+let rec nfa ~table p =
+  match p with
+  | Sral.Ast.Skip | Sral.Ast.Recv _ | Sral.Ast.Send _ | Sral.Ast.Signal _
+  | Sral.Ast.Wait _ | Sral.Ast.Assign _ ->
+      Nfa.eps_lang
+  | Sral.Ast.Access a -> Nfa.sym (Symbol.intern table a)
+  | Sral.Ast.Seq (p1, p2) -> Nfa.cat (nfa ~table p1) (nfa ~table p2)
+  | Sral.Ast.If (_, p1, p2) -> Nfa.alt (nfa ~table p1) (nfa ~table p2)
+  | Sral.Ast.While (_, body) -> Nfa.star (nfa ~table body)
+  | Sral.Ast.Par (p1, p2) -> Nfa.shuffle (nfa ~table p1) (nfa ~table p2)
+
+let dfa ~table ~alphabet p = Dfa.of_nfa ~alphabet (Nfa.trim (nfa ~table p))

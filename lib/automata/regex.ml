@@ -1,0 +1,106 @@
+type t =
+  | Empty
+  | Eps
+  | Sym of Symbol.t
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+
+let empty = Empty
+let eps = Eps
+let sym s = Sym s
+
+let alt r1 r2 =
+  match (r1, r2) with
+  | Empty, r | r, Empty -> r
+  | _ -> if r1 = r2 then r1 else Alt (r1, r2)
+
+let cat r1 r2 =
+  match (r1, r2) with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, r | r, Eps -> r
+  | _ -> Cat (r1, r2)
+
+let star = function
+  | Empty | Eps -> Eps
+  | Star _ as r -> r
+  | r -> Star r
+
+let alt_list l = List.fold_left alt Empty l
+let cat_list l = List.fold_left cat Eps l
+
+let rec nullable = function
+  | Empty | Sym _ -> false
+  | Eps | Star _ -> true
+  | Alt (r1, r2) -> nullable r1 || nullable r2
+  | Cat (r1, r2) -> nullable r1 && nullable r2
+
+let rec is_empty_lang = function
+  | Empty -> true
+  | Eps | Sym _ | Star _ -> false
+  | Alt (r1, r2) -> is_empty_lang r1 && is_empty_lang r2
+  | Cat (r1, r2) -> is_empty_lang r1 || is_empty_lang r2
+
+let rec derivative s = function
+  | Empty | Eps -> Empty
+  | Sym s' -> if s = s' then Eps else Empty
+  | Alt (r1, r2) -> alt (derivative s r1) (derivative s r2)
+  | Cat (r1, r2) ->
+      let d = cat (derivative s r1) r2 in
+      if nullable r1 then alt d (derivative s r2) else d
+  | Star r as whole -> cat (derivative s r) whole
+
+let matches r word =
+  nullable (List.fold_left (fun r s -> derivative s r) r word)
+
+let symbols r =
+  let rec collect acc = function
+    | Empty | Eps -> acc
+    | Sym s -> s :: acc
+    | Alt (r1, r2) | Cat (r1, r2) -> collect (collect acc r1) r2
+    | Star r -> collect acc r
+  in
+  List.sort_uniq Int.compare (collect [] r)
+
+let rec size = function
+  | Empty | Eps | Sym _ -> 1
+  | Alt (r1, r2) | Cat (r1, r2) -> 1 + size r1 + size r2
+  | Star r -> 1 + size r
+
+let equal r1 r2 = r1 = r2
+let compare = Stdlib.compare
+
+let generate ?(star_depth = 2) ~symbols ~size rng =
+  let pick () = List.nth symbols (Random.State.int rng (List.length symbols)) in
+  let rec gen size depth =
+    if size <= 1 then Sym (pick ())
+    else
+      match Random.State.int rng (if depth > 0 then 4 else 3) with
+      | 0 | 1 ->
+          let split = 1 + Random.State.int rng (size - 1) in
+          cat (gen split depth) (gen (size - split) depth)
+      | 2 ->
+          let split = 1 + Random.State.int rng (size - 1) in
+          alt (gen split depth) (gen (size - split) depth)
+      | _ -> star (gen (size - 1) (depth - 1))
+  in
+  gen (max 1 size) star_depth
+
+let pp_with pp_sym ppf r =
+  (* precedence: alt(1) < cat(2) < star(3) *)
+  let rec go prec ppf r =
+    match r with
+    | Empty -> Format.pp_print_string ppf "0"
+    | Eps -> Format.pp_print_string ppf "1"
+    | Sym s -> pp_sym ppf s
+    | Alt (r1, r2) ->
+        let body ppf () = Format.fprintf ppf "%a + %a" (go 1) r1 (go 1) r2 in
+        if prec > 1 then Format.fprintf ppf "(%a)" body () else body ppf ()
+    | Cat (r1, r2) ->
+        let body ppf () = Format.fprintf ppf "%a . %a" (go 2) r1 (go 2) r2 in
+        if prec > 2 then Format.fprintf ppf "(%a)" body () else body ppf ()
+    | Star r1 -> Format.fprintf ppf "%a*" (go 3) r1
+  in
+  go 0 ppf r
+
+let pp ppf r = pp_with (fun ppf s -> Format.fprintf ppf "s%d" s) ppf r

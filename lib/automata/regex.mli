@@ -1,0 +1,59 @@
+(** Regular expressions over interned symbols.
+
+    Regular trace models (Definition 3.3) are exactly the languages of
+    these expressions: [{a}] is [Sym a], union is [Alt], concatenation
+    is [Cat] and Kleene closure is [Star].  [Empty] (the empty model)
+    and [Eps] (the singleton empty-trace model) are included for
+    algebraic closure — Definition 3.3 generates neither, but state
+    elimination does. *)
+
+type t =
+  | Empty  (** no trace at all *)
+  | Eps  (** the empty trace *)
+  | Sym of Symbol.t
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+
+(** {2 Smart constructors} — apply the obvious simplifications
+    ([Empty] is a zero for [Cat] and unit for [Alt]; [Eps] a unit for
+    [Cat]; nested/degenerate stars collapse). *)
+
+val empty : t
+val eps : t
+val sym : Symbol.t -> t
+val alt : t -> t -> t
+val cat : t -> t -> t
+val star : t -> t
+val alt_list : t list -> t
+val cat_list : t list -> t
+
+val nullable : t -> bool
+(** Does the language contain the empty trace? *)
+
+val is_empty_lang : t -> bool
+(** Is the language empty (no trace matches)? *)
+
+val derivative : Symbol.t -> t -> t
+(** Brzozowski derivative: [{w | s·w ∈ L}]. *)
+
+val matches : t -> Symbol.t list -> bool
+(** Membership by iterated derivatives. *)
+
+val symbols : t -> Symbol.t list
+(** Distinct symbols occurring, sorted. *)
+
+val size : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val generate :
+  ?star_depth:int -> symbols:Symbol.t list -> size:int -> Random.State.t -> t
+(** Random regex drawn from Definition 3.3's grammar (never produces
+    [Empty]; produces [Eps] only under [Star]).  [star_depth] bounds
+    star nesting (default 2). *)
+
+val pp : Format.formatter -> t -> unit
+(** Symbols print as [s<i>]; use {!pp_with} to print accesses. *)
+
+val pp_with : (Format.formatter -> Symbol.t -> unit) -> Format.formatter -> t -> unit

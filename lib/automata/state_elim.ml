@@ -1,0 +1,35 @@
+(* Generalized NFA: a dense matrix of regexes between states
+   0..n+1 where n is the source NFA's size; n is the fresh initial
+   state and n+1 the fresh final state.  Interior states are eliminated
+   one at a time with the classic update
+     R(i,j) := R(i,j) + R(i,k) . R(k,k)* . R(k,j). *)
+
+let regex (nfa : Nfa.t) =
+  let n = Nfa.num_states nfa in
+  let init = n in
+  let final = n + 1 in
+  let size = n + 2 in
+  let m = Array.make_matrix size size Regex.empty in
+  let add i j r = m.(i).(j) <- Regex.alt m.(i).(j) r in
+  for q = 0 to n - 1 do
+    List.iter (fun (s, q') -> add q q' (Regex.sym s)) nfa.moves.(q);
+    List.iter (fun q' -> add q q' Regex.eps) nfa.eps.(q);
+    if Nfa.is_final nfa q then add q final Regex.eps
+  done;
+  add init (nfa : Nfa.t).start Regex.eps;
+  (* Eliminate interior states in order. *)
+  for k = 0 to n - 1 do
+    let loop = Regex.star m.(k).(k) in
+    for i = 0 to size - 1 do
+      if i <> k && m.(i).(k) <> Regex.empty then
+        for j = 0 to size - 1 do
+          if j <> k && m.(k).(j) <> Regex.empty then
+            add i j (Regex.cat_list [ m.(i).(k); loop; m.(k).(j) ])
+        done
+    done;
+    for i = 0 to size - 1 do
+      m.(i).(k) <- Regex.empty;
+      m.(k).(i) <- Regex.empty
+    done
+  done;
+  m.(init).(final)

@@ -1,0 +1,7 @@
+(** NFA → regular expression by state elimination (GNFA method).
+
+    Together with {!To_program} this closes the loop of Section 3.2:
+    program → NFA → regex → program, with language preserved at every
+    step (property-tested in the suite). *)
+
+val regex : Nfa.t -> Regex.t

@@ -1,0 +1,33 @@
+(** Interning of accesses as dense integer symbols.
+
+    Trace models are regular languages over the (finite) set of
+    accesses occurring in a program and its constraints; the automata
+    modules work over [int] symbols and this table maps them back to
+    {!Sral.Access.t}. *)
+
+type t = int
+(** A symbol: index into a table. *)
+
+type table
+
+val create : unit -> table
+
+val of_accesses : Sral.Access.t list -> table
+(** Table pre-populated with the given accesses (duplicates merged). *)
+
+val intern : table -> Sral.Access.t -> t
+(** Existing id if the access is known, otherwise a fresh one. *)
+
+val find : table -> Sral.Access.t -> t option
+val access : table -> t -> Sral.Access.t
+
+val size : table -> int
+(** Number of interned symbols; valid symbols are [0 .. size-1]. *)
+
+val alphabet : table -> t list
+(** [0 .. size-1]. *)
+
+val accesses : table -> Sral.Access.t list
+(** All interned accesses in symbol order. *)
+
+val pp_symbol : table -> Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+exception Empty_model
+
+let program ~table r =
+  if Regex.is_empty_lang r then raise Empty_model;
+  let counter = ref 0 in
+  let fresh_cond () =
+    incr counter;
+    Sral.Expr.Var (Printf.sprintf "c%d" !counter)
+  in
+  let rec build r =
+    match r with
+    | Regex.Empty -> raise Empty_model
+    | Regex.Eps -> Sral.Ast.Skip
+    | Regex.Sym s -> Sral.Ast.Access (Symbol.access table s)
+    | Regex.Alt (r1, r2) ->
+        (* A sub-expression may still denote the empty language even if
+           the whole does not; an empty alternative contributes nothing,
+           so drop it rather than fail. *)
+        if Regex.is_empty_lang r1 then build r2
+        else if Regex.is_empty_lang r2 then build r1
+        else Sral.Ast.If (fresh_cond (), build r1, build r2)
+    | Regex.Cat (r1, r2) -> Sral.Ast.Seq (build r1, build r2)
+    | Regex.Star r1 ->
+        if Regex.is_empty_lang r1 then Sral.Ast.Skip
+        else Sral.Ast.While (fresh_cond (), build r1)
+  in
+  Sral.Program.normalize (build r)

@@ -1,0 +1,21 @@
+(** Constructive content of Theorem 3.1 (regular completeness): every
+    regular trace model is [traces(P)] for some SRAL program [P].
+
+    The induction of the proof is followed literally:
+    - [Sym a]     → the access [a];
+    - [Alt r1 r2] → [if c then P1 else P2];
+    - [Cat r1 r2] → [P1 ; P2];
+    - [Star r]    → [while c do P];
+    - [Eps]       → [skip].
+
+    Conditions are fresh opaque variables: the trace model of [if]/
+    [while] does not depend on the condition, so any expression works.
+    [Empty] is the one regular language with no SRAL counterpart (every
+    SRAL program has at least one trace); it is rejected. *)
+
+exception Empty_model
+(** Raised on [Regex.Empty] (and on expressions denoting the empty
+    language). *)
+
+val program : table:Symbol.table -> Regex.t -> Sral.Ast.t
+(** @raise Empty_model if the regex denotes the empty language. *)

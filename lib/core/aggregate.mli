@@ -1,0 +1,42 @@
+(** Classification and aggregation of permission bindings — the
+    paper's stated future work ("how to classify the temporal
+    permissions and aggregate their validity durations", Section 8).
+
+    Real policies accumulate several bindings touching the same
+    permission (different officers, different concerns).  Aggregation
+    merges every group of bindings with an identical permission pattern
+    into one equivalent binding:
+
+    - spatial constraints conjoin (and are {!Srac.Simplify.simplify}d)
+      — sound only where conjunction distributes over the check: the
+      history scope, and the [Forall] modality.  [Exists] program-scope
+      constraints are never merged ([∃(C₁∧C₂)] is stronger than
+      [∃C₁ ∧ ∃C₂]), nor are mixed scopes/modalities;
+    - validity durations take the minimum (the tightest budget is the
+      binding one under conjunctive semantics, for equal schemes);
+      differing schemes are refused.
+
+    [aggregate] only merges groups it can prove equivalent; the rest
+    pass through untouched, so the result always decides exactly like
+    the input (property-tested in the suite). *)
+
+type group = {
+  perm : Rbac.Perm.t;
+  members : Perm_binding.t list;  (** at least one *)
+}
+
+val classify : Perm_binding.t list -> group list
+(** Group bindings by their (exact) permission pattern, preserving
+    order of first occurrence. *)
+
+val merge_group : group -> Perm_binding.t option
+(** One equivalent binding for the group, or [None] when the members
+    are not soundly mergeable (mixed schemes, modalities or scopes). *)
+
+val aggregate : Perm_binding.t list -> Perm_binding.t list
+(** Merge every mergeable group; unmergeable groups are kept as-is.
+    The output decides exactly like the input. *)
+
+val stats : Perm_binding.t list -> int * int
+(** [(groups, merged)] — how many groups {!classify} finds and how many
+    bindings {!aggregate} returns. *)

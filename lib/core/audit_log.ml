@@ -1,0 +1,40 @@
+type entry = {
+  time : Temporal.Q.t;
+  object_id : string;
+  access : Sral.Access.t;
+  verdict : Decision.verdict;
+}
+
+type t = { mutable entries : entry list }
+(* reverse record order *)
+
+let create () = { entries = [] }
+let record log e = log.entries <- e :: log.entries
+let entries log = List.rev log.entries
+let size log = List.length log.entries
+
+let granted log =
+  List.filter (fun e -> Decision.is_granted e.verdict) (entries log)
+
+let denied log =
+  List.filter (fun e -> not (Decision.is_granted e.verdict)) (entries log)
+
+let grant_rate log =
+  let n = size log in
+  if n = 0 then 1.0
+  else float_of_int (List.length (granted log)) /. float_of_int n
+
+let by_object log id =
+  List.filter (fun e -> String.equal e.object_id id) (entries log)
+
+let by_server log server =
+  List.filter (fun e -> String.equal e.access.Sral.Access.server server) (entries log)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] %s: %a -> %a" Temporal.Q.pp e.time e.object_id
+    Sral.Access.pp e.access Decision.pp_verdict e.verdict
+
+let pp ppf log =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (entries log)

@@ -1,0 +1,26 @@
+(** Audit log of coordinated access-control decisions. *)
+
+type entry = {
+  time : Temporal.Q.t;
+  object_id : string;
+  access : Sral.Access.t;
+  verdict : Decision.verdict;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> entry -> unit
+val entries : t -> entry list
+(** In record order. *)
+
+val size : t -> int
+val granted : t -> entry list
+val denied : t -> entry list
+val grant_rate : t -> float
+(** NaN-free: 1.0 on an empty log. *)
+
+val by_object : t -> string -> entry list
+val by_server : t -> string -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

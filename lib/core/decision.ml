@@ -1,0 +1,240 @@
+module Q = Temporal.Q
+
+type reason =
+  | Rbac_denied of string
+  | Spatial_violation of { binding : string; detail : string }
+  | Temporal_expired of { binding : string; spent : Temporal.Q.t }
+  | Not_active of string
+  | Not_arrived
+
+type verdict = Granted | Denied of reason
+
+let is_granted = function Granted -> true | Denied _ -> false
+
+let pp_reason ppf = function
+  | Rbac_denied msg -> Format.fprintf ppf "rbac: %s" msg
+  | Spatial_violation { binding; detail } ->
+      Format.fprintf ppf "spatial constraint of %s: %s" binding detail
+  | Temporal_expired { binding; spent } ->
+      Format.fprintf ppf "validity of %s exhausted (spent %a)" binding Q.pp
+        spent
+  | Not_active binding ->
+      Format.fprintf ppf "permission %s is not active" binding
+  | Not_arrived -> Format.pp_print_string ppf "object has not arrived anywhere"
+
+let pp_verdict ppf = function
+  | Granted -> Format.pp_print_string ppf "granted"
+  | Denied r -> Format.fprintf ppf "denied: %a" pp_reason r
+
+(* Feasibility semantics: can the program (still) satisfy the
+   constraint?  Future accesses *will* carry execution proofs once
+   performed, so Definition 3.6's Pr_x conjunct is vacuously true here;
+   proofs bite in the history-based scope below. *)
+let program_scope_ok ~monitor ~program (binding : Perm_binding.t) c =
+  (* the check depends only on (program, constraint), both fixed for the
+     object's lifetime — memoized per binding in the monitor *)
+  Monitor.memo_spatial monitor ~key:(Perm_binding.key binding) ~program
+    (fun () ->
+      let outcome =
+        Srac.Program_sat.check ~proofs:Srac.Proof.always
+          ~modality:binding.spatial_modality program c
+      in
+      if outcome.holds then Ok ()
+      else
+        let detail =
+          match (binding.spatial_modality, outcome.witness) with
+          | Srac.Program_sat.Forall, Some t ->
+              Format.asprintf "violating trace %a" Sral.Trace.pp t
+          | _ ->
+              Format.asprintf "no execution can satisfy %a" Srac.Formula.pp c
+        in
+        Error detail)
+
+(* The history a binding consults: the object's own proofs, or —
+   for Team proof scope — the time-merged proofs of the whole team
+   ("the previous access actions of the device and even of its
+   companions"). *)
+let history ~monitor ~companions (b : Perm_binding.t) =
+  match b.Perm_binding.proof_scope with
+  | Perm_binding.Own -> Monitor.performed monitor
+  | Perm_binding.Team ->
+      let entries =
+        List.concat_map
+          (fun m -> Srac.Proof.entries (Monitor.proofs m))
+          (monitor :: companions)
+      in
+      let by_time =
+        List.stable_sort
+          (fun (e1 : Srac.Proof.entry) e2 ->
+            Temporal.Q.compare e1.Srac.Proof.time e2.Srac.Proof.time)
+          entries
+      in
+      List.map (fun (e : Srac.Proof.entry) -> e.Srac.Proof.access) by_time
+
+(* History-based half: the performed trace extended with the requested
+   access must satisfy the constraint.  Every access in that trace
+   either has a proof already or is about to get one, so Definition
+   3.6's Pr_x conjunct is vacuous here. *)
+let performed_scope_ok ~monitor ~companions ~access b c =
+  let hypothetical = history ~monitor ~companions b @ [ access ] in
+  if Srac.Trace_sat.sat ~proofs:Srac.Proof.always hypothetical c then Ok ()
+  else
+    match Srac.Trace_sat.explain ~proofs:Srac.Proof.always hypothetical c with
+    | Ok () -> Ok ()
+    | Error detail -> Error ("history: " ^ detail)
+
+let spatial_ok ~monitor ~companions ~program ~access
+    (binding : Perm_binding.t) =
+  match binding.spatial with
+  | None -> Ok ()
+  | Some c -> (
+      let program_side () = program_scope_ok ~monitor ~program binding c in
+      let performed_side () =
+        performed_scope_ok ~monitor ~companions ~access binding c
+      in
+      match binding.spatial_scope with
+      | Perm_binding.Program -> program_side ()
+      | Perm_binding.Performed -> performed_side ()
+      | Perm_binding.Both -> (
+          match program_side () with
+          | Ok () -> performed_side ()
+          | Error _ as failure -> failure))
+
+let temporal_state ~monitor ~time (binding : Perm_binding.t) =
+  let key = Perm_binding.key binding in
+  let active = Monitor.activation_fn monitor ~key in
+  match Monitor.arrivals monitor with
+  | [] -> `Not_arrived
+  | arrivals ->
+      let valid_now =
+        Temporal.Validity.is_valid_at ~scheme:binding.scheme ~arrivals
+          ~dur:binding.dur active time
+      in
+      let spent =
+        Temporal.Validity.spent ~scheme:binding.scheme ~arrivals
+          ~dur:binding.dur active ~at:time
+      in
+      if valid_now then `Valid
+      else if Temporal.Step_fn.value_at active time then `Expired spent
+      else `Inactive
+
+(* Eq. 3.1: active(perm) = role-held ∧ check(P, C).  The activation
+   state is always computed with the *program-level* check — the
+   permission is active while the program can (still) satisfy the
+   constraint — so validity time accrues from the start of the journey,
+   not from the first request.  The grant decision may additionally use
+   the history-based scope. *)
+let refresh_one ~session ~monitor ~companions ~program ~time
+    (b : Perm_binding.t) =
+  let rbac_ok =
+    Rbac.Session.may session ~operation:b.perm.Rbac.Perm.operation
+      ~target:b.perm.Rbac.Perm.target
+  in
+  let spatial_active =
+    match b.spatial with
+    | None -> true
+    | Some c -> (
+        match b.spatial_scope with
+        | Perm_binding.Program | Perm_binding.Both ->
+            Result.is_ok (program_scope_ok ~monitor ~program b c)
+        | Perm_binding.Performed ->
+            (* history scope: active while what actually happened can
+               still be extended into a satisfying trace — prohibitions
+               deactivate once violated, obligations stay active *)
+            Srac.Program_sat.prefix_feasible
+              ~performed:(history ~monitor ~companions b) c)
+  in
+  Monitor.set_active monitor ~key:(Perm_binding.key b) ~time
+    (rbac_ok && spatial_active)
+
+let refresh_activation ?(companions = []) ~session ~monitor ~bindings
+    ~program ~time () =
+  List.iter (refresh_one ~session ~monitor ~companions ~program ~time) bindings
+
+let decide ?(companions = []) ~session ~monitor ~bindings ~program ~time
+    access =
+  let rbac = Rbac.Engine.decide_access session access in
+  let applicable =
+    List.filter (fun b -> Perm_binding.applies_to b access) bindings
+  in
+  List.iter (refresh_one ~session ~monitor ~companions ~program ~time) applicable;
+  let spatial_results =
+    List.map
+      (fun b -> (b, spatial_ok ~monitor ~companions ~program ~access b))
+      applicable
+  in
+  match rbac with
+  | Rbac.Engine.Denied why -> Denied (Rbac_denied why)
+  | Rbac.Engine.Granted -> (
+      let spatial_failure =
+        List.find_map
+          (fun (b, spatial) ->
+            match spatial with
+            | Ok () -> None
+            | Error detail ->
+                Some
+                  (Spatial_violation
+                     { binding = Perm_binding.key b; detail }))
+          spatial_results
+      in
+      match spatial_failure with
+      | Some reason -> Denied reason
+      | None -> (
+          let temporal_failure =
+            List.find_map
+              (fun (b, _) ->
+                match temporal_state ~monitor ~time b with
+                | `Valid -> None
+                | `Inactive -> Some (Not_active (Perm_binding.key b))
+                | `Not_arrived -> Some Not_arrived
+                | `Expired spent ->
+                    Some
+                      (Temporal_expired
+                         { binding = Perm_binding.key b; spent }))
+              spatial_results
+          in
+          match temporal_failure with
+          | Some reason -> Denied reason
+          | None -> Granted))
+
+let validity_dc_check ~monitor ~(binding : Perm_binding.t) ~time =
+  match binding.dur with
+  | None -> true
+  | Some dur -> (
+      match Monitor.arrivals monitor with
+      | [] -> false
+      | arrivals ->
+          let key = Perm_binding.key binding in
+          let active = Monitor.activation_fn monitor ~key in
+          let valid =
+            Temporal.Validity.valid_fn ~scheme:binding.scheme ~arrivals
+              ~dur:binding.dur active
+          in
+          let base =
+            match binding.scheme with
+            | Temporal.Validity.Whole_journey -> List.hd arrivals
+            | Temporal.Validity.Per_server ->
+                List.fold_left
+                  (fun acc t -> if Q.le t time then Q.max acc t else acc)
+                  (List.hd arrivals) arrivals
+          in
+          if Q.lt time base then false
+          else
+            let interp name =
+              if String.equal name "valid" then valid
+              else invalid_arg ("unknown state variable " ^ name)
+            in
+            (* Eq. 4.1 with [<=] is satisfied at the single boundary
+               instant where the accumulated time equals [dur]; the
+               step-function solution already switched off there (the
+               budget is spent), so the agreeing DC reading is the
+               strict "budget remains" form. *)
+            let formula =
+              Temporal.Duration_calculus.Dur_cmp
+                (Temporal.State_expr.Var "valid", Temporal.Duration_calculus.Lt,
+                 dur)
+            in
+            Temporal.Duration_calculus.sat interp
+              (Temporal.Interval.make base time)
+              formula
+            && Temporal.Step_fn.value_at active time)

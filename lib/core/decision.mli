@@ -1,0 +1,71 @@
+(** The coordinated access-control decision — Eq. 3.1 ∧ Eq. 4.1.
+
+    A request is granted iff
+
+    + plain RBAC grants it: some role active in the subject's session
+      carries a matching permission ([r ∈ AR(s) ∧ perm ∈ RP(r)]);
+    + every applicable binding's spatial constraint passes
+      [check(P, C)] against the object's program and execution proofs
+      (Theorem 3.2's polynomial checker); and
+    + every applicable binding's validity duration has not been
+      exhausted: [valid(perm, t) = 1] per Eq. 4.1 under the binding's
+      base-time scheme.
+
+    The decision also maintains the permission's activation function in
+    the monitor: whenever the RBAC∧spatial state differs from the
+    recorded one, a state change is logged at the decision time — this
+    is the "event will be triggered to set valid to 0" mechanism of
+    Section 4, made explicit. *)
+
+type reason =
+  | Rbac_denied of string
+  | Spatial_violation of { binding : string; detail : string }
+  | Temporal_expired of { binding : string; spent : Temporal.Q.t }
+  | Not_active of string
+      (** the permission is not in the active state at decision time
+          (Eq. 3.1's conjunction failed earlier on this timeline) *)
+  | Not_arrived  (** no arrival recorded — object not on any server *)
+
+type verdict = Granted | Denied of reason
+
+val decide :
+  ?companions:Monitor.t list ->
+  session:Rbac.Session.t ->
+  monitor:Monitor.t ->
+  bindings:Perm_binding.t list ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  verdict
+(** Decide the access at the given time.  Inspects only bindings whose
+    permission pattern covers the access.  [companions] are the
+    monitors of the object's teammates, consulted by bindings with
+    [Team] proof scope. *)
+
+val refresh_activation :
+  ?companions:Monitor.t list ->
+  session:Rbac.Session.t ->
+  monitor:Monitor.t ->
+  bindings:Perm_binding.t list ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  unit ->
+  unit
+(** Recompute Eq. 3.1's [active(perm, ·)] for every binding at the
+    given time — call at arrival/role-activation events so validity
+    durations start burning when the permission becomes active, not
+    when it is first exercised. *)
+
+val is_granted : verdict -> bool
+val pp_reason : Format.formatter -> reason -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val validity_dc_check :
+  monitor:Monitor.t ->
+  binding:Perm_binding.t ->
+  time:Temporal.Q.t ->
+  bool
+(** Theorem 4.1, checked through the duration-calculus route: build the
+    DC constraint [∫valid ≤ dur] and decide it with
+    {!Temporal.Duration_calculus.sat} over [[t_b, t]].  Must agree with
+    the step-function route used by {!decide} (property-tested). *)

@@ -1,0 +1,113 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let verdict_fields = function
+  | Decision.Granted -> ("granted", "")
+  | Decision.Denied reason ->
+      ("denied", Format.asprintf "%a" Decision.pp_reason reason)
+
+let entry_fields (e : Audit_log.entry) =
+  let verdict, reason = verdict_fields e.Audit_log.verdict in
+  let a = e.Audit_log.access in
+  [
+    Temporal.Q.to_string e.Audit_log.time;
+    e.Audit_log.object_id;
+    Sral.Access.operation_name a.Sral.Access.op;
+    a.Sral.Access.resource;
+    a.Sral.Access.server;
+    verdict;
+    reason;
+  ]
+
+let audit_csv log =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,object,operation,resource,server,verdict,reason\n";
+  List.iter
+    (fun entry ->
+      Buffer.add_string buf
+        (String.concat "," (List.map csv_field (entry_fields entry)));
+      Buffer.add_char buf '\n')
+    (Audit_log.entries log);
+  Buffer.contents buf
+
+let json_object fields =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" k (json_escape v))
+         fields)
+  ^ "}"
+
+let audit_json log =
+  let keys =
+    [ "time"; "object"; "operation"; "resource"; "server"; "verdict"; "reason" ]
+  in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun entry -> json_object (List.combine keys (entry_fields entry)))
+         (Audit_log.entries log))
+  ^ "]"
+
+let bindings_json bindings =
+  let render (b : Perm_binding.t) =
+    json_object
+      [
+        ("permission", Rbac.Perm.to_string b.Perm_binding.perm);
+        ( "spatial",
+          match b.Perm_binding.spatial with
+          | Some c -> Srac.Formula.to_string c
+          | None -> "" );
+        ( "modality",
+          match b.Perm_binding.spatial_modality with
+          | Srac.Program_sat.Exists -> "exists"
+          | Srac.Program_sat.Forall -> "forall" );
+        ( "scope",
+          match b.Perm_binding.spatial_scope with
+          | Perm_binding.Program -> "program"
+          | Perm_binding.Performed -> "performed"
+          | Perm_binding.Both -> "both" );
+        ( "proofs",
+          match b.Perm_binding.proof_scope with
+          | Perm_binding.Own -> "own"
+          | Perm_binding.Team -> "team" );
+        ( "dur",
+          match b.Perm_binding.dur with
+          | Some d -> Temporal.Q.to_string d
+          | None -> "inf" );
+        ( "scheme",
+          match b.Perm_binding.scheme with
+          | Temporal.Validity.Whole_journey -> "journey"
+          | Temporal.Validity.Per_server -> "server" );
+      ]
+  in
+  "[" ^ String.concat "," (List.map render bindings) ^ "]"

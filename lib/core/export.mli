@@ -1,0 +1,20 @@
+(** Exports for downstream tooling: audit logs and binding inventories
+    as CSV or JSON (both hand-rendered — no dependencies). *)
+
+val audit_csv : Audit_log.t -> string
+(** Header [time,object,operation,resource,server,verdict,reason];
+    times as exact rationals; fields quoted per RFC 4180 when needed. *)
+
+val audit_json : Audit_log.t -> string
+(** A JSON array of entry objects with the same fields. *)
+
+val bindings_json : Perm_binding.t list -> string
+(** The policy's spatio-temporal bindings as a JSON array
+    (constraints rendered in SRAC concrete syntax). *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON quotes (exposed for
+    tests). *)
+
+val csv_field : string -> string
+(** RFC 4180 quoting (exposed for tests). *)

@@ -1,0 +1,88 @@
+type finding =
+  | Unsatisfiable_spatial of string
+  | Vacuous_spatial of string
+  | Dead_binding of string
+  | Role_without_permissions of string
+  | Role_unassigned of string
+  | Zero_duration of string
+
+let binding_findings policy (b : Perm_binding.t) =
+  let key = Perm_binding.key b in
+  let spatial =
+    match b.Perm_binding.spatial with
+    | None -> []
+    | Some c ->
+        if Srac.Simplify.is_trivially_false c then [ Unsatisfiable_spatial key ]
+        else if Srac.Simplify.is_trivially_true c then [ Vacuous_spatial key ]
+        else []
+  in
+  let dead =
+    let granted_somewhere =
+      List.exists
+        (fun role ->
+          List.exists
+            (fun perm -> Rbac.Perm.overlaps perm b.Perm_binding.perm)
+            (Rbac.Policy.role_permissions policy role))
+        (Rbac.Policy.roles policy)
+    in
+    if granted_somewhere then [] else [ Dead_binding key ]
+  in
+  let zero =
+    match b.Perm_binding.dur with
+    | Some d when Temporal.Q.sign d = 0 -> [ Zero_duration key ]
+    | _ -> []
+  in
+  spatial @ dead @ zero
+
+let role_findings policy =
+  let roles = Rbac.Policy.roles policy in
+  let users = Rbac.Policy.users policy in
+  List.concat_map
+    (fun role ->
+      let no_perms =
+        if Rbac.Policy.role_permissions policy role = [] then
+          [ Role_without_permissions role ]
+        else []
+      in
+      let unassigned =
+        let held_by_someone =
+          List.exists
+            (fun user ->
+              List.mem role (Rbac.Policy.authorized_roles policy user))
+            users
+        in
+        if held_by_someone then [] else [ Role_unassigned role ]
+      in
+      no_perms @ unassigned)
+    roles
+
+let check (parsed : Policy_lang.t) =
+  List.concat_map
+    (binding_findings parsed.Policy_lang.policy)
+    parsed.Policy_lang.bindings
+  @ role_findings parsed.Policy_lang.policy
+
+let pp_finding ppf = function
+  | Unsatisfiable_spatial b ->
+      Format.fprintf ppf
+        "binding %s: spatial constraint is unsatisfiable — the permission \
+         can never be granted"
+        b
+  | Vacuous_spatial b ->
+      Format.fprintf ppf
+        "binding %s: spatial constraint is trivially true — dead weight" b
+  | Dead_binding b ->
+      Format.fprintf ppf
+        "binding %s: no role grants a matching permission — binding never \
+         applies"
+        b
+  | Role_without_permissions r ->
+      Format.fprintf ppf "role %s: grants no permissions" r
+  | Role_unassigned r -> Format.fprintf ppf "role %s: assigned to no user" r
+  | Zero_duration b ->
+      Format.fprintf ppf "binding %s: validity duration is zero — permanently \
+                          expired" b
+
+let to_string findings =
+  String.concat "\n"
+    (List.map (fun f -> Format.asprintf "%a" pp_finding f) findings)

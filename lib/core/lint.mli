@@ -1,0 +1,29 @@
+(** Static policy analysis ("lint") — what a security officer wants to
+    know about a policy file before deploying it to the coalition.
+
+    All checks are conservative: a reported finding is a real defect
+    or dead weight; silence is not a proof of health. *)
+
+type finding =
+  | Unsatisfiable_spatial of string
+      (** the binding's constraint simplifies to [false]: the
+          permission can never be granted *)
+  | Vacuous_spatial of string
+      (** the constraint simplifies to [true]: the binding's spatial
+          clause is dead weight (its temporal clause may still matter) *)
+  | Dead_binding of string
+      (** no role is granted any permission overlapping the binding's
+          pattern: the binding can never apply *)
+  | Role_without_permissions of string
+      (** the role grants nothing, directly or by inheritance *)
+  | Role_unassigned of string
+      (** no user is assigned the role (directly or via a senior) *)
+  | Zero_duration of string
+      (** the binding's validity duration is 0: permanently expired *)
+
+val check : Policy_lang.t -> finding list
+(** Findings in a stable order (binding findings first, in declaration
+    order; then role findings alphabetically). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val to_string : finding list -> string

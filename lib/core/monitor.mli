@@ -1,0 +1,60 @@
+(** Per-mobile-object runtime monitor.
+
+    One monitor follows one mobile object through its journey: the
+    servers it arrived at (and when), the execution proofs of the
+    accesses it performed, and the activation history of each bound
+    permission.  It is the state both halves of the coordinated
+    decision read: the spatial checker consumes the proof store, the
+    temporal checker the activation step functions and arrival times.
+
+    Times must be fed in non-decreasing order (there is one logical
+    clock per object — its own execution timeline, Section 4's "time
+    line"); violating that raises [Invalid_argument]. *)
+
+type t
+
+val create : object_id:string -> t
+val object_id : t -> string
+val proofs : t -> Srac.Proof.store
+
+val record_arrival : t -> server:string -> time:Temporal.Q.t -> unit
+val arrivals : t -> Temporal.Q.t list
+(** Ascending arrival times; empty until the first arrival. *)
+
+val itinerary : t -> (string * Temporal.Q.t) list
+(** Servers visited with arrival times, in order. *)
+
+val current_server : t -> string option
+
+val record_access : t -> Sral.Access.t -> time:Temporal.Q.t -> unit
+(** Issues an execution proof. *)
+
+val performed : t -> Sral.Trace.t
+(** The trace performed so far, in time order. *)
+
+val set_active : t -> key:string -> time:Temporal.Q.t -> bool -> unit
+(** Record a permission-activation state change (keyed by
+    {!Perm_binding.key}).  Idempotent when the state does not change. *)
+
+val activation_fn : t -> key:string -> Temporal.Step_fn.t
+(** The permission's [active(perm, ·)] function so far; initially
+    constant-false. *)
+
+val is_active_at : t -> key:string -> Temporal.Q.t -> bool
+
+val memo_spatial :
+  t ->
+  key:string ->
+  program:Sral.Ast.t ->
+  (unit -> (unit, string) result) ->
+  (unit, string) result
+(** Memoize a program-level spatial check per binding key: the object's
+    program is fixed for its lifetime and the program-scope check does
+    not depend on runtime state, so recomputing the automata on every
+    decision is pure waste.  The cache invalidates if a different
+    program is presented under the same key. *)
+
+val now : t -> Temporal.Q.t
+(** Largest time seen so far (zero initially). *)
+
+val pp : Format.formatter -> t -> unit

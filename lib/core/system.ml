@@ -1,0 +1,72 @@
+type t = {
+  policy : Rbac.Policy.t;
+  mutable bindings : Perm_binding.t list;
+  monitors : (string, Monitor.t) Hashtbl.t;
+  teams : (string, string) Hashtbl.t;  (* object_id -> team name *)
+  log : Audit_log.t;
+}
+
+let create ?(bindings = []) policy =
+  {
+    policy;
+    bindings;
+    monitors = Hashtbl.create 8;
+    teams = Hashtbl.create 8;
+    log = Audit_log.create ();
+  }
+
+let of_policy_text text =
+  let parsed = Policy_lang.parse text in
+  create ~bindings:parsed.Policy_lang.bindings parsed.Policy_lang.policy
+
+let policy t = t.policy
+let bindings t = t.bindings
+let add_binding t b = t.bindings <- t.bindings @ [ b ]
+let log t = t.log
+
+let monitor t ~object_id =
+  match Hashtbl.find_opt t.monitors object_id with
+  | Some m -> m
+  | None ->
+      let m = Monitor.create ~object_id in
+      Hashtbl.add t.monitors object_id m;
+      m
+
+let new_session t ~user = Rbac.Session.create t.policy ~user
+
+let join_team t ~object_id ~team = Hashtbl.replace t.teams object_id team
+let team_of t ~object_id = Hashtbl.find_opt t.teams object_id
+
+let teammates t ~object_id =
+  match Hashtbl.find_opt t.teams object_id with
+  | None -> []
+  | Some team ->
+      Hashtbl.fold
+        (fun other their_team acc ->
+          if String.equal their_team team && not (String.equal other object_id)
+          then other :: acc
+          else acc)
+        t.teams []
+      |> List.sort String.compare
+
+let companions t ~object_id =
+  List.map (fun id -> monitor t ~object_id:id) (teammates t ~object_id)
+
+let check t ~session ~object_id ~program ~time access =
+  let m = monitor t ~object_id in
+  let verdict =
+    Decision.decide ~companions:(companions t ~object_id) ~session ~monitor:m
+      ~bindings:t.bindings ~program ~time access
+  in
+  Audit_log.record t.log { Audit_log.time; object_id; access; verdict };
+  (match verdict with
+  | Decision.Granted -> Monitor.record_access m access ~time
+  | Decision.Denied _ -> ());
+  verdict
+
+let arrive t ~object_id ~server ~time =
+  Monitor.record_arrival (monitor t ~object_id) ~server ~time
+
+let refresh t ~session ~object_id ~program ~time =
+  Decision.refresh_activation ~companions:(companions t ~object_id) ~session
+    ~monitor:(monitor t ~object_id) ~bindings:t.bindings ~program ~time ()

@@ -1,0 +1,58 @@
+(** Facade: a coordinated spatio-temporal access-control system.
+
+    Wires the RBAC policy, the spatio-temporal bindings, the per-object
+    monitors and the audit log into the single object a server (or the
+    Naplet emulation's security manager) consults. *)
+
+type t
+
+val create : ?bindings:Perm_binding.t list -> Rbac.Policy.t -> t
+val of_policy_text : string -> t
+(** Build from {!Policy_lang} text.  @raise Policy_lang.Error *)
+
+val policy : t -> Rbac.Policy.t
+val bindings : t -> Perm_binding.t list
+val add_binding : t -> Perm_binding.t -> unit
+val log : t -> Audit_log.t
+
+val monitor : t -> object_id:string -> Monitor.t
+(** The monitor for a mobile object, created on first use. *)
+
+val join_team : t -> object_id:string -> team:string -> unit
+(** Make the object a member of the named team; bindings with [Team]
+    proof scope then consult every member's execution proofs (the
+    introduction's "companions").  An object is in at most one team
+    (re-joining moves it). *)
+
+val team_of : t -> object_id:string -> string option
+val teammates : t -> object_id:string -> string list
+(** Other members of the object's team, sorted. *)
+
+val new_session : t -> user:string -> Rbac.Session.t
+
+val check :
+  t ->
+  session:Rbac.Session.t ->
+  object_id:string ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  Decision.verdict
+(** Decide, log the decision, and — when granted — record the execution
+    proof in the object's monitor (the server "carries out" the access
+    and issues the proof, Section 2). *)
+
+val arrive :
+  t -> object_id:string -> server:string -> time:Temporal.Q.t -> unit
+(** Record a migration arrival for the object. *)
+
+val refresh :
+  t ->
+  session:Rbac.Session.t ->
+  object_id:string ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  unit
+(** Recompute every binding's Eq. 3.1 activation state for the object —
+    call after arrival/role activation so validity durations accrue
+    from the moment permissions become active. *)

@@ -1,0 +1,48 @@
+module Q = Temporal.Q
+
+let render ?(width = 64) log =
+  match Audit_log.entries log with
+  | [] -> "(no events)"
+  | entries ->
+      let times = List.map (fun (e : Audit_log.entry) -> e.Audit_log.time) entries in
+      let t_min = List.fold_left Q.min (List.hd times) times in
+      let t_max = List.fold_left Q.max (List.hd times) times in
+      let span = Q.sub t_max t_min in
+      let column time =
+        if Q.sign span = 0 then 0
+        else
+          let ratio = Q.div (Q.sub time t_min) span in
+          let c =
+            int_of_float (Float.of_int (width - 1) *. Q.to_float ratio)
+          in
+          max 0 (min (width - 1) c)
+      in
+      let objects =
+        List.sort_uniq String.compare
+          (List.map (fun (e : Audit_log.entry) -> e.Audit_log.object_id) entries)
+      in
+      let name_width =
+        List.fold_left (fun acc o -> max acc (String.length o)) 4 objects
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  time %s .. %s\n" name_width "" (Q.to_string t_min)
+           (Q.to_string t_max));
+      List.iter
+        (fun obj ->
+          let lane = Bytes.make width '-' in
+          List.iter
+            (fun (e : Audit_log.entry) ->
+              if String.equal e.Audit_log.object_id obj then begin
+                let c = column e.Audit_log.time in
+                let mark =
+                  if Decision.is_granted e.Audit_log.verdict then 'G' else 'x'
+                in
+                (* a denial in the same cell wins *)
+                if Bytes.get lane c <> 'x' then Bytes.set lane c mark
+              end)
+            entries;
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s |%s|\n" name_width obj (Bytes.to_string lane)))
+        objects;
+      Buffer.contents buf

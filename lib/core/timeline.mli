@@ -1,0 +1,17 @@
+(** ASCII timeline rendering of an audit log — one lane per mobile
+    object, grants as [G], denials as [x], time flowing left to right.
+
+    {v
+      time 0 .......................... 26  (1 col = 1)
+      audit-naplet  |G---G--G--G---x--x-|
+      scout         |--G-----------------|
+    v}
+
+    Purely a debugging/reporting aid; the bench harness and examples
+    print these so a run's shape is visible at a glance. *)
+
+val render : ?width:int -> Audit_log.t -> string
+(** [width] (default 64) is the number of time columns.  Returns "(no
+    events)" on an empty log.  When several events of one object fall
+    into the same column, a denial wins the cell (safety-first
+    display). *)

@@ -1,0 +1,90 @@
+type digest = string (* 20 raw bytes *)
+
+(* 32-bit arithmetic on native ints, masked. *)
+let mask = 0xFFFFFFFF
+let ( &&& ) a b = a land b
+let ( ||| ) a b = a lor b
+let ( ^^^ ) a b = a lxor b
+let add32 a b = (a + b) &&& mask
+let not32 a = lnot a &&& mask
+let rotl32 x n = ((x lsl n) ||| (x lsr (32 - n))) &&& mask
+
+let digest_bytes msg =
+  let len = Bytes.length msg in
+  (* padding: 0x80, zeros, 64-bit big-endian bit length *)
+  let bit_len = Int64.of_int (len * 8) in
+  let padded_len =
+    let rem = (len + 1 + 8) mod 64 in
+    len + 1 + 8 + if rem = 0 then 0 else 64 - rem
+  in
+  let buf = Bytes.make padded_len '\000' in
+  Bytes.blit msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  for i = 0 to 7 do
+    Bytes.set buf
+      (padded_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len (8 * i)) 0xFFL)))
+  done;
+  let h0 = ref 0x67452301
+  and h1 = ref 0xEFCDAB89
+  and h2 = ref 0x98BADCFE
+  and h3 = ref 0x10325476
+  and h4 = ref 0xC3D2E1F0 in
+  let w = Array.make 80 0 in
+  let blocks = padded_len / 64 in
+  for block = 0 to blocks - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let b i = Char.code (Bytes.get buf (base + (4 * t) + i)) in
+      w.(t) <- (b 0 lsl 24) ||| (b 1 lsl 16) ||| (b 2 lsl 8) ||| b 3
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl32 (w.(t - 3) ^^^ w.(t - 8) ^^^ w.(t - 14) ^^^ w.(t - 16)) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then ((!b &&& !c) ||| (not32 !b &&& !d), 0x5A827999)
+        else if t < 40 then (!b ^^^ !c ^^^ !d, 0x6ED9EBA1)
+        else if t < 60 then
+          ((!b &&& !c) ||| (!b &&& !d) ||| (!c &&& !d), 0x8F1BBCDC)
+        else (!b ^^^ !c ^^^ !d, 0xCA62C1D6)
+      in
+      let temp = add32 (add32 (add32 (add32 (rotl32 !a 5) f) !e) w.(t)) k in
+      e := !d;
+      d := !c;
+      c := rotl32 !b 30;
+      b := !a;
+      a := temp
+    done;
+    h0 := add32 !h0 !a;
+    h1 := add32 !h1 !b;
+    h2 := add32 !h2 !c;
+    h3 := add32 !h3 !d;
+    h4 := add32 !h4 !e
+  done;
+  let out = Bytes.create 20 in
+  let put i h =
+    Bytes.set out (4 * i) (Char.chr ((h lsr 24) &&& 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((h lsr 16) &&& 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((h lsr 8) &&& 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (h &&& 0xFF))
+  in
+  put 0 !h0;
+  put 1 !h1;
+  put 2 !h2;
+  put 3 !h3;
+  put 4 !h4;
+  Bytes.to_string out
+
+let digest_string s = digest_bytes (Bytes.of_string s)
+
+let to_hex d =
+  let buf = Buffer.create 40 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let to_raw d = d
+let equal = String.equal
+let pp ppf d = Format.pp_print_string ppf (to_hex d)
+let hex_of_string s = to_hex (digest_string s)

@@ -1,0 +1,26 @@
+(** SHA-1 (FIPS 180-1), implemented from scratch.
+
+    The Section 6 integrity-audit scenario has the mobile code hash
+    software modules with "some hash algorithm, e.g. SHA-1"; this is
+    that algorithm (verified against the FIPS test vectors in the
+    suite).  SHA-1 is used here as the paper used it — an integrity
+    fingerprint inside a trusted coalition — not as a
+    collision-resistant primitive for new designs. *)
+
+type digest
+(** 20 bytes. *)
+
+val digest_string : string -> digest
+val digest_bytes : bytes -> digest
+
+val to_hex : digest -> string
+(** 40 lowercase hex characters. *)
+
+val to_raw : digest -> string
+(** The 20 raw bytes. *)
+
+val equal : digest -> digest -> bool
+val pp : Format.formatter -> digest -> unit
+
+val hex_of_string : string -> string
+(** [to_hex (digest_string s)]. *)

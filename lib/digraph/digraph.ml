@@ -1,0 +1,215 @@
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+
+type t = { mutable succ : String_set.t String_map.t }
+
+let create () = { succ = String_map.empty }
+
+let add_vertex g v =
+  if not (String_map.mem v g.succ) then
+    g.succ <- String_map.add v String_set.empty g.succ
+
+let add_edge g u v =
+  add_vertex g u;
+  add_vertex g v;
+  g.succ <-
+    String_map.update u
+      (function
+        | Some set -> Some (String_set.add v set)
+        | None -> Some (String_set.singleton v))
+      g.succ
+
+let of_edges edges =
+  let g = create () in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let vertices g = List.map fst (String_map.bindings g.succ)
+
+let edges g =
+  List.concat_map
+    (fun (u, set) -> List.map (fun v -> (u, v)) (String_set.elements set))
+    (String_map.bindings g.succ)
+
+let mem_vertex g v = String_map.mem v g.succ
+
+let successors g v =
+  match String_map.find_opt v g.succ with
+  | Some set -> String_set.elements set
+  | None -> []
+
+let mem_edge g u v = List.mem v (successors g u)
+
+let predecessors g v =
+  List.filter_map
+    (fun (u, set) -> if String_set.mem v set then Some u else None)
+    (String_map.bindings g.succ)
+
+let out_degree g v = List.length (successors g v)
+let in_degree g v = List.length (predecessors g v)
+let vertex_count g = String_map.cardinal g.succ
+let edge_count g = List.length (edges g)
+
+let topological_sort g =
+  let in_deg =
+    List.fold_left
+      (fun m (_, v) ->
+        String_map.update v
+          (function Some d -> Some (d + 1) | None -> Some 1)
+          m)
+      (String_map.map (fun _ -> 0) g.succ)
+      (edges g)
+  in
+  (* Kahn with an ordered "ready" set for determinism *)
+  let ready =
+    String_map.fold
+      (fun v d acc -> if d = 0 then String_set.add v acc else acc)
+      in_deg String_set.empty
+  in
+  let rec loop ready in_deg acc =
+    match String_set.min_elt_opt ready with
+    | None -> List.rev acc
+    | Some v ->
+        let ready = String_set.remove v ready in
+        let ready, in_deg =
+          List.fold_left
+            (fun (ready, in_deg) w ->
+              let d = String_map.find w in_deg - 1 in
+              let in_deg = String_map.add w d in_deg in
+              if d = 0 then (String_set.add w ready, in_deg)
+              else (ready, in_deg))
+            (ready, in_deg) (successors g v)
+        in
+        loop ready in_deg (v :: acc)
+  in
+  let order = loop ready in_deg [] in
+  if List.length order = vertex_count g then Some order else None
+
+let is_dag g = topological_sort g <> None
+
+let sccs g =
+  (* Tarjan, iterative-enough for our sizes (recursive with the stack
+     depth bounded by vertex count). *)
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := List.sort String.compare (pop []) :: !components
+    end
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem index v) then strongconnect v)
+    (vertices g);
+  List.rev !components
+
+let reachable_from g v =
+  if not (mem_vertex g v) then []
+  else begin
+    let seen = Hashtbl.create 16 in
+    let rec visit u =
+      if not (Hashtbl.mem seen u) then begin
+        Hashtbl.replace seen u ();
+        List.iter visit (successors g u)
+      end
+    in
+    visit v;
+    List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+  end
+
+let transitive_closure g =
+  let closure = create () in
+  List.iter
+    (fun v ->
+      add_vertex closure v;
+      List.iter
+        (fun w -> if not (String.equal v w) then add_edge closure v w)
+        (reachable_from g v))
+    (vertices g);
+  closure
+
+let reverse g =
+  let r = create () in
+  List.iter (add_vertex r) (vertices g);
+  List.iter (fun (u, v) -> add_edge r v u) (edges g);
+  r
+
+let to_dot ?(name = "g") ?(vertex_attr = fun _ -> None) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun v ->
+      match vertex_attr v with
+      | Some attr -> Buffer.add_string buf (Printf.sprintf "  %S [%s];\n" v attr)
+      | None -> Buffer.add_string buf (Printf.sprintf "  %S;\n" v))
+    (vertices g);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %S -> %S;\n" u v))
+    (edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d vertices, %d edges@," (vertex_count g)
+    (edge_count g);
+  List.iter
+    (fun (u, v) -> Format.fprintf ppf "  %s -> %s@," u v)
+    (edges g);
+  Format.fprintf ppf "@]"
+
+let random_dag ~vertices:vs ~edge_prob rng =
+  let g = create () in
+  List.iter (add_vertex g) vs;
+  let arr = Array.of_list vs in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < edge_prob then add_edge g arr.(i) arr.(j)
+    done
+  done;
+  g
+
+let layered ~layers ~width ~fanout rng =
+  let g = create () in
+  let name l i = Printf.sprintf "m%d_%d" l i in
+  for l = 0 to layers - 1 do
+    for i = 0 to width - 1 do
+      add_vertex g (name l i)
+    done
+  done;
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      let deps = 1 + Random.State.int rng (max 1 fanout) in
+      for _ = 1 to deps do
+        add_edge g (name l i) (name (l + 1) (Random.State.int rng width))
+      done
+    done
+  done;
+  g

@@ -1,0 +1,72 @@
+(** Directed graphs with string-labelled vertices.
+
+    Substrate for the Section 6 scenario: the module-dependency digraph
+    of Figure 1, where an edge [A -> D] means module [A] depends on
+    module [D].  General enough for itineraries and role hierarchies
+    too. *)
+
+type t
+
+val create : unit -> t
+
+val add_vertex : t -> string -> unit
+(** Idempotent. *)
+
+val add_edge : t -> string -> string -> unit
+(** Adds missing endpoints; idempotent on duplicate edges. *)
+
+val of_edges : (string * string) list -> t
+val vertices : t -> string list
+(** Sorted. *)
+
+val edges : t -> (string * string) list
+(** Sorted lexicographically. *)
+
+val mem_vertex : t -> string -> bool
+val mem_edge : t -> string -> string -> bool
+val successors : t -> string -> string list
+(** Sorted; empty for unknown vertices. *)
+
+val predecessors : t -> string -> string list
+val out_degree : t -> string -> int
+val in_degree : t -> string -> int
+val vertex_count : t -> int
+val edge_count : t -> int
+
+val topological_sort : t -> string list option
+(** [None] when the graph has a cycle.  Deterministic (ties broken
+    alphabetically, Kahn's algorithm). *)
+
+val is_dag : t -> bool
+
+val sccs : t -> string list list
+(** Strongly connected components (Tarjan), each sorted, in reverse
+    topological order of the condensation. *)
+
+val reachable_from : t -> string -> string list
+(** Vertices reachable from the given vertex (including itself if
+    present), sorted. *)
+
+val transitive_closure : t -> t
+
+val reverse : t -> t
+
+val to_dot : ?name:string -> ?vertex_attr:(string -> string option) -> t -> string
+(** GraphViz rendering; [vertex_attr v] may contribute an attribute
+    string such as ["color=red"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Generators} (seeded, for tests and benchmark workloads) *)
+
+val random_dag :
+  vertices:string list -> edge_prob:float -> Random.State.t -> t
+(** Random DAG: each forward pair (in list order) becomes an edge with
+    probability [edge_prob], so the input order is a topological
+    order. *)
+
+val layered :
+  layers:int -> width:int -> fanout:int -> Random.State.t -> t
+(** Layered DAG shaped like a software-module dependency graph:
+    vertices [m<layer>_<i>]; each vertex depends on up to [fanout]
+    vertices of the next layer. *)

@@ -1,0 +1,41 @@
+type status =
+  | Running
+  | Waiting
+  | Completed of Temporal.Q.t
+  | Aborted of string
+
+type t = {
+  id : string;
+  owner : string;
+  roles : string list;
+  home : string;
+  program : Sral.Ast.t;
+  machine : Machine.t;
+  mutable location : string option;
+  mutable status : status;
+}
+
+let make ~id ~owner ~roles ~home ?fuel program =
+  {
+    id;
+    owner;
+    roles;
+    home;
+    program;
+    machine = Machine.create ?fuel program;
+    location = None;
+    status = Running;
+  }
+
+let is_live a = match a.status with Running | Waiting -> true | _ -> false
+
+let pp_status ppf = function
+  | Running -> Format.pp_print_string ppf "running"
+  | Waiting -> Format.pp_print_string ppf "waiting"
+  | Completed t -> Format.fprintf ppf "completed at %a" Temporal.Q.pp t
+  | Aborted why -> Format.fprintf ppf "aborted: %s" why
+
+let pp ppf a =
+  Format.fprintf ppf "naplet %s (owner %s, at %s): %a" a.id a.owner
+    (match a.location with Some s -> s | None -> "<dispatch>")
+    pp_status a.status

@@ -1,0 +1,35 @@
+(** A Naplet: one mobile software agent emulating a mobile device.
+
+    Carries its owner's identity (the authenticated subject), the
+    roles it travels with, its SRAL program (compiled to a running
+    {!Machine}) and its current location. *)
+
+type status =
+  | Running
+  | Waiting  (** all threads blocked on channels/signals *)
+  | Completed of Temporal.Q.t  (** completion time *)
+  | Aborted of string
+
+type t = {
+  id : string;
+  owner : string;
+  roles : string list;
+  home : string;  (** dispatch server *)
+  program : Sral.Ast.t;
+  machine : Machine.t;
+  mutable location : string option;
+  mutable status : status;
+}
+
+val make :
+  id:string ->
+  owner:string ->
+  roles:string list ->
+  home:string ->
+  ?fuel:int ->
+  Sral.Ast.t ->
+  t
+
+val is_live : t -> bool
+val pp_status : Format.formatter -> status -> unit
+val pp : Format.formatter -> t -> unit

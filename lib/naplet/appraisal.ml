@@ -1,0 +1,35 @@
+type lookup = string -> Sral.Value.t option
+
+type verdict = Sound | Corrupted of string
+
+type invariant = { name : string; holds : lookup -> bool }
+
+type t = { mutable invariants : invariant list (* reverse order *) }
+
+let create () = { invariants = [] }
+
+let add_invariant t ~name holds = t.invariants <- { name; holds } :: t.invariants
+
+let appraise t lookup =
+  let rec check = function
+    | [] -> Sound
+    | inv :: rest ->
+        let ok = try inv.holds lookup with _ -> false in
+        if ok then check rest else Corrupted inv.name
+  in
+  check (List.rev t.invariants)
+
+let invariant_count t = List.length t.invariants
+
+let var_bounds ~name ~var ~min ~max t =
+  add_invariant t ~name (fun lookup ->
+      match lookup var with
+      | None -> true
+      | Some (Sral.Value.Int i) -> min <= i && i <= max
+      | Some (Sral.Value.Bool _) -> false)
+
+let var_is_bool ~name ~var t =
+  add_invariant t ~name (fun lookup ->
+      match lookup var with
+      | None | Some (Sral.Value.Bool _) -> true
+      | Some (Sral.Value.Int _) -> false)

@@ -1,0 +1,37 @@
+(** State appraisal — the Farmer et al. mechanism of the related work
+    (Section 7): "an agent with corrupted states won't be granted any
+    privilege".
+
+    An appraisal is a set of named invariants over the agent's variable
+    state.  Servers appraise an agent when it arrives (and when it is
+    first dispatched); an agent failing any invariant is quarantined —
+    aborted before it can request a single access.  Complements the
+    spatio-temporal checks: those constrain *what* an agent does, the
+    appraisal constrains *what it has become*. *)
+
+type lookup = string -> Sral.Value.t option
+(** Read access to the agent's variables. *)
+
+type verdict = Sound | Corrupted of string
+(** [Corrupted name] carries the violated invariant's name. *)
+
+type t
+
+val create : unit -> t
+
+val add_invariant : t -> name:string -> (lookup -> bool) -> unit
+(** Invariants are checked in registration order; the first failure
+    wins.  An invariant that raises is treated as failed (a malformed
+    state must not crash the server). *)
+
+val appraise : t -> lookup -> verdict
+val invariant_count : t -> int
+
+(** {2 Common invariants} *)
+
+val var_bounds : name:string -> var:string -> min:int -> max:int -> t -> unit
+(** The variable, when bound, must be an integer within [[min, max]].
+    An unbound variable passes (the agent may not have reached that
+    part of its program yet). *)
+
+val var_is_bool : name:string -> var:string -> t -> unit

@@ -1,0 +1,36 @@
+type waiter = { agent : string; thread : int }
+
+type state = { values : Sral.Value.t Queue.t; mutable waiters : waiter list }
+
+type t = (string, state) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let state t chan =
+  match Hashtbl.find_opt t chan with
+  | Some st -> st
+  | None ->
+      let st = { values = Queue.create (); waiters = [] } in
+      Hashtbl.add t chan st;
+      st
+
+let send t ~chan v =
+  let st = state t chan in
+  Queue.add v st.values;
+  let to_wake = List.rev st.waiters in
+  st.waiters <- [];
+  to_wake
+
+let try_recv t ~chan =
+  let st = state t chan in
+  Queue.take_opt st.values
+
+let park t ~chan waiter =
+  let st = state t chan in
+  st.waiters <- waiter :: st.waiters
+
+let depth t ~chan = Queue.length (state t chan).values
+let waiting t ~chan = List.length (state t chan).waiters
+
+let channels t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

@@ -1,0 +1,27 @@
+(** The coalition's reliable agent-communication channels.
+
+    SRAL's [ch ? x] receives (blocking on an empty channel) and
+    [ch ! e] appends a value and wakes waiting receivers (Definition
+    3.1's semantics).  Channels are named and global to the coalition,
+    mirroring Naplet's reliable communication mechanism. *)
+
+type waiter = { agent : string; thread : int }
+type t
+
+val create : unit -> t
+
+val send : t -> chan:string -> Sral.Value.t -> waiter list
+(** Append the value; returns (and clears) the receivers to wake. *)
+
+val try_recv : t -> chan:string -> Sral.Value.t option
+(** Pop the oldest value if any. *)
+
+val park : t -> chan:string -> waiter -> unit
+(** Register a blocked receiver. *)
+
+val depth : t -> chan:string -> int
+(** Queued values. *)
+
+val waiting : t -> chan:string -> int
+val channels : t -> string list
+(** Channels ever used, sorted. *)

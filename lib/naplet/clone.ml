@@ -1,0 +1,80 @@
+type clone = {
+  id : string;
+  team : string;
+  share : Sral.Access.t list;
+  program : Sral.Ast.t;
+}
+
+let default_channel team = team ^ ".report"
+
+(* count completed accesses in a variable, then send it home; a
+   guarded-out access is neither performed nor counted *)
+let clone_program ~guard ~channel share =
+  let counter = "completed" in
+  let increment =
+    Sral.Ast.Assign
+      ( counter,
+        Sral.Expr.Binop (Sral.Expr.Add, Sral.Expr.Var counter, Sral.Expr.Int 1)
+      )
+  in
+  let step access =
+    let perform = Sral.Ast.Seq (Sral.Ast.Access access, increment) in
+    match guard with
+    | None -> perform
+    | Some g -> Sral.Ast.If (g, perform, Sral.Ast.Skip)
+  in
+  Sral.Ast.seq
+    ((Sral.Ast.Assign (counter, Sral.Expr.Int 0) :: List.map step share)
+    @ [ Sral.Ast.Send (channel, Sral.Expr.Var counter) ])
+
+let plan ?guard ?report_channel ~team ~clones accesses =
+  if clones < 1 then invalid_arg "Clone.plan: clones < 1";
+  let channel =
+    match report_channel with Some c -> c | None -> default_channel team
+  in
+  let n = List.length accesses in
+  let per = max 1 ((n + clones - 1) / clones) in
+  let rec take k = function
+    | x :: rest when k > 0 ->
+        let taken, rest = take (k - 1) rest in
+        (x :: taken, rest)
+    | rest -> ([], rest)
+  in
+  let rec shares l = match l with [] -> [] | _ ->
+    let share, rest = take per l in
+    share :: shares rest
+  in
+  List.mapi
+    (fun i share ->
+      {
+        id = Printf.sprintf "%s-clone-%d" team (i + 1);
+        team;
+        share;
+        program = clone_program ~guard ~channel share;
+      })
+    (shares accesses)
+
+let collector_program ?report_channel ~team k =
+  let channel =
+    match report_channel with Some c -> c | None -> default_channel team
+  in
+  Sral.Ast.seq
+    (Sral.Ast.Assign ("total", Sral.Expr.Int 0)
+    :: List.concat_map
+         (fun i ->
+           let v = Printf.sprintf "part%d" i in
+           [
+             Sral.Ast.Recv (channel, v);
+             Sral.Ast.Assign
+               ( "total",
+                 Sral.Expr.Binop
+                   (Sral.Expr.Add, Sral.Expr.Var "total", Sral.Expr.Var v) );
+           ])
+         (List.init k (fun i -> i + 1)))
+
+let spawn_all world ~owner ~roles ~home clones =
+  List.iter
+    (fun clone ->
+      World.spawn world ~team:clone.team ~id:clone.id ~owner ~roles ~home
+        clone.program)
+    clones

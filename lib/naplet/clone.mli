@@ -1,0 +1,48 @@
+(** The [ApplAgentProg] pattern of Section 5.2.
+
+    The paper's example class dispatches [k] cloned naplets, each
+    taking an equal share of an access list, each running a guard
+    before each access and reporting its results home at the end.
+    This module builds those clone programs from an access list:
+
+    - each clone receives a [Seq] program over its share;
+    - the guard is a pre-condition expression evaluated before each
+      access ([if guard then {access} else {skip}] — the [Checkable]
+      object of the paper's listing);
+    - reporting home is a channel send of the clone's completed-access
+      count on a per-team channel ([Observable] / [ResultReport]);
+    - all clones join one naplet team, so team-scoped bindings see the
+      union of their proofs. *)
+
+type clone = {
+  id : string;
+  team : string;
+  share : Sral.Access.t list;  (** this clone's slice, in order *)
+  program : Sral.Ast.t;
+}
+
+val plan :
+  ?guard:Sral.Expr.t ->
+  ?report_channel:string ->
+  team:string ->
+  clones:int ->
+  Sral.Access.t list ->
+  clone list
+(** Split the access list into [clones] near-equal contiguous shares
+    (the paper's "equal share of the servers").  Clone ids are
+    ["<team>-clone-<i>"].  Empty shares produce no clone.
+    @raise Invalid_argument if [clones < 1]. *)
+
+val collector_program : ?report_channel:string -> team:string -> int -> Sral.Ast.t
+(** A home agent that receives one report per clone ([k] receives on
+    the team's report channel) — dispatch it alongside the clones to
+    model the "report their results to home" step. *)
+
+val spawn_all :
+  World.t ->
+  owner:string ->
+  roles:string list ->
+  home:string ->
+  clone list ->
+  unit
+(** Spawn every clone into the world, as members of their team. *)

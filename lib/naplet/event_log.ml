@@ -1,0 +1,46 @@
+type kind =
+  | Spawned of { home : string }
+  | Migrated of { from_ : string; to_ : string }
+  | Access_granted of Sral.Access.t
+  | Access_denied of Sral.Access.t * string
+  | Message_sent of string
+  | Message_received of string
+  | Signal_raised of string
+  | Completed
+  | Aborted of string
+  | Deadlocked
+
+type event = { time : Temporal.Q.t; agent : string; kind : kind }
+
+type t = { mutable events : event list (* reverse order *) }
+
+let create () = { events = [] }
+
+let record t ~time ~agent kind =
+  t.events <- { time; agent; kind } :: t.events
+
+let events t = List.rev t.events
+let for_agent t agent = List.filter (fun e -> String.equal e.agent agent) (events t)
+let size t = List.length t.events
+let count t pred = List.length (List.filter (fun e -> pred e.kind) (events t))
+
+let pp_kind ppf = function
+  | Spawned { home } -> Format.fprintf ppf "spawned at %s" home
+  | Migrated { from_; to_ } -> Format.fprintf ppf "migrated %s -> %s" from_ to_
+  | Access_granted a -> Format.fprintf ppf "granted %a" Sral.Access.pp a
+  | Access_denied (a, why) ->
+      Format.fprintf ppf "denied %a (%s)" Sral.Access.pp a why
+  | Message_sent ch -> Format.fprintf ppf "sent on %s" ch
+  | Message_received ch -> Format.fprintf ppf "received on %s" ch
+  | Signal_raised x -> Format.fprintf ppf "raised %s" x
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Aborted why -> Format.fprintf ppf "aborted (%s)" why
+  | Deadlocked -> Format.pp_print_string ppf "deadlocked"
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a] %s: %a" Temporal.Q.pp e.time e.agent pp_kind e.kind
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event)
+    (events t)

@@ -1,0 +1,36 @@
+(** Full event log of a world run — every agent lifecycle step, not
+    just access decisions (those live in the coordinated audit log).
+    The log is what Naplet's "mechanisms for agent monitoring" boil
+    down to: a deterministic, timestamped record a run can be replayed
+    and debugged from. *)
+
+type kind =
+  | Spawned of { home : string }
+  | Migrated of { from_ : string; to_ : string }
+  | Access_granted of Sral.Access.t
+  | Access_denied of Sral.Access.t * string  (** reason *)
+  | Message_sent of string  (** channel *)
+  | Message_received of string
+  | Signal_raised of string
+  | Completed
+  | Aborted of string
+  | Deadlocked
+
+type event = { time : Temporal.Q.t; agent : string; kind : kind }
+
+type t
+
+val create : unit -> t
+val record : t -> time:Temporal.Q.t -> agent:string -> kind -> unit
+val events : t -> event list
+(** In record order. *)
+
+val for_agent : t -> string -> event list
+val size : t -> int
+
+val count : t -> (kind -> bool) -> int
+(** Events whose kind satisfies the predicate. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type t =
+  | Visit of string
+  | Seq of t list
+  | Alt of t list
+  | Par of t list
+
+let servers it =
+  let rec collect acc = function
+    | Visit s -> s :: acc
+    | Seq parts | Alt parts | Par parts -> List.fold_left collect acc parts
+  in
+  List.sort_uniq String.compare (collect [] it)
+
+let linearize ?(choose = fun _ -> 0) it =
+  let rec walk = function
+    | Visit s -> [ s ]
+    | Seq parts | Par parts -> List.concat_map walk parts
+    | Alt [] -> []
+    | Alt parts ->
+        let n = List.length parts in
+        let i = choose n in
+        if i < 0 || i >= n then invalid_arg "Itinerary.linearize: bad choice"
+        else walk (List.nth parts i)
+  in
+  walk it
+
+let to_program ~task it =
+  let rec build = function
+    | Visit s -> task s
+    | Seq parts -> Sral.Ast.seq (List.map build parts)
+    | Par parts -> Sral.Ast.par (List.map build parts)
+    | Alt [] -> Sral.Ast.Skip
+    | Alt [ only ] -> build only
+    | Alt (first :: rest) ->
+        (* condition is opaque at the trace-model level *)
+        Sral.Ast.If (Sral.Expr.Var "route", build first, build (Alt rest))
+  in
+  build it
+
+let shard it ~clones =
+  if clones < 1 then invalid_arg "Itinerary.shard: clones < 1";
+  let stops = linearize it in
+  let n = List.length stops in
+  let per = max 1 ((n + clones - 1) / clones) in
+  let rec chunks l =
+    match l with
+    | [] -> []
+    | _ ->
+        let rec take k = function
+          | x :: rest when k > 0 ->
+              let taken, rest = take (k - 1) rest in
+              (x :: taken, rest)
+          | rest -> ([], rest)
+        in
+        let chunk, rest = take per l in
+        Seq (List.map (fun s -> Visit s) chunk) :: chunks rest
+  in
+  chunks stops
+
+let rec pp ppf = function
+  | Visit s -> Format.pp_print_string ppf s
+  | Seq parts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+           pp)
+        parts
+  | Alt parts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+           pp)
+        parts
+  | Par parts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " # ")
+           pp)
+        parts

@@ -1,0 +1,35 @@
+(** Structured navigation — Naplet's itinerary facility.
+
+    An itinerary is the roaming agenda of a mobile device: which
+    servers to visit and in what structure.  [Seq] visits in order,
+    [Alt] picks one alternative, [Par] corresponds to cloned agents
+    covering branches concurrently (Section 5's [ApplAgentProg]
+    pattern). *)
+
+type t =
+  | Visit of string
+  | Seq of t list
+  | Alt of t list
+  | Par of t list
+
+val servers : t -> string list
+(** All servers mentioned, sorted distinct. *)
+
+val linearize : ?choose:(int -> int) -> t -> string list
+(** One concrete visiting order: [Alt]s resolved by [choose n] (an
+    index below [n], default 0); [Par] branches concatenated (a single
+    agent walks them in order). *)
+
+val to_program : task:(string -> Sral.Ast.t) -> t -> Sral.Ast.t
+(** Compile the itinerary into an SRAL program, performing [task s] at
+    each visited server — [Seq]→[;], [Alt]→[if], [Par]→[||].  This is
+    the recursive access-pattern construction of Section 5.2
+    (Singleton/SeqPattern/ParPattern). *)
+
+val shard : t -> clones:int -> t list
+(** Split a [Seq] itinerary into [clones] near-equal sub-itineraries —
+    the [ApplAgentProg] pattern of [k] cloned naplets each taking an
+    equal share of the servers.
+    @raise Invalid_argument if [clones < 1]. *)
+
+val pp : Format.formatter -> t -> unit

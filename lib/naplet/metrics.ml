@@ -1,0 +1,61 @@
+type t = {
+  mutable granted : int;
+  mutable denied : int;
+  mutable denied_rbac : int;
+  mutable denied_spatial : int;
+  mutable denied_temporal : int;
+  mutable migrations : int;
+  mutable messages : int;
+  mutable signals : int;
+  mutable completed_agents : int;
+  mutable aborted_agents : int;
+  mutable deadlocked_agents : int;
+  mutable end_time : Temporal.Q.t;
+  per_server : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    granted = 0;
+    denied = 0;
+    denied_rbac = 0;
+    denied_spatial = 0;
+    denied_temporal = 0;
+    migrations = 0;
+    messages = 0;
+    signals = 0;
+    completed_agents = 0;
+    aborted_agents = 0;
+    deadlocked_agents = 0;
+    end_time = Temporal.Q.zero;
+    per_server = Hashtbl.create 8;
+  }
+
+let record_server m server =
+  let current =
+    match Hashtbl.find_opt m.per_server server with Some n -> n | None -> 0
+  in
+  Hashtbl.replace m.per_server server (current + 1)
+
+let server_counts m =
+  List.sort
+    (fun (s1, _) (s2, _) -> String.compare s1 s2)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.per_server [])
+
+let total_accesses m = m.granted + m.denied
+
+let grant_rate m =
+  let n = total_accesses m in
+  if n = 0 then 1.0 else float_of_int m.granted /. float_of_int n
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>accesses: %d granted, %d denied (rate %.2f; rbac %d, spatial %d, \
+     temporal %d)@,\
+     migrations: %d, messages: %d, signals: %d@,\
+     agents: %d completed, %d aborted, %d deadlocked@,\
+     simulated time: %a@]"
+    m.granted m.denied (grant_rate m) m.denied_rbac m.denied_spatial
+    m.denied_temporal m.migrations m.messages m.signals
+    m.completed_agents m.aborted_agents m.deadlocked_agents Temporal.Q.pp
+    m.end_time

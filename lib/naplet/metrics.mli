@@ -1,0 +1,26 @@
+(** Simulation metrics. *)
+
+type t = {
+  mutable granted : int;
+  mutable denied : int;
+  mutable denied_rbac : int;
+  mutable denied_spatial : int;
+  mutable denied_temporal : int;
+  mutable migrations : int;
+  mutable messages : int;  (** channel sends *)
+  mutable signals : int;
+  mutable completed_agents : int;
+  mutable aborted_agents : int;
+  mutable deadlocked_agents : int;
+  mutable end_time : Temporal.Q.t;
+  per_server : (string, int) Hashtbl.t;  (** granted accesses by server *)
+}
+
+val create : unit -> t
+val record_server : t -> string -> unit
+val server_counts : t -> (string * int) list
+(** Sorted by server name. *)
+
+val total_accesses : t -> int
+val grant_rate : t -> float
+val pp : Format.formatter -> t -> unit

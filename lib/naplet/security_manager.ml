@@ -1,0 +1,33 @@
+type t = {
+  control : Coordinated.System.t;
+  sessions : (string, Rbac.Session.t) Hashtbl.t;
+}
+
+let create control = { control; sessions = Hashtbl.create 8 }
+let control t = t.control
+
+let on_arrival t ~object_id ~owner ~roles ~server ~time ~program =
+  let session =
+    match Hashtbl.find_opt t.sessions object_id with
+    | Some s -> s
+    | None ->
+        let s = Coordinated.System.new_session t.control ~user:owner in
+        Hashtbl.add t.sessions object_id s;
+        s
+  in
+  List.iter
+    (fun r ->
+      try Rbac.Session.activate session r with
+      | Rbac.Session.Not_authorized _ | Rbac.Session.Dsd_violation _ -> ())
+    roles;
+  Coordinated.System.arrive t.control ~object_id ~server ~time;
+  Coordinated.System.refresh t.control ~session ~object_id ~program ~time;
+  session
+
+let check t ~object_id ~program ~time access =
+  match Hashtbl.find_opt t.sessions object_id with
+  | None -> invalid_arg ("Security_manager.check: unknown object " ^ object_id)
+  | Some session ->
+      Coordinated.System.check t.control ~session ~object_id ~program ~time access
+
+let session t ~object_id = Hashtbl.find_opt t.sessions object_id

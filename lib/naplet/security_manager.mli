@@ -1,0 +1,39 @@
+(** The NapletSecurityManager analog.
+
+    Every access request of every agent passes through [check], which
+    mirrors Section 5.2's [checkPermission]: identify the subject,
+    run the spatial-constraint check and the temporal-constraint check
+    through the coordinated model, and grant or raise.  Arrival hooks
+    perform authentication + role activation ("the naplet server
+    delegates the naplet execution to the subject of the naplet
+    itself"). *)
+
+type t
+
+val create : Coordinated.System.t -> t
+val control : t -> Coordinated.System.t
+
+val on_arrival :
+  t ->
+  object_id:string ->
+  owner:string ->
+  roles:string list ->
+  server:string ->
+  time:Temporal.Q.t ->
+  program:Sral.Ast.t ->
+  Rbac.Session.t
+(** Authenticate the agent's owner, create/reuse its session, activate
+    the requested roles (silently skipping ones the owner is not
+    authorized for — they simply yield later denials) and record the
+    arrival.  Returns the session. *)
+
+val check :
+  t ->
+  object_id:string ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  Coordinated.Decision.verdict
+(** @raise Invalid_argument if the object never arrived (no session). *)
+
+val session : t -> object_id:string -> Rbac.Session.t option

@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  access_duration : Temporal.Q.t;
+  capacity : int;
+  mutable slots : Temporal.Q.t list;  (* end times of busy slots *)
+  store : (string, string) Hashtbl.t;
+  mutable serviced : int;
+}
+
+let create ?(access_duration = Temporal.Q.one) ?(capacity = 1) name =
+  if capacity < 1 then invalid_arg "Server.create: capacity < 1";
+  {
+    name;
+    access_duration;
+    capacity;
+    slots = [];
+    store = Hashtbl.create 8;
+    serviced = 0;
+  }
+
+let name s = s.name
+let access_duration s = s.access_duration
+let put_resource s ~name ~contents = Hashtbl.replace s.store name contents
+let get_resource s ~name = Hashtbl.find_opt s.store name
+let has_resource s ~name = Hashtbl.mem s.store name
+
+let resources s =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) s.store [])
+
+let capacity s = s.capacity
+
+(* keep only still-busy slots, sorted by end time *)
+let live_slots s ~now =
+  List.sort Temporal.Q.compare
+    (List.filter (fun t -> Temporal.Q.gt t now) s.slots)
+
+let busy_until s ~now =
+  let live = live_slots s ~now in
+  if List.length live < s.capacity then now
+  else
+    (* all slots busy: the earliest to free admits the next request *)
+    List.nth live (List.length live - s.capacity)
+
+let reserve s ~now =
+  let start = busy_until s ~now in
+  let finish = Temporal.Q.add start s.access_duration in
+  s.slots <- finish :: live_slots s ~now;
+  s.serviced <- s.serviced + 1;
+  (start, finish)
+
+let touch s = s.serviced <- s.serviced + 1
+let serviced s = s.serviced
+
+let pp ppf s =
+  Format.fprintf ppf "server %s (%d resources, %d serviced)" s.name
+    (List.length (resources s))
+    s.serviced

@@ -1,0 +1,31 @@
+type waiter = { agent : string; thread : int }
+
+type t = {
+  mutable raised : string list;
+  waiters : (string, waiter list ref) Hashtbl.t;
+}
+
+let create () = { raised = []; waiters = Hashtbl.create 8 }
+
+let raise_signal t x =
+  if not (List.mem x t.raised) then t.raised <- x :: t.raised;
+  match Hashtbl.find_opt t.waiters x with
+  | None -> []
+  | Some r ->
+      let to_wake = List.rev !r in
+      r := [];
+      to_wake
+
+let is_raised t x = List.mem x t.raised
+
+let park t x waiter =
+  match Hashtbl.find_opt t.waiters x with
+  | Some r -> r := waiter :: !r
+  | None -> Hashtbl.add t.waiters x (ref [ waiter ])
+
+let raised t = List.sort String.compare t.raised
+
+let waiting t x =
+  match Hashtbl.find_opt t.waiters x with
+  | Some r -> List.length !r
+  | None -> 0

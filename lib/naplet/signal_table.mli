@@ -1,0 +1,20 @@
+(** Order synchronization: [signal(ξ)] / [wait(ξ)].
+
+    [signal(ξ)] must happen before [wait(ξ)] can proceed (Definition
+    3.1).  Signals are sticky: once raised, any number of later waits
+    pass immediately. *)
+
+type waiter = { agent : string; thread : int }
+type t
+
+val create : unit -> t
+
+val raise_signal : t -> string -> waiter list
+(** Mark raised; returns (and clears) the blocked waiters to wake. *)
+
+val is_raised : t -> string -> bool
+val park : t -> string -> waiter -> unit
+val raised : t -> string list
+(** Sorted. *)
+
+val waiting : t -> string -> int

@@ -1,0 +1,72 @@
+module Q = Temporal.Q
+
+(* Binary min-heap on (time, seq); seq gives FIFO order at equal times. *)
+type 'a entry = { time : Q.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let entry_before e1 e2 =
+  let c = Q.compare e1.time e2.time in
+  if c <> 0 then c < 0 else e1.seq < e2.seq
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < q.size && entry_before q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && entry_before q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let schedule q ~time payload =
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size >= Array.length q.heap then begin
+    let capacity = max 16 (2 * Array.length q.heap) in
+    let bigger = Array.make capacity entry in
+    Array.blit q.heap 0 bigger 0 q.size;
+    q.heap <- bigger
+  end;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let is_empty q = q.size = 0
+let size q = q.size

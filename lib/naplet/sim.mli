@@ -1,0 +1,15 @@
+(** Discrete-event simulation core: a priority queue of timed events
+    over continuous (rational) time.
+
+    Ties are broken by insertion order, so runs are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val schedule : 'a t -> time:Temporal.Q.t -> 'a -> unit
+val pop : 'a t -> (Temporal.Q.t * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> Temporal.Q.t option
+val is_empty : 'a t -> bool
+val size : 'a t -> int

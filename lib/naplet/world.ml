@@ -1,0 +1,303 @@
+module Q = Temporal.Q
+
+type deny_policy = Skip_access | Abort_agent
+
+type config = {
+  migration_latency : Q.t;
+  step_cost : Q.t;
+  deny_policy : deny_policy;
+  fuel : int;
+  max_events : int;
+}
+
+let default_config =
+  {
+    migration_latency = Q.of_int 5;
+    step_cost = Q.make 1 100;
+    deny_policy = Skip_access;
+    fuel = 100_000;
+    max_events = 1_000_000;
+  }
+
+type event = Step of string | Admin of (unit -> unit)
+
+type t = {
+  config : config;
+  manager : Security_manager.t;
+  servers : (string, Server.t) Hashtbl.t;
+  agents : (string, Agent.t) Hashtbl.t;
+  channels : Channel.t;
+  signals : Signal_table.t;
+  events : event Sim.t;
+  mutable clock : Q.t;
+  mutable appraisal : Appraisal.t option;
+  event_log : Event_log.t;
+  metrics : Metrics.t;
+}
+
+let create ?(config = default_config) control =
+  {
+    config;
+    manager = Security_manager.create control;
+    servers = Hashtbl.create 8;
+    agents = Hashtbl.create 8;
+    channels = Channel.create ();
+    signals = Signal_table.create ();
+    events = Sim.create ();
+    clock = Q.zero;
+    appraisal = None;
+    event_log = Event_log.create ();
+    metrics = Metrics.create ();
+  }
+
+let manager t = t.manager
+let set_appraisal t appraisal = t.appraisal <- Some appraisal
+
+(* Farmer-style state appraisal at arrival: a corrupted agent is
+   quarantined before it can request anything. *)
+let appraise t (agent : Agent.t) =
+  match t.appraisal with
+  | None -> Appraisal.Sound
+  | Some appraisal ->
+      Appraisal.appraise appraisal (Machine.env_value agent.Agent.machine)
+let add_server t s = Hashtbl.replace t.servers (Server.name s) s
+let server t name = Hashtbl.find_opt t.servers name
+
+let servers t =
+  List.sort
+    (fun s1 s2 -> String.compare (Server.name s1) (Server.name s2))
+    (Hashtbl.fold (fun _ s acc -> s :: acc) t.servers [])
+
+let clock t = t.clock
+let agent t id = Hashtbl.find_opt t.agents id
+
+let agents t =
+  List.sort
+    (fun (a1 : Agent.t) a2 -> String.compare a1.Agent.id a2.Agent.id)
+    (Hashtbl.fold (fun _ a acc -> a :: acc) t.agents [])
+
+let metrics t = t.metrics
+let channels t = t.channels
+let events t = t.event_log
+
+let log_event t ~time ~agent kind = Event_log.record t.event_log ~time ~agent kind
+
+let schedule_step t id ~time = Sim.schedule t.events ~time (Step id)
+
+let at t ~time action = Sim.schedule t.events ~time (Admin action)
+
+let arrive t (agent : Agent.t) ~server ~time =
+  agent.Agent.location <- Some server;
+  ignore
+    (Security_manager.on_arrival t.manager ~object_id:agent.Agent.id
+       ~owner:agent.Agent.owner ~roles:agent.Agent.roles ~server ~time
+       ~program:agent.Agent.program)
+
+let finish_agent t (agent : Agent.t) status =
+  agent.Agent.status <- status;
+  match status with
+  | Agent.Completed time ->
+      log_event t ~time ~agent:agent.Agent.id Event_log.Completed;
+      t.metrics.Metrics.completed_agents <-
+        t.metrics.Metrics.completed_agents + 1
+  | Agent.Aborted why ->
+      log_event t ~time:t.clock ~agent:agent.Agent.id (Event_log.Aborted why);
+      t.metrics.Metrics.aborted_agents <- t.metrics.Metrics.aborted_agents + 1
+  | Agent.Running | Agent.Waiting -> ()
+
+let spawn ?team t ~id ~owner ~roles ~home program =
+  if Hashtbl.mem t.agents id then
+    invalid_arg ("World.spawn: duplicate agent id " ^ id);
+  if not (Hashtbl.mem t.servers home) then
+    invalid_arg ("World.spawn: unknown home server " ^ home);
+  let agent =
+    Agent.make ~id ~owner ~roles ~home ~fuel:t.config.fuel program
+  in
+  Hashtbl.add t.agents id agent;
+  (match team with
+  | Some team ->
+      Coordinated.System.join_team
+        (Security_manager.control t.manager)
+        ~object_id:id ~team
+  | None -> ());
+  arrive t agent ~server:home ~time:t.clock;
+  log_event t ~time:t.clock ~agent:id (Event_log.Spawned { home });
+  match appraise t agent with
+  | Appraisal.Corrupted invariant ->
+      finish_agent t agent
+        (Agent.Aborted (Printf.sprintf "state appraisal failed: %s" invariant))
+  | Appraisal.Sound -> schedule_step t id ~time:t.clock
+
+(* Wake a parked (agent, thread): unblock the machine thread and, if
+   the whole agent was waiting, get it back on the event queue. *)
+let wake t ~agent:agent_id ~thread ~time =
+  match Hashtbl.find_opt t.agents agent_id with
+  | None -> ()
+  | Some agent ->
+      if Agent.is_live agent then begin
+        Machine.unblock agent.Agent.machine ~thread;
+        match agent.Agent.status with
+        | Agent.Waiting ->
+            agent.Agent.status <- Agent.Running;
+            schedule_step t agent_id ~time
+        | Agent.Running | Agent.Completed _ | Agent.Aborted _ -> ()
+      end
+
+let rec handle_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
+  (* migrate first when the access targets another server *)
+  let migrated = agent.Agent.location <> Some a.Sral.Access.server in
+  let origin =
+    match agent.Agent.location with Some s -> s | None -> agent.Agent.home
+  in
+  let time =
+    if not migrated then time
+    else begin
+      t.metrics.Metrics.migrations <- t.metrics.Metrics.migrations + 1;
+      let arrival = Q.add time t.config.migration_latency in
+      arrive t agent ~server:a.Sral.Access.server ~time:arrival;
+      log_event t ~time:arrival ~agent:agent.Agent.id
+        (Event_log.Migrated { from_ = origin; to_ = a.Sral.Access.server });
+      arrival
+    end
+  in
+  match if migrated then appraise t agent else Appraisal.Sound with
+  | Appraisal.Corrupted invariant ->
+      `Abort (Printf.sprintf "state appraisal failed: %s" invariant)
+  | Appraisal.Sound -> decide_access t agent ~thread ~time a
+
+and decide_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
+  let verdict =
+    Security_manager.check t.manager ~object_id:agent.Agent.id
+      ~program:agent.Agent.program ~time a
+  in
+  match verdict with
+  | Coordinated.Decision.Granted ->
+      log_event t ~time ~agent:agent.Agent.id (Event_log.Access_granted a);
+      t.metrics.Metrics.granted <- t.metrics.Metrics.granted + 1;
+      Metrics.record_server t.metrics a.Sral.Access.server;
+      let finish =
+        match server t a.Sral.Access.server with
+        | Some srv ->
+            let _start, finish = Server.reserve srv ~now:time in
+            finish
+        | None -> Q.add time Q.one
+      in
+      Machine.complete agent.Agent.machine ~thread;
+      `Continue_at finish
+  | Coordinated.Decision.Denied reason -> (
+      log_event t ~time ~agent:agent.Agent.id
+        (Event_log.Access_denied
+           (a, Format.asprintf "%a" Coordinated.Decision.pp_reason reason));
+      t.metrics.Metrics.denied <- t.metrics.Metrics.denied + 1;
+      (match reason with
+      | Coordinated.Decision.Rbac_denied _ ->
+          t.metrics.Metrics.denied_rbac <- t.metrics.Metrics.denied_rbac + 1
+      | Coordinated.Decision.Spatial_violation _ ->
+          t.metrics.Metrics.denied_spatial <-
+            t.metrics.Metrics.denied_spatial + 1
+      | Coordinated.Decision.Temporal_expired _
+      | Coordinated.Decision.Not_active _ | Coordinated.Decision.Not_arrived ->
+          t.metrics.Metrics.denied_temporal <-
+            t.metrics.Metrics.denied_temporal + 1);
+      match t.config.deny_policy with
+      | Skip_access ->
+          Machine.skip_request agent.Agent.machine ~thread;
+          `Continue_at time
+      | Abort_agent ->
+          `Abort (Format.asprintf "%a" Coordinated.Decision.pp_reason reason))
+
+let handle_request t (agent : Agent.t) ~thread ~time request =
+  match request with
+  | Machine.Access a -> handle_access t agent ~thread ~time a
+  | Machine.Send (chan, v) ->
+      log_event t ~time ~agent:agent.Agent.id (Event_log.Message_sent chan);
+      t.metrics.Metrics.messages <- t.metrics.Metrics.messages + 1;
+      let waiters = Channel.send t.channels ~chan v in
+      List.iter
+        (fun (w : Channel.waiter) ->
+          wake t ~agent:w.Channel.agent ~thread:w.Channel.thread ~time)
+        waiters;
+      Machine.complete agent.Agent.machine ~thread;
+      `Continue_at time
+  | Machine.Recv (chan, var) -> (
+      match Channel.try_recv t.channels ~chan with
+      | Some v ->
+          log_event t ~time ~agent:agent.Agent.id
+            (Event_log.Message_received chan);
+          Machine.complete_recv agent.Agent.machine ~thread ~var v;
+          `Continue_at time
+      | None ->
+          Machine.block agent.Agent.machine ~thread;
+          Channel.park t.channels ~chan
+            { Channel.agent = agent.Agent.id; thread };
+          `Continue_at time)
+  | Machine.Signal x ->
+      log_event t ~time ~agent:agent.Agent.id (Event_log.Signal_raised x);
+      t.metrics.Metrics.signals <- t.metrics.Metrics.signals + 1;
+      let waiters = Signal_table.raise_signal t.signals x in
+      List.iter
+        (fun (w : Signal_table.waiter) ->
+          wake t ~agent:w.Signal_table.agent ~thread:w.Signal_table.thread
+            ~time)
+        waiters;
+      Machine.complete agent.Agent.machine ~thread;
+      `Continue_at time
+  | Machine.Wait x ->
+      if Signal_table.is_raised t.signals x then begin
+        Machine.complete agent.Agent.machine ~thread;
+        `Continue_at time
+      end
+      else begin
+        Machine.block agent.Agent.machine ~thread;
+        Signal_table.park t.signals x
+          { Signal_table.agent = agent.Agent.id; thread };
+        `Continue_at time
+      end
+
+let process_step t id ~time =
+  match Hashtbl.find_opt t.agents id with
+  | None -> ()
+  | Some agent -> (
+      if agent.Agent.status = Agent.Running then
+        match Machine.step agent.Agent.machine with
+        | Machine.Finished -> finish_agent t agent (Agent.Completed time)
+        | Machine.Fault msg -> finish_agent t agent (Agent.Aborted msg)
+        | Machine.All_blocked -> agent.Agent.status <- Agent.Waiting
+        | Machine.Ready { thread; request; silent_steps } -> (
+            let time =
+              Q.add time (Q.mul (Q.of_int silent_steps) t.config.step_cost)
+            in
+            match handle_request t agent ~thread ~time request with
+            | `Continue_at next -> schedule_step t id ~time:next
+            | `Abort why -> finish_agent t agent (Agent.Aborted why)))
+
+let run t =
+  let budget = ref t.config.max_events in
+  let rec loop () =
+    if !budget <= 0 then ()
+    else
+      match Sim.pop t.events with
+      | None -> ()
+      | Some (time, Step id) ->
+          decr budget;
+          t.clock <- Q.max t.clock time;
+          process_step t id ~time:t.clock;
+          loop ()
+      | Some (time, Admin action) ->
+          decr budget;
+          t.clock <- Q.max t.clock time;
+          action ();
+          loop ()
+  in
+  loop ();
+  Hashtbl.iter
+    (fun _ (agent : Agent.t) ->
+      match agent.Agent.status with
+      | Agent.Waiting ->
+          log_event t ~time:t.clock ~agent:agent.Agent.id Event_log.Deadlocked;
+          t.metrics.Metrics.deadlocked_agents <-
+            t.metrics.Metrics.deadlocked_agents + 1
+      | Agent.Running | Agent.Completed _ | Agent.Aborted _ -> ())
+    t.agents;
+  t.metrics.Metrics.end_time <- t.clock;
+  t.metrics

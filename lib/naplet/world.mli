@@ -1,0 +1,73 @@
+(** The coalition world: servers, agents and the simulation loop.
+
+    Deterministic discrete-event emulation of mobile computing: agents
+    execute their SRAL programs; an access targeting another server
+    first migrates the agent (costing [migration_latency]); every
+    access passes through the {!Security_manager}; channels and signals
+    synchronize agents.  Time is continuous (ℚ); runs with the same
+    inputs are bit-identical. *)
+
+type deny_policy =
+  | Skip_access  (** denied access is skipped; the agent continues *)
+  | Abort_agent  (** denial kills the agent (a SecurityException) *)
+
+type config = {
+  migration_latency : Temporal.Q.t;
+  step_cost : Temporal.Q.t;  (** cost of one silent machine step *)
+  deny_policy : deny_policy;
+  fuel : int;  (** silent-step divergence bound per scheduling slot *)
+  max_events : int;  (** simulation-loop safety valve *)
+}
+
+val default_config : config
+(** migration 5, step 1/100, [Skip_access], fuel 100_000, 1_000_000
+    events. *)
+
+type t
+
+val create : ?config:config -> Coordinated.System.t -> t
+val manager : t -> Security_manager.t
+
+val set_appraisal : t -> Appraisal.t -> unit
+(** Install a state appraisal (related work's Farmer et al. mechanism):
+    every agent is appraised at dispatch and at each migration arrival;
+    a corrupted agent is aborted before requesting any access. *)
+
+val add_server : t -> Server.t -> unit
+val server : t -> string -> Server.t option
+val servers : t -> Server.t list
+
+val spawn :
+  ?team:string ->
+  t ->
+  id:string ->
+  owner:string ->
+  roles:string list ->
+  home:string ->
+  Sral.Ast.t ->
+  unit
+(** Dispatch an agent: authenticate at its home server (arrival at the
+    current clock) and schedule its first step.  [team] makes the
+    agent a member of a naplet team, whose execution proofs are shared
+    by bindings with [Team] proof scope.
+    @raise Invalid_argument on duplicate id or unknown home server. *)
+
+val at : t -> time:Temporal.Q.t -> (unit -> unit) -> unit
+(** Schedule an administrative action at a simulated time — e.g.
+    deactivating a role in some agent's session, revoking a grant, or
+    installing a new binding.  Runs between agent steps; use it to
+    model the security officer intervening mid-journey. *)
+
+val run : t -> Metrics.t
+(** Drive the event loop to quiescence.  Agents still [Waiting] at the
+    end are counted as deadlocked. *)
+
+val clock : t -> Temporal.Q.t
+val agent : t -> string -> Agent.t option
+val agents : t -> Agent.t list
+val metrics : t -> Metrics.t
+val channels : t -> Channel.t
+
+val events : t -> Event_log.t
+(** The run's full event log (spawns, migrations, decisions, messages,
+    signals, terminations). *)

@@ -1,0 +1,19 @@
+type verdict = Granted | Denied of string
+
+let decide session ~operation ~target =
+  if Session.may session ~operation ~target then Granted
+  else
+    Denied
+      (Printf.sprintf "no active role of %s grants %s on %s"
+         (Session.user session) operation target)
+
+let decide_access session (a : Sral.Access.t) =
+  decide session
+    ~operation:(Sral.Access.operation_name a.op)
+    ~target:(a.resource ^ "@" ^ a.server)
+
+let is_granted = function Granted -> true | Denied _ -> false
+
+let pp_verdict ppf = function
+  | Granted -> Format.pp_print_string ppf "granted"
+  | Denied why -> Format.fprintf ppf "denied (%s)" why

@@ -1,0 +1,17 @@
+(** Plain-RBAC access decisions (the baseline engine).
+
+    Decision pipeline: the request names a session, an operation and a
+    target; grant iff some role active in the session carries (possibly
+    by inheritance) a permission matching the request.  No spatial or
+    temporal reasoning — that is the [coordinated] library's
+    extension, benchmarked against this engine in experiment E6. *)
+
+type verdict = Granted | Denied of string
+
+val decide : Session.t -> operation:string -> target:string -> verdict
+
+val decide_access : Session.t -> Sral.Access.t -> verdict
+(** Convenience: target spelled ["resource@server"]. *)
+
+val is_granted : verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,111 @@
+module Q = Temporal.Q
+
+type event = Enable of string | Disable of string
+
+type trigger = { on : event; after : Q.t; fire : event }
+
+type t = {
+  policy : Policy.t;
+  cascade_limit : int;
+  mutable triggers : trigger list;  (* reverse registration order *)
+  mutable pending : (Q.t * int * event) list;  (* (time, seq, event) *)
+  mutable next_seq : int;
+  mutable history : (string, (Q.t * bool) list) Hashtbl.t;
+      (* role -> reverse change list *)
+  mutable processed : bool;
+}
+
+let create ?(cascade_limit = 10_000) policy =
+  {
+    policy;
+    cascade_limit;
+    triggers = [];
+    pending = [];
+    next_seq = 0;
+    history = Hashtbl.create 8;
+    processed = true;
+  }
+
+let policy t = t.policy
+
+let add_trigger t trigger =
+  if Q.sign trigger.after < 0 then
+    invalid_arg "Gtrbac.add_trigger: negative delay";
+  t.triggers <- trigger :: t.triggers
+
+let post t ~at event =
+  t.pending <- (at, t.next_seq, event) :: t.pending;
+  t.next_seq <- t.next_seq + 1;
+  t.processed <- false
+
+exception Cascade_limit
+
+let event_role = function Enable r | Disable r -> r
+let event_value = function Enable _ -> true | Disable _ -> false
+
+let record t ~at event =
+  let role = event_role event in
+  let changes =
+    match Hashtbl.find_opt t.history role with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.history role ((at, event_value event) :: changes)
+
+let pop_earliest t =
+  match
+    List.sort
+      (fun (t1, s1, _) (t2, s2, _) ->
+        let c = Q.compare t1 t2 in
+        if c <> 0 then c else Int.compare s1 s2)
+      t.pending
+  with
+  | [] -> None
+  | earliest :: _ ->
+      t.pending <- List.filter (fun e -> e != earliest) t.pending;
+      Some earliest
+
+let process t =
+  if not t.processed then begin
+    let budget = ref t.cascade_limit in
+    let rec loop () =
+      match pop_earliest t with
+      | None -> ()
+      | Some (at, _, event) ->
+          if !budget <= 0 then raise Cascade_limit;
+          decr budget;
+          record t ~at event;
+          (* fire matching triggers *)
+          List.iter
+            (fun trigger ->
+              if trigger.on = event then
+                post t ~at:(Q.add at trigger.after) trigger.fire)
+            (List.rev t.triggers);
+          loop ()
+    in
+    loop ();
+    t.processed <- true
+  end
+
+let enabling_fn t ~role =
+  if not t.processed then process t;
+  match Hashtbl.find_opt t.history role with
+  | None -> Temporal.Step_fn.const true
+  | Some changes -> Temporal.Step_fn.of_changes ~init:false (List.rev changes)
+
+let is_enabled t ~role ~at = Temporal.Step_fn.value_at (enabling_fn t ~role) at
+
+let decide t session ~at ~operation ~target =
+  let usable =
+    List.filter
+      (fun role -> is_enabled t ~role ~at)
+      (Session.active_roles session)
+  in
+  let perms =
+    List.sort_uniq Perm.compare
+      (List.concat_map (Policy.role_permissions t.policy) usable)
+  in
+  if List.exists (fun perm -> Perm.matches perm ~operation ~target) perms then
+    Engine.Granted
+  else
+    Engine.Denied
+      (Printf.sprintf "no enabled role of %s grants %s on %s at this time"
+         (Session.user session) operation target)

@@ -1,0 +1,53 @@
+(** GTRBAC-style event- and trigger-driven role administration — the
+    generalization of TRBAC by Joshi et al. (the paper's [12]),
+    implemented as the second related-work baseline.
+
+    Administrators post enable/disable events for roles; *triggers*
+    cascade them ("when doctor-on-duty is enabled, enable
+    nurse-on-duty 10 minutes later").  Processing the event cascade up
+    to a horizon yields, per role, an enabling step function over time
+    — which plugs into the same machinery the paper's duration model
+    uses, so the two administrations can be compared head-on.
+
+    Cascades are bounded (a trigger loop stops at the cascade limit
+    rather than hanging the administrator). *)
+
+type event = Enable of string | Disable of string
+
+type trigger = {
+  on : event;  (** the cascade source *)
+  after : Temporal.Q.t;  (** delay, >= 0 *)
+  fire : event;  (** the consequence *)
+}
+
+type t
+
+val create : ?cascade_limit:int -> Policy.t -> t
+(** [cascade_limit] (default 10_000) bounds total processed events. *)
+
+val policy : t -> Policy.t
+
+val add_trigger : t -> trigger -> unit
+(** @raise Invalid_argument on a negative delay. *)
+
+val post : t -> at:Temporal.Q.t -> event -> unit
+(** Record an administrative event (before {!process}). *)
+
+exception Cascade_limit
+
+val process : t -> unit
+(** Run all posted events and their trigger cascades, in time order
+    (ties: posting order).  Idempotent until new events are posted.
+    @raise Cascade_limit when the cascade bound is hit (a trigger
+    loop). *)
+
+val enabling_fn : t -> role:string -> Temporal.Step_fn.t
+(** The role's enabled-timeline after {!process}.  Roles never named by
+    an event are enabled throughout (plain RBAC). *)
+
+val is_enabled : t -> role:string -> at:Temporal.Q.t -> bool
+
+val decide :
+  t -> Session.t -> at:Temporal.Q.t -> operation:string -> target:string ->
+  Engine.verdict
+(** As {!Trbac.decide}, against the event-driven timelines. *)

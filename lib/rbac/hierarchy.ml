@@ -1,0 +1,40 @@
+type role = string
+
+type t = { graph : Digraph.t }
+(* edges run senior -> junior *)
+
+exception Cycle of role * role
+
+let create () = { graph = Digraph.create () }
+let add_role h r = Digraph.add_vertex h.graph r
+
+let add_inheritance h ~senior ~junior =
+  if String.equal senior junior then raise (Cycle (senior, junior));
+  (* inserting senior->junior creates a cycle iff junior already
+     reaches senior *)
+  if
+    Digraph.mem_vertex h.graph junior
+    && List.mem senior (Digraph.reachable_from h.graph junior)
+  then raise (Cycle (senior, junior));
+  Digraph.add_edge h.graph senior junior
+
+let mem h r = Digraph.mem_vertex h.graph r
+let roles h = Digraph.vertices h.graph
+
+let juniors h r =
+  if mem h r then Digraph.reachable_from h.graph r else []
+
+let seniors h r =
+  if mem h r then
+    List.sort String.compare
+      (List.filter
+         (fun r' -> List.mem r (Digraph.reachable_from h.graph r'))
+         (roles h))
+  else []
+
+let dominates h ~senior ~junior =
+  String.equal senior junior
+  || (mem h senior && List.mem junior (Digraph.reachable_from h.graph senior))
+
+let direct_juniors h r = Digraph.successors h.graph r
+let pp ppf h = Digraph.pp ppf h.graph

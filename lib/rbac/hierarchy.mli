@@ -1,0 +1,36 @@
+(** Role hierarchies.
+
+    A partial order on roles: senior roles inherit the permissions of
+    their juniors, and a user assigned a senior role is authorized for
+    all its juniors.  Maintained acyclic. *)
+
+type role = string
+type t
+
+val create : unit -> t
+val add_role : t -> role -> unit
+(** Idempotent. *)
+
+exception Cycle of role * role
+(** [(senior, junior)] pair whose insertion would create a cycle. *)
+
+val add_inheritance : t -> senior:role -> junior:role -> unit
+(** Declare that [senior] inherits from (dominates) [junior].
+    @raise Cycle if this would make the hierarchy cyclic. *)
+
+val mem : t -> role -> bool
+val roles : t -> role list
+(** Sorted. *)
+
+val juniors : t -> role -> role list
+(** All roles dominated by the given role, including itself (when
+    present), sorted. *)
+
+val seniors : t -> role -> role list
+(** All roles dominating the given role, including itself, sorted. *)
+
+val dominates : t -> senior:role -> junior:role -> bool
+(** Reflexive-transitive. *)
+
+val direct_juniors : t -> role -> role list
+val pp : Format.formatter -> t -> unit

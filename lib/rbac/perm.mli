@@ -1,0 +1,32 @@
+(** RBAC permissions.
+
+    A permission is an approved operation on a protected object
+    (Section 3.4).  Objects are named by strings; in the coalition
+    setting the convention is ["resource@server"], and either field
+    may be the wildcard ["*"]. *)
+
+type t = { operation : string; target : string }
+
+val make : operation:string -> target:string -> t
+
+val on_resource : operation:string -> resource:string -> server:string -> t
+(** Target spelled ["resource@server"]. *)
+
+val matches : t -> operation:string -> target:string -> bool
+(** Wildcard-aware: a ["*"] operation or target in the permission
+    matches anything; a ["res@*"] target matches any server for that
+    resource (and symmetrically ["*@srv"]). *)
+
+val overlaps : t -> t -> bool
+(** Do the two (possibly wildcarded) patterns cover a common concrete
+    permission?  Used by policy linting: a binding whose pattern
+    overlaps no granted permission is dead. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t
+(** ["operation:target"], e.g. ["read:db@s1"].
+    @raise Invalid_argument on missing colon. *)

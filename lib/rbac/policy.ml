@@ -1,0 +1,141 @@
+module String_set = Set.Make (String)
+module String_map = Map.Make (String)
+module Perm_set = Set.Make (Perm)
+
+type user = string
+type role = string
+
+type t = {
+  hierarchy : Hierarchy.t;
+  mutable users : String_set.t;
+  mutable user_assignments : String_set.t String_map.t;  (** user -> roles *)
+  mutable role_grants : Perm_set.t String_map.t;  (** role -> perms *)
+  mutable ssd : Sod.t list;
+  mutable dsd : Sod.t list;
+}
+
+let create () =
+  {
+    hierarchy = Hierarchy.create ();
+    users = String_set.empty;
+    user_assignments = String_map.empty;
+    role_grants = String_map.empty;
+    ssd = [];
+    dsd = [];
+  }
+
+let hierarchy p = p.hierarchy
+
+exception Unknown of string * string
+exception Ssd_violation of Sod.t * user * role
+
+let add_user p u = p.users <- String_set.add u p.users
+let add_role p r = Hierarchy.add_role p.hierarchy r
+
+let add_inheritance p ~senior ~junior =
+  Hierarchy.add_inheritance p.hierarchy ~senior ~junior
+
+let require_user p u =
+  if not (String_set.mem u p.users) then raise (Unknown ("user", u))
+
+let require_role p r =
+  if not (Hierarchy.mem p.hierarchy r) then raise (Unknown ("role", r))
+
+let assigned_roles p u =
+  match String_map.find_opt u p.user_assignments with
+  | Some roles -> String_set.elements roles
+  | None -> []
+
+let assign_user p u r =
+  require_user p u;
+  require_role p r;
+  let current = assigned_roles p u in
+  List.iter
+    (fun c ->
+      if Sod.would_violate c ~current ~adding:r then
+        raise (Ssd_violation (c, u, r)))
+    p.ssd;
+  p.user_assignments <-
+    String_map.update u
+      (function
+        | Some roles -> Some (String_set.add r roles)
+        | None -> Some (String_set.singleton r))
+      p.user_assignments
+
+let deassign_user p u r =
+  p.user_assignments <-
+    String_map.update u
+      (function
+        | Some roles -> Some (String_set.remove r roles)
+        | None -> None)
+      p.user_assignments
+
+let grant p r perm =
+  require_role p r;
+  p.role_grants <-
+    String_map.update r
+      (function
+        | Some perms -> Some (Perm_set.add perm perms)
+        | None -> Some (Perm_set.singleton perm))
+      p.role_grants
+
+let revoke p r perm =
+  p.role_grants <-
+    String_map.update r
+      (function
+        | Some perms -> Some (Perm_set.remove perm perms)
+        | None -> None)
+      p.role_grants
+
+let add_ssd p c =
+  String_map.iter
+    (fun u roles ->
+      if Sod.violates c (String_set.elements roles) then
+        invalid_arg
+          (Format.asprintf
+             "Policy.add_ssd: user %s already violates %a" u Sod.pp c))
+    p.user_assignments;
+  p.ssd <- c :: p.ssd
+
+let add_dsd p c = p.dsd <- c :: p.dsd
+let users p = String_set.elements p.users
+let roles p = Hierarchy.roles p.hierarchy
+let ssd_constraints p = p.ssd
+let dsd_constraints p = p.dsd
+
+let authorized_roles p u =
+  let assigned = assigned_roles p u in
+  List.sort_uniq String.compare
+    (List.concat_map (Hierarchy.juniors p.hierarchy) assigned)
+
+let direct_permissions p r =
+  match String_map.find_opt r p.role_grants with
+  | Some perms -> Perm_set.elements perms
+  | None -> []
+
+let role_permissions p r =
+  let juniors = Hierarchy.juniors p.hierarchy r in
+  let juniors = if juniors = [] then [ r ] else juniors in
+  List.sort_uniq Perm.compare (List.concat_map (direct_permissions p) juniors)
+
+let user_permissions p u =
+  List.sort_uniq Perm.compare
+    (List.concat_map (role_permissions p) (assigned_roles p u))
+
+let users_of_role p r =
+  List.filter (fun u -> List.mem r (assigned_roles p u)) (users p)
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>policy: %d users, %d roles@," (List.length (users p))
+    (List.length (roles p));
+  List.iter
+    (fun u ->
+      Format.fprintf ppf "  user %s: roles [%s]@," u
+        (String.concat ", " (assigned_roles p u)))
+    (users p);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  role %s: perms [%s]@," r
+        (String.concat ", " (List.map Perm.to_string (direct_permissions p r))))
+    (roles p);
+  Format.fprintf ppf "@]"

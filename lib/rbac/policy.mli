@@ -1,0 +1,68 @@
+(** The RBAC policy store: users, roles, permissions and their
+    assignment relations (UA and PA), plus the role hierarchy and
+    static separation-of-duty constraints.
+
+    This is the plain-RBAC half of the model — the baseline the
+    coordinated (spatio-temporal) extension is measured against. *)
+
+type user = string
+type role = string
+type t
+
+val create : unit -> t
+val hierarchy : t -> Hierarchy.t
+
+(** {2 Administration} *)
+
+val add_user : t -> user -> unit
+val add_role : t -> role -> unit
+val add_inheritance : t -> senior:role -> junior:role -> unit
+(** @raise Hierarchy.Cycle *)
+
+exception Unknown of string * string
+(** [(kind, name)], e.g. [("role", "auditor")]. *)
+
+exception Ssd_violation of Sod.t * user * role
+
+val assign_user : t -> user -> role -> unit
+(** @raise Unknown on undeclared user/role.
+    @raise Ssd_violation when an SSD constraint forbids it. *)
+
+val deassign_user : t -> user -> role -> unit
+val grant : t -> role -> Perm.t -> unit
+(** @raise Unknown on undeclared role. *)
+
+val revoke : t -> role -> Perm.t -> unit
+
+val add_ssd : t -> Sod.t -> unit
+(** @raise Invalid_argument if an existing assignment already violates
+    the new constraint. *)
+
+val add_dsd : t -> Sod.t -> unit
+
+(** {2 Review} *)
+
+val users : t -> user list
+val roles : t -> role list
+val ssd_constraints : t -> Sod.t list
+val dsd_constraints : t -> Sod.t list
+
+val assigned_roles : t -> user -> role list
+(** Directly assigned, sorted. *)
+
+val authorized_roles : t -> user -> role list
+(** Assigned roles plus everything they dominate (the roles the user
+    may activate), sorted. *)
+
+val direct_permissions : t -> role -> Perm.t list
+
+val role_permissions : t -> role -> Perm.t list
+(** With inheritance: the role's own permissions plus its juniors'. *)
+
+val user_permissions : t -> user -> Perm.t list
+(** Union over the user's authorized roles. *)
+
+val users_of_role : t -> role -> user list
+(** Users directly assigned the role. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = {
+  policy : Policy.t;
+  user : string;
+  mutable active : string list;  (* sorted *)
+}
+
+exception Not_authorized of string * string
+exception Dsd_violation of Sod.t * string * string
+
+let create policy ~user =
+  if not (List.mem user (Policy.users policy)) then
+    raise (Policy.Unknown ("user", user));
+  { policy; user; active = [] }
+
+let user s = s.user
+let active_roles s = s.active
+
+let activate s r =
+  if not (List.mem r s.active) then begin
+    if not (List.mem r (Policy.authorized_roles s.policy s.user)) then
+      raise (Not_authorized (s.user, r));
+    List.iter
+      (fun c ->
+        if Sod.would_violate c ~current:s.active ~adding:r then
+          raise (Dsd_violation (c, s.user, r)))
+      (Policy.dsd_constraints s.policy);
+    s.active <- List.sort String.compare (r :: s.active)
+  end
+
+let deactivate s r = s.active <- List.filter (fun r' -> not (String.equal r r')) s.active
+let drop s = s.active <- []
+
+let active_permissions s =
+  List.sort_uniq Perm.compare
+    (List.concat_map (Policy.role_permissions s.policy) s.active)
+
+let may s ~operation ~target =
+  List.exists
+    (fun perm -> Perm.matches perm ~operation ~target)
+    (active_permissions s)
+
+let pp ppf s =
+  Format.fprintf ppf "session(%s, active=[%s])" s.user
+    (String.concat ", " s.active)

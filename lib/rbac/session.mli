@@ -1,0 +1,39 @@
+(** Sessions (the paper's "subjects").
+
+    A subject relates a user to possibly many roles: after
+    authentication the user establishes a session and requests
+    activation of roles they are authorized for; only permissions of
+    *active* roles are exercisable (Section 3.4). *)
+
+type t
+
+exception Not_authorized of string * string
+(** [(user, role)] *)
+
+exception Dsd_violation of Sod.t * string * string
+
+val create : Policy.t -> user:string -> t
+(** @raise Policy.Unknown on an undeclared user. *)
+
+val user : t -> string
+val active_roles : t -> string list
+(** Sorted. *)
+
+val activate : t -> string -> unit
+(** @raise Not_authorized when the user may not activate the role;
+    @raise Dsd_violation when dynamic separation of duty forbids it.
+    Idempotent on an already-active role. *)
+
+val deactivate : t -> string -> unit
+
+val drop : t -> unit
+(** Deactivate everything (session end). *)
+
+val active_permissions : t -> Perm.t list
+(** Permissions of the active roles, with inheritance, sorted. *)
+
+val may : t -> operation:string -> target:string -> bool
+(** Plain-RBAC decision: some active role carries a matching
+    permission.  This is the baseline [Engine] builds on. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = { name : string; roles : string list; max_roles : int }
+
+let make ~name ~roles ~max_roles =
+  if max_roles < 1 then invalid_arg "Sod.make: max_roles must be >= 1";
+  if List.length roles < 2 then
+    invalid_arg "Sod.make: need at least two conflicting roles";
+  { name; roles = List.sort_uniq String.compare roles; max_roles }
+
+let held constraint_ role_set =
+  List.length (List.filter (fun r -> List.mem r constraint_.roles) role_set)
+
+let violates constraint_ role_set =
+  held constraint_ (List.sort_uniq String.compare role_set)
+  > constraint_.max_roles
+
+let would_violate constraint_ ~current ~adding =
+  violates constraint_ (adding :: current)
+
+let pp ppf c =
+  Format.fprintf ppf "sod %s: at most %d of {%s}" c.name c.max_roles
+    (String.concat ", " c.roles)

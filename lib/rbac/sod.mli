@@ -1,0 +1,25 @@
+(** Separation-of-duty constraints.
+
+    Static SoD (SSD) limits how many roles from a conflicting set may
+    be *assigned* to one user; dynamic SoD (DSD) limits how many may be
+    *active* in one session.  The standard RBAC constraint family the
+    paper's extended model layers its spatio-temporal constraints on
+    top of. *)
+
+type t = {
+  name : string;
+  roles : string list;  (** the conflicting role set *)
+  max_roles : int;
+      (** a user/session may hold strictly fewer than... no: at most
+          [max_roles] roles from [roles].  [max_roles >= 1]. *)
+}
+
+val make : name:string -> roles:string list -> max_roles:int -> t
+(** @raise Invalid_argument if [max_roles < 1] or [roles] has fewer
+    than 2 elements. *)
+
+val violates : t -> string list -> bool
+(** Does holding the given role set violate the constraint? *)
+
+val would_violate : t -> current:string list -> adding:string -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  policy : Policy.t;
+  windows : (string, Temporal.Periodic.t) Hashtbl.t;
+}
+
+let create policy = { policy; windows = Hashtbl.create 8 }
+let policy t = t.policy
+let set_enabling t ~role window = Hashtbl.replace t.windows role window
+let clear_enabling t ~role = Hashtbl.remove t.windows role
+
+let is_enabled t ~role ~at =
+  match Hashtbl.find_opt t.windows role with
+  | None -> true
+  | Some window -> Temporal.Periodic.contains window at
+
+let enabled_roles t session ~at =
+  List.filter (fun role -> is_enabled t ~role ~at) (Session.active_roles session)
+
+let decide t session ~at ~operation ~target =
+  let usable = enabled_roles t session ~at in
+  let perms =
+    List.sort_uniq Perm.compare
+      (List.concat_map (Policy.role_permissions t.policy) usable)
+  in
+  if List.exists (fun perm -> Perm.matches perm ~operation ~target) perms then
+    Engine.Granted
+  else
+    Engine.Denied
+      (Printf.sprintf
+         "no enabled role of %s grants %s on %s at this time"
+         (Session.user session) operation target)
+
+let decide_access t session ~at (a : Sral.Access.t) =
+  decide t session ~at
+    ~operation:(Sral.Access.operation_name a.Sral.Access.op)
+    ~target:(a.Sral.Access.resource ^ "@" ^ a.Sral.Access.server)

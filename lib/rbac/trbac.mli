@@ -1,0 +1,36 @@
+(** TRBAC-style temporal role enabling — the related-work baseline
+    (Bertino et al., the paper's [3]).
+
+    TRBAC attaches periodic enabling intervals to *roles*: a role's
+    permissions are exercisable only while the role is enabled, and a
+    disabling event revokes all of its granted privileges at once —
+    which is exactly the granularity problem Section 4 criticizes
+    ("different permissions authorized to a role often have different
+    temporal constraints, [so] more roles need to be defined in
+    TRBAC").  This engine exists so the paper's duration model can be
+    compared against the interval model it replaces (experiment E11).
+
+    Roles with no registered window are always enabled (plain RBAC). *)
+
+type t
+
+val create : Policy.t -> t
+val policy : t -> Policy.t
+
+val set_enabling : t -> role:string -> Temporal.Periodic.t -> unit
+(** Replace the role's enabling windows. *)
+
+val clear_enabling : t -> role:string -> unit
+
+val is_enabled : t -> role:string -> at:Temporal.Q.t -> bool
+
+val enabled_roles : t -> Session.t -> at:Temporal.Q.t -> string list
+(** The session's active roles that are enabled at the instant. *)
+
+val decide :
+  t -> Session.t -> at:Temporal.Q.t -> operation:string -> target:string ->
+  Engine.verdict
+(** Grant iff some active *and currently enabled* role carries (with
+    hierarchy inheritance) a matching permission. *)
+
+val decide_access : t -> Session.t -> at:Temporal.Q.t -> Sral.Access.t -> Engine.verdict

@@ -1,0 +1,38 @@
+(** The introduction's coordination example: "if a mobile device
+    accesses a resource r (e.g. a licensed software package or its
+    trial version) on site s₁ for too many times during a certain time
+    period, it is not allowed to access the resource on site s₂
+    forever" — plus Example 3.5's [#(0, 5, σ_RSW(A))] cardinality
+    bound.
+
+    Site s₁ is permissive (it hosts the trial and imposes no local
+    bound); the *coordination* is that s₂'s permission carries the
+    history-scoped constraint [#(0, limit, σ(rsw ∧ s₁))]: the execution
+    proofs collected at s₁ travel with the object, and once they show
+    overuse, s₂ denies forever.  An optional [global_limit] adds
+    Example 3.5's everywhere-bound [#(0, n, σ_RSW)] on all servers, and
+    an optional [period] time-boxes the trial (validity duration). *)
+
+type outcome = {
+  attempts : int;
+  granted_s1 : int;
+  granted_s2 : int;
+  denied : int;
+  s2_locked_out : bool;
+      (** every s₂ attempt denied (after s₁ overuse) *)
+}
+
+val run :
+  ?s1_uses:int ->
+  ?s2_uses:int ->
+  ?limit:int ->
+  ?global_limit:int ->
+  ?period:Temporal.Q.t ->
+  unit ->
+  outcome
+(** A mobile object executes the RSW package [s1_uses] times at s₁,
+    then [s2_uses] times at s₂ (defaults 7 and 3, limit 5).  With the
+    defaults all 7 s₁ uses are granted — and s₂ is locked out forever.
+    With [s1_uses <= limit], s₂ grants. *)
+
+val rsw_access : at:string -> Sral.Access.t

@@ -1,0 +1,33 @@
+(** The introduction's temporal example: "the editing deadline for an
+    issue of a daily newspaper is by 3am".
+
+    Time is modelled in hours.  An editing session opens at
+    [session_start] (e.g. 22 = 10pm); the [write] permission on the
+    issue carries a validity duration of [3am − session_start] hours
+    (whole-journey scheme), so edits are granted until 3am and denied
+    after — however many servers the editor's mobile object roams
+    across, because the paper's continuous per-object timeline does not
+    reset on migration under the whole-journey scheme.  A per-server
+    variant is included to contrast the two base-time schemes of
+    Section 4 (it *does* reset on migration, extending the effective
+    editing window — usually not what a newspaper wants). *)
+
+type outcome = {
+  edits_attempted : int;
+  edits_granted : int;
+  edits_denied : int;
+  last_granted_at : Temporal.Q.t option;  (** in hours *)
+  first_denied_at : Temporal.Q.t option;
+}
+
+val run :
+  ?session_start:Temporal.Q.t ->
+  ?edits:int ->
+  ?edit_hours:Temporal.Q.t ->
+  ?scheme:Temporal.Validity.scheme ->
+  ?migrate_midway:bool ->
+  unit ->
+  outcome
+(** Defaults: session starts at hour 22, 8 edits of 1 hour each,
+    whole-journey scheme, with a migration to a second press server
+    halfway through.  Deadline is fixed at hour 27 (= 3am). *)

@@ -1,0 +1,25 @@
+(** Coordinated teamwork — the introduction's "permissions may be
+    granted based not only on the requesting subject, but also on the
+    previous access actions of the device and even of its companions".
+
+    A two-naplet survey team: a scout reads the manifest at s₁ and
+    raises a signal; a courier waits for the signal and then commits
+    results to the vault at s₂.  The vault permission carries the
+    spatial constraint [seq(read manifest @ s1, write vault @ s2)] with
+    history scope — satisfiable only through the *scout's* execution
+    proof, i.e. only when the binding's proof scope is [Team].
+
+    With [Own] proofs the courier is denied (it never read the
+    manifest itself); with [Team] proofs it is granted.  The
+    signal/wait pair makes the cross-agent ordering deterministic. *)
+
+type outcome = {
+  scout_reads : int;
+  courier_commits : int;
+  courier_denied : int;
+  team_succeeded : bool;  (** the vault write was granted *)
+}
+
+val run : ?share_proofs:bool -> unit -> outcome
+(** [share_proofs] (default [true]) selects [Team] vs [Own] proof scope
+    on the vault binding. *)

@@ -1,0 +1,34 @@
+(** A coalition editorial workflow — the "workflow management system"
+    motivation of Section 4, composed from every mechanism at once.
+
+    Three stages on two servers: an author drafts at the [desk] server,
+    a reviewer reviews at the [press] server, a publisher releases the
+    issue there.  Enforcement:
+
+    - spatial: reviewing requires the draft to have been written first,
+      publishing requires the review — both as [⊗] constraints over
+      *team* proofs (different naplets perform each stage);
+    - RBAC: distinct roles per stage, with a dynamic
+      separation-of-duty constraint — nobody may activate both the
+      reviewer and the publisher role in one session (the reviewer must
+      not approve their own release);
+    - temporal: the publish permission carries a deadline.
+
+    The [cheat] run has the reviewer's owner also attempt the publish
+    stage in the same session: DSD blocks the role activation, so the
+    publish access is denied by RBAC — the workflow needs a third
+    principal. *)
+
+type outcome = {
+  drafted : bool;
+  reviewed : bool;
+  published : bool;
+  denied : int;  (** total denials across the run *)
+  all_completed : bool;  (** every agent ran to completion *)
+}
+
+val run : ?cheat:bool -> ?deadline:Temporal.Q.t -> unit -> outcome
+(** Defaults: honest principals, no deadline.  With [cheat:true] the
+    publish stage is attempted under the reviewer's session and fails.
+    With a tight [deadline] (the budget starts at the publisher's
+    dispatch) the publish stage expires. *)

@@ -1,0 +1,73 @@
+module Symbol = Automata.Symbol
+module Dfa = Automata.Dfa
+
+let alphabet_of ~program formula =
+  Symbol.of_accesses (Sral.Program.accesses program @ Formula.accesses formula)
+
+(* Σ* a Σ* : 2 states; state 1 (seen) is absorbing-final. *)
+let atom_dfa ~table a =
+  let alphabet = Symbol.alphabet table in
+  match Symbol.find table a with
+  | None ->
+      (* the access can never occur in a trace over this alphabet *)
+      Dfa.empty_lang ~alphabet
+  | Some s ->
+      let k = List.length alphabet in
+      let row0 = Array.init k (fun i -> if i = s then 1 else 0) in
+      let row1 = Array.make k 1 in
+      Dfa.of_tables ~alphabet ~start:0 ~finals:[| false; true |]
+        ~next:[| row0; row1 |]
+
+(* Σ* a1 Σ* a2 Σ* : 3 states. *)
+let ordered_dfa ~table a1 a2 =
+  let alphabet = Symbol.alphabet table in
+  match (Symbol.find table a1, Symbol.find table a2) with
+  | None, _ | _, None -> Dfa.empty_lang ~alphabet
+  | Some s1, Some s2 ->
+      let k = List.length alphabet in
+      let row0 = Array.init k (fun i -> if i = s1 then 1 else 0) in
+      let row1 = Array.init k (fun i -> if i = s2 then 2 else 1) in
+      let row2 = Array.make k 2 in
+      Dfa.of_tables ~alphabet ~start:0 ~finals:[| false; false; true |]
+        ~next:[| row0; row1; row2 |]
+
+(* Counting automaton for #(lo, hi, sel): state = number of matching
+   symbols seen, saturating at [cap]. *)
+let card_dfa ~table ~lo ~hi sel =
+  let alphabet = Symbol.alphabet table in
+  let matching =
+    List.map (fun s -> Selector.matches sel (Symbol.access table s)) alphabet
+  in
+  let matching = Array.of_list matching in
+  let cap = match hi with Some h -> h + 1 | None -> lo in
+  let num_states = cap + 1 in
+  let k = Array.length matching in
+  let next =
+    Array.init num_states (fun q ->
+        Array.init k (fun i ->
+            if matching.(i) then Stdlib.min cap (q + 1) else q))
+  in
+  let finals =
+    Array.init num_states (fun q ->
+        lo <= q && match hi with None -> true | Some h -> q <= h)
+  in
+  Dfa.of_tables ~alphabet ~start:0 ~finals ~next
+
+let rec dfa ~table ~proofs (c : Formula.t) =
+  let alphabet = Symbol.alphabet table in
+  match c with
+  | Formula.True -> Dfa.universal_lang ~alphabet
+  | Formula.False -> Dfa.empty_lang ~alphabet
+  | Formula.Atom a ->
+      if Proof.holds proofs a then atom_dfa ~table a
+      else Dfa.empty_lang ~alphabet
+  | Formula.Ordered (a1, a2) ->
+      if Proof.holds proofs a1 && Proof.holds proofs a2 then
+        ordered_dfa ~table a1 a2
+      else Dfa.empty_lang ~alphabet
+  | Formula.Card { lo; hi; sel } -> card_dfa ~table ~lo ~hi sel
+  | Formula.And (c1, c2) ->
+      Dfa.minimize (Dfa.inter (dfa ~table ~proofs c1) (dfa ~table ~proofs c2))
+  | Formula.Or (c1, c2) ->
+      Dfa.minimize (Dfa.union (dfa ~table ~proofs c1) (dfa ~table ~proofs c2))
+  | Formula.Not c1 -> Dfa.complement (dfa ~table ~proofs c1)

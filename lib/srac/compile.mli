@@ -1,0 +1,35 @@
+(** Compilation of SRAC constraints to DFAs — the symbolic half of the
+    Theorem 3.2 decision procedure.
+
+    Every SRAC formula denotes a regular (indeed star-free) set of
+    traces over a finite access alphabet:
+
+    - [a] — every trace containing [a]:         [Σ* a Σ*];
+    - [a₁⊗a₂] — [a₁] strictly before [a₂]:      [Σ* a₁ Σ* a₂ Σ*];
+    - [#(m,n,σ)] — a counting automaton with [n+2] (or [m+1]) states,
+      saturating above its largest relevant count;
+    - booleans — DFA product and complement.
+
+    The DFAs are complete over the chosen alphabet, so the sizes stay
+    small: atoms are 2–3 states, cardinality [O(n)], and products
+    multiply — polynomial for the conjunctive constraints access
+    policies are built from.
+
+    The Definition 3.6 proof conjunct is resolved at compile time: an
+    atom whose access has no execution proof in [proofs] denotes the
+    empty language (it can never be satisfied), exactly mirroring
+    [t ⊨ a  ⟺  a ∈ t ∧ Pr_x(a)].  Pass {!Proof.always} to get the
+    purely structural semantics. *)
+
+val dfa :
+  table:Automata.Symbol.table ->
+  proofs:Proof.store ->
+  Formula.t ->
+  Automata.Dfa.t
+(** Over the full alphabet of [table].  Accesses mentioned by the
+    formula must already be interned (use {!alphabet_of}). *)
+
+val alphabet_of :
+  program:Sral.Ast.t -> Formula.t -> Automata.Symbol.table
+(** Symbol table covering the program's and the constraint's accesses —
+    the alphabet both sides of the check are compiled over. *)

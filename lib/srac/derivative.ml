@@ -1,0 +1,37 @@
+let rec satisfied_by_empty (c : Formula.t) =
+  match c with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom _ -> false
+  | Formula.Ordered _ -> false
+  | Formula.Card { lo; hi = _; sel = _ } -> lo <= 0
+  | Formula.And (c1, c2) -> satisfied_by_empty c1 && satisfied_by_empty c2
+  | Formula.Or (c1, c2) -> satisfied_by_empty c1 || satisfied_by_empty c2
+  | Formula.Not c1 -> not (satisfied_by_empty c1)
+
+let rec derive (c : Formula.t) a =
+  match c with
+  | Formula.True -> Formula.True
+  | Formula.False -> Formula.False
+  | Formula.Atom b ->
+      if Sral.Access.equal a b then Formula.True else Formula.Atom b
+  | Formula.Ordered (b, c2) ->
+      if Sral.Access.equal a b then
+        (* the consumed b may pair with a later c2, or a fresh b-c2 pair
+           may still happen entirely in the tail *)
+        Formula.Or (Formula.Atom c2, Formula.Ordered (b, c2))
+      else Formula.Ordered (b, c2)
+  | Formula.Card { lo; hi; sel } ->
+      if Selector.matches sel a then
+        let lo = max 0 (lo - 1) in
+        match hi with
+        | Some 0 -> Formula.False
+        | Some h -> Formula.Card { lo; hi = Some (h - 1); sel }
+        | None -> Formula.Card { lo; hi = None; sel }
+      else c
+  | Formula.And (c1, c2) -> Formula.And (derive c1 a, derive c2 a)
+  | Formula.Or (c1, c2) -> Formula.Or (derive c1 a, derive c2 a)
+  | Formula.Not c1 -> Formula.Not (derive c1 a)
+
+let after c a = Simplify.simplify (derive c a)
+let after_trace c trace = List.fold_left after c trace

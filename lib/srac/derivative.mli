@@ -1,0 +1,34 @@
+(** Syntactic derivatives of SRAC constraints.
+
+    [after c a] is the residual constraint: a trace [a :: w] satisfies
+    [c] exactly when [w] satisfies [after c a] (Brzozowski derivatives,
+    lifted from languages to Definition 3.6 formulas).  This gives a
+    second, automaton-free route to runtime monitoring: fold the
+    performed accesses over the policy's constraint and inspect what
+    remains — [True] means "already satisfied come what may", [False]
+    "irrecoverably violated" — and the suite differentially tests it
+    against both the trace checker and the DFA residual.
+
+    Derivatives commute with every boolean connective (satisfaction is
+    defined pointwise), so only the three atomic cases carry logic:
+
+    - [Atom b]: discharged when [a = b];
+    - [Ordered (b, c)]: when [a = b], the tail may finish the pair with
+      just [c] — or start a fresh pair;
+    - [Card]: matching accesses decrement the window; an exceeded upper
+      bound is [False] forever.
+
+    Proof conjuncts: the derivative treats the consumed access as
+    proof-carrying (it is about traces being executed), matching
+    {!Trace_sat.sat} with {!Proof.always}. *)
+
+val after : Formula.t -> Sral.Access.t -> Formula.t
+(** Simplified with {!Simplify.simplify}. *)
+
+val after_trace : Formula.t -> Sral.Trace.t -> Formula.t
+(** Left fold of {!after}. *)
+
+val satisfied_by_empty : Formula.t -> bool
+(** Does the empty trace satisfy the constraint?  (The "nullable" of
+    the derivative view; [after_trace c t |> satisfied_by_empty] equals
+    [Trace_sat.sat t c].) *)

@@ -1,0 +1,214 @@
+type t =
+  | True
+  | False
+  | Atom of Sral.Access.t
+  | Ordered of Sral.Access.t * Sral.Access.t
+  | Card of { lo : int; hi : int option; sel : Selector.t }
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let implies c1 c2 = Or (Not c1, c2)
+let at_most n sel = Card { lo = 0; hi = Some n; sel }
+let at_least n sel = Card { lo = n; hi = None; sel }
+
+let accesses c =
+  let rec collect acc = function
+    | True | False | Card _ -> acc
+    | Atom a -> a :: acc
+    | Ordered (a1, a2) -> a1 :: a2 :: acc
+    | And (c1, c2) | Or (c1, c2) -> collect (collect acc c1) c2
+    | Not c -> collect acc c
+  in
+  List.sort_uniq Sral.Access.compare (collect [] c)
+
+let rec size = function
+  | True | False | Atom _ | Ordered _ | Card _ -> 1
+  | Not c -> 1 + size c
+  | And (c1, c2) | Or (c1, c2) -> 1 + size c1 + size c2
+
+let equal c1 c2 = c1 = c2
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> Format.fprintf ppf "done(%a)" Sral.Access.pp a
+  | Ordered (a1, a2) ->
+      Format.fprintf ppf "seq(%a, %a)" Sral.Access.pp a1 Sral.Access.pp a2
+  | Card { lo; hi; sel } ->
+      let hi_str = match hi with None -> "inf" | Some n -> string_of_int n in
+      Format.fprintf ppf "count(%d, %s, %a)" lo hi_str Selector.pp sel
+  | And (c1, c2) -> Format.fprintf ppf "(%a && %a)" pp c1 pp c2
+  | Or (c1, c2) -> Format.fprintf ppf "(%a or %a)" pp c1 pp c2
+  | Not c -> Format.fprintf ppf "!%a" pp_atom c
+
+and pp_atom ppf c =
+  match c with
+  | True | False | Atom _ | Ordered _ | Card _ | And _ | Or _ | Not _ -> (
+      match c with
+      | And _ | Or _ -> Format.fprintf ppf "(%a)" pp c
+      | _ -> pp ppf c)
+
+let to_string c = Format.asprintf "%a" pp c
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-syntax parser                                              *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur fmt =
+  Format.kasprintf
+    (fun msg ->
+      invalid_arg (Printf.sprintf "Formula.of_string at %d: %s" cur.pos msg))
+    fmt
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.s
+    && (match cur.s.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let looking_at cur prefix =
+  skip_ws cur;
+  let n = String.length prefix in
+  cur.pos + n <= String.length cur.s && String.sub cur.s cur.pos n = prefix
+
+let try_eat cur prefix =
+  if looking_at cur prefix then begin
+    cur.pos <- cur.pos + String.length prefix;
+    true
+  end
+  else false
+
+let eat cur prefix =
+  if not (try_eat cur prefix) then fail cur "expected %S" prefix
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-'
+
+let parse_word cur =
+  skip_ws cur;
+  let start = cur.pos in
+  while cur.pos < String.length cur.s && is_word_char cur.s.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail cur "expected a word";
+  String.sub cur.s start (cur.pos - start)
+
+let parse_int cur =
+  let w = parse_word cur in
+  match int_of_string_opt w with
+  | Some i -> i
+  | None -> fail cur "expected an integer, got %S" w
+
+(* An access slice runs to the next ',' or unmatched ')' at depth 0
+   (custom operations contribute balanced parentheses). *)
+let parse_access cur =
+  skip_ws cur;
+  let start = cur.pos in
+  let depth = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && cur.pos < String.length cur.s do
+    (match cur.s.[cur.pos] with
+    | '(' -> incr depth
+    | ')' -> if !depth = 0 then continue_ := false else decr depth
+    | ',' -> if !depth = 0 then continue_ := false
+    | _ -> ());
+    if !continue_ then cur.pos <- cur.pos + 1
+  done;
+  let slice = String.sub cur.s start (cur.pos - start) in
+  try Sral.Parser.access slice
+  with Sral.Parser.Parse_error msg -> fail cur "bad access %S: %s" slice msg
+
+let rec parse_sel cur =
+  let lhs = parse_sel_unary cur in
+  if try_eat cur "&" then Selector.And (lhs, parse_sel cur)
+  else if try_eat cur "|" then Selector.Or (lhs, parse_sel cur)
+  else lhs
+
+and parse_sel_unary cur =
+  if try_eat cur "~" then Selector.Not (parse_sel_unary cur)
+  else if try_eat cur "(" then begin
+    let sel = parse_sel cur in
+    eat cur ")";
+    sel
+  end
+  else if try_eat cur "is(" then begin
+    let a = parse_access cur in
+    eat cur ")";
+    Selector.Exactly a
+  end
+  else if try_eat cur "op=" then
+    Selector.Op (Sral.Access.operation_of_name (parse_word cur))
+  else if try_eat cur "res=" then Selector.Resource (parse_word cur)
+  else if try_eat cur "srv=" then Selector.Server (parse_word cur)
+  else if try_eat cur "any" then Selector.Any
+  else fail cur "expected a selector"
+
+(* precedence: -> (right) < or < && < unary *)
+let rec parse_formula cur =
+  let lhs = parse_or cur in
+  if try_eat cur "->" then implies lhs (parse_formula cur) else lhs
+
+and parse_or cur =
+  let lhs = parse_and cur in
+  if looking_at cur "or" then begin
+    (* make sure it is the keyword, not a prefix of a word *)
+    let after = cur.pos + 2 in
+    if after >= String.length cur.s || not (is_word_char cur.s.[after]) then begin
+      cur.pos <- after;
+      Or (lhs, parse_or cur)
+    end
+    else lhs
+  end
+  else lhs
+
+and parse_and cur =
+  let lhs = parse_unary cur in
+  if try_eat cur "&&" then And (lhs, parse_and cur) else lhs
+
+and parse_unary cur =
+  skip_ws cur;
+  if try_eat cur "!" then Not (parse_unary cur)
+  else if try_eat cur "done(" then begin
+    let a = parse_access cur in
+    eat cur ")";
+    Atom a
+  end
+  else if try_eat cur "seq(" then begin
+    let a1 = parse_access cur in
+    eat cur ",";
+    let a2 = parse_access cur in
+    eat cur ")";
+    Ordered (a1, a2)
+  end
+  else if try_eat cur "count(" then begin
+    let lo = parse_int cur in
+    eat cur ",";
+    skip_ws cur;
+    let hi = if try_eat cur "inf" then None else Some (parse_int cur) in
+    eat cur ",";
+    let sel = parse_sel cur in
+    eat cur ")";
+    Card { lo; hi; sel }
+  end
+  else if try_eat cur "(" then begin
+    let c = parse_formula cur in
+    eat cur ")";
+    c
+  end
+  else if try_eat cur "true" then True
+  else if try_eat cur "false" then False
+  else fail cur "expected a constraint"
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  let c = parse_formula cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing input";
+  c

@@ -1,0 +1,55 @@
+(** The shared-resource access constraint language SRAC
+    (Definition 3.4):
+
+    {v  C ::= T | F | a | a₁⊗a₂ | #(m,n,σ(A)) | C∧C | C∨C | ¬C  v}
+
+    with [C₁→C₂] defined as [¬C₁∨C₂]. *)
+
+type t =
+  | True
+  | False
+  | Atom of Sral.Access.t  (** [a]: the access must be performed *)
+  | Ordered of Sral.Access.t * Sral.Access.t
+      (** [a₁ ⊗ a₂]: [a₁] is performed strictly before [a₂] (other
+          accesses may come in between). *)
+  | Card of { lo : int; hi : int option; sel : Selector.t }
+      (** [#(m, n, σ(A))]: the number of performed accesses selected by
+          [σ] lies in [[m, n]]; [hi = None] means unbounded above. *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val implies : t -> t -> t
+(** [implies c1 c2 = Or (Not c1, c2)], the paper's [→]. *)
+
+val at_most : int -> Selector.t -> t
+(** [at_most n σ] is [#(0, n, σ(A))] — e.g. Example 3.5's restricted
+    software rule is [at_most 5 (Resource "rsw")]. *)
+
+val at_least : int -> Selector.t -> t
+
+val accesses : t -> Sral.Access.t list
+(** Accesses mentioned by atoms and ordering constraints, sorted
+    distinct.  (Selectors are predicates and mention no specific
+    access.) *)
+
+val size : t -> int
+(** AST node count — the [n] of Theorem 3.2. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parse the concrete syntax used by policy files:
+    {v
+      C := 'true' | 'false'
+         | 'done(' access ')'            atom
+         | 'seq(' access ',' access ')'  ordering  a1 ⊗ a2
+         | 'count(' m ',' (n|'inf') ',' sel ')'
+         | C '&&' C | C 'or' C | '!' C | C '->' C | '(' C ')'
+      sel := 'any' | 'op=' name | 'res=' name | 'srv=' name
+           | 'is(' access ')' | sel '&' sel | sel '|' sel | '~' sel
+           | '(' sel ')'
+    v}
+    @raise Invalid_argument on parse errors. *)

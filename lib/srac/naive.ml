@@ -1,0 +1,19 @@
+let enumerate ?(loop_bound = 3) program =
+  Sral.Trace_ops.to_list (Sral.Trace_ops.traces_bounded ~loop_bound program)
+
+let check ?(proofs = Proof.always) ?(modality = Program_sat.Exists)
+    ?(loop_bound = 3) program formula =
+  let traces = enumerate ~loop_bound program in
+  let sat t = Trace_sat.sat ~proofs t formula in
+  match modality with
+  | Program_sat.Exists -> (
+      match List.find_opt sat traces with
+      | Some t -> { Program_sat.holds = true; witness = Some t }
+      | None -> { Program_sat.holds = false; witness = None })
+  | Program_sat.Forall -> (
+      match List.find_opt (fun t -> not (sat t)) traces with
+      | Some t -> { Program_sat.holds = false; witness = Some t }
+      | None -> { Program_sat.holds = true; witness = None })
+
+let trace_count ?loop_bound program =
+  List.length (enumerate ?loop_bound program)

@@ -1,0 +1,22 @@
+(** Naive baseline checker: enumerate the trace model and test each
+    trace with Definition 3.6.
+
+    Exact for loop-free programs; for programs with loops it is a
+    bounded approximation (loops unrolled [loop_bound] times), which is
+    the best an enumerating checker can do — this is exactly the
+    "seems to be undecidable when traces(P) is infinite" strawman the
+    paper raises before Theorem 3.2, and the benchmark baseline the
+    symbolic checker is compared against (experiment E7). *)
+
+val check :
+  ?proofs:Proof.store ->
+  ?modality:Program_sat.modality ->
+  ?loop_bound:int ->
+  Sral.Ast.t ->
+  Formula.t ->
+  Program_sat.outcome
+(** [loop_bound] defaults to 3. *)
+
+val trace_count : ?loop_bound:int -> Sral.Ast.t -> int
+(** Size of the enumerated (bounded) trace model — the thing that blows
+    up. *)

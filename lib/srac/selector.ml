@@ -1,0 +1,33 @@
+type t =
+  | Any
+  | Op of Sral.Access.operation
+  | Resource of string
+  | Server of string
+  | Exactly of Sral.Access.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let rec matches sel (a : Sral.Access.t) =
+  match sel with
+  | Any -> true
+  | Op op -> Sral.Access.operation_name op = Sral.Access.operation_name a.op
+  | Resource r -> String.equal r a.resource
+  | Server s -> String.equal s a.server
+  | Exactly a' -> Sral.Access.equal a a'
+  | And (s1, s2) -> matches s1 a && matches s2 a
+  | Or (s1, s2) -> matches s1 a || matches s2 a
+  | Not s -> not (matches s a)
+
+let select sel accesses = List.filter (matches sel) accesses
+let equal s1 s2 = s1 = s2
+
+let rec pp ppf = function
+  | Any -> Format.pp_print_string ppf "any"
+  | Op op -> Format.fprintf ppf "op=%s" (Sral.Access.operation_name op)
+  | Resource r -> Format.fprintf ppf "res=%s" r
+  | Server s -> Format.fprintf ppf "srv=%s" s
+  | Exactly a -> Format.fprintf ppf "is(%a)" Sral.Access.pp a
+  | And (s1, s2) -> Format.fprintf ppf "(%a & %a)" pp s1 pp s2
+  | Or (s1, s2) -> Format.fprintf ppf "(%a | %a)" pp s1 pp s2
+  | Not s -> Format.fprintf ppf "~%a" pp s

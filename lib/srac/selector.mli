@@ -1,0 +1,23 @@
+(** Selection operations [σ] over sets of accesses.
+
+    Example 3.5 uses [σ_RSW(A)] to select the accesses touching a
+    restricted software package regardless of site; a selector is a
+    predicate over accesses built from attribute tests. *)
+
+type t =
+  | Any
+  | Op of Sral.Access.operation
+  | Resource of string
+  | Server of string
+  | Exactly of Sral.Access.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val matches : t -> Sral.Access.t -> bool
+
+val select : t -> Sral.Access.t list -> Sral.Access.t list
+(** [σ(A)]: the subset of [A] matching the selector. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

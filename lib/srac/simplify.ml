@@ -1,0 +1,74 @@
+open Formula
+
+let rec nnf c =
+  match c with
+  | True | False | Atom _ | Ordered _ | Card _ -> c
+  | And (c1, c2) -> And (nnf c1, nnf c2)
+  | Or (c1, c2) -> Or (nnf c1, nnf c2)
+  | Not inner -> (
+      match inner with
+      | True -> False
+      | False -> True
+      | Not c1 -> nnf c1
+      | And (c1, c2) -> Or (nnf (Not c1), nnf (Not c2))
+      | Or (c1, c2) -> And (nnf (Not c1), nnf (Not c2))
+      | Atom _ | Ordered _ | Card _ -> Not inner)
+
+(* A cardinality constraint can be vacuous (every trace satisfies it)
+   or unsatisfiable (no trace does). *)
+let card_status ~lo ~hi =
+  if lo <= 0 && hi = None then `Always
+  else
+    match hi with
+    | Some h when h < lo -> `Never
+    | Some h when h < 0 -> `Never
+    | _ -> `Other
+
+let rec rewrite c =
+  match c with
+  | True | False | Atom _ | Ordered _ -> c
+  | Card { lo; hi; sel = _ } as card -> (
+      match card_status ~lo ~hi with
+      | `Always -> True
+      | `Never -> False
+      | `Other -> card)
+  | Not c1 -> (
+      match rewrite c1 with
+      | True -> False
+      | False -> True
+      | Not c2 -> c2
+      | c1' -> Not c1')
+  | And (c1, c2) -> (
+      match (rewrite c1, rewrite c2) with
+      | False, _ | _, False -> False
+      | True, c' | c', True -> c'
+      | c1', c2' when equal c1' c2' -> c1'
+      (* absorption: c && (c or d) = c *)
+      | c1', Or (a, b) when equal c1' a || equal c1' b -> c1'
+      | Or (a, b), c2' when equal c2' a || equal c2' b -> c2'
+      (* contradiction: c && !c = false *)
+      | c1', Not c2' when equal c1' c2' -> False
+      | Not c1', c2' when equal c1' c2' -> False
+      | c1', c2' -> And (c1', c2'))
+  | Or (c1, c2) -> (
+      match (rewrite c1, rewrite c2) with
+      | True, _ | _, True -> True
+      | False, c' | c', False -> c'
+      | c1', c2' when equal c1' c2' -> c1'
+      (* absorption: c or (c && d) = c *)
+      | c1', And (a, b) when equal c1' a || equal c1' b -> c1'
+      | And (a, b), c2' when equal c2' a || equal c2' b -> c2'
+      (* excluded middle: c or !c = true *)
+      | c1', Not c2' when equal c1' c2' -> True
+      | Not c1', c2' when equal c1' c2' -> True
+      | c1', c2' -> Or (c1', c2'))
+
+let simplify c =
+  let rec fix c =
+    let c' = rewrite c in
+    if equal c c' then c else fix c'
+  in
+  fix c
+
+let is_trivially_true c = equal (simplify c) True
+let is_trivially_false c = equal (simplify c) False

@@ -1,0 +1,22 @@
+(** Constraint normalization and simplification.
+
+    Policy files accumulate redundancy (machine-generated bindings,
+    aggregation of several officers' rules).  [simplify] applies
+    language-preserving rewrites — constant folding, double-negation
+    and De Morgan pushes, idempotence, absorption of trivially
+    true/false cardinalities — and [nnf] produces negation normal form.
+    Preservation of Definition 3.6 semantics is property-tested against
+    both the trace checker and the compiled automata. *)
+
+val nnf : Formula.t -> Formula.t
+(** Negation normal form: negation only on atomic constraints.
+    (Atoms, orderings and cardinalities stay negated as units: SRAC has
+    no complemented atom forms.) *)
+
+val simplify : Formula.t -> Formula.t
+(** Fixpoint of the rewrite system.  Never grows the formula. *)
+
+val is_trivially_true : Formula.t -> bool
+(** Syntactic: the formula simplifies to [True]. *)
+
+val is_trivially_false : Formula.t -> bool

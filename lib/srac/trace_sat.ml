@@ -1,0 +1,71 @@
+let ordered_in_trace trace a1 a2 =
+  (* exists i < j with t_i = a1 and t_j = a2 *)
+  let rec scan = function
+    | [] -> false
+    | b :: rest ->
+        if Sral.Access.equal b a1 then Sral.Trace.mem a2 rest || scan rest
+        else scan rest
+  in
+  scan trace
+
+let rec sat ~proofs trace (c : Formula.t) =
+  match c with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom a -> Sral.Trace.mem a trace && Proof.holds proofs a
+  | Formula.Ordered (a1, a2) ->
+      ordered_in_trace trace a1 a2
+      && Proof.holds proofs a1 && Proof.holds proofs a2
+  | Formula.Card { lo; hi; sel } ->
+      let n = Sral.Trace.count (Selector.matches sel) trace in
+      lo <= n && (match hi with None -> true | Some h -> n <= h)
+  | Formula.And (c1, c2) -> sat ~proofs trace c1 && sat ~proofs trace c2
+  | Formula.Or (c1, c2) -> sat ~proofs trace c1 || sat ~proofs trace c2
+  | Formula.Not c1 -> not (sat ~proofs trace c1)
+
+let explain ~proofs trace c =
+  let rec find_failure (c : Formula.t) : string option =
+    match c with
+    | Formula.True -> None
+    | Formula.False -> Some "constraint is false"
+    | Formula.Atom a ->
+        if not (Sral.Trace.mem a trace) then
+          Some (Format.asprintf "access %a not in trace" Sral.Access.pp a)
+        else if not (Proof.holds proofs a) then
+          Some (Format.asprintf "no execution proof for %a" Sral.Access.pp a)
+        else None
+    | Formula.Ordered (a1, a2) ->
+        if sat ~proofs trace c then None
+        else
+          Some
+            (Format.asprintf "%a does not precede %a (with proofs)"
+               Sral.Access.pp a1 Sral.Access.pp a2)
+    | Formula.Card { lo; hi; sel } ->
+        let n = Sral.Trace.count (Selector.matches sel) trace in
+        if n < lo then
+          Some
+            (Format.asprintf "only %d accesses match %a (need >= %d)" n
+               Selector.pp sel lo)
+        else (
+          match hi with
+          | Some h when n > h ->
+              Some
+                (Format.asprintf "%d accesses match %a (allowed <= %d)" n
+                   Selector.pp sel h)
+          | _ -> None)
+    | Formula.And (c1, c2) -> (
+        match find_failure c1 with
+        | Some _ as failure -> failure
+        | None -> find_failure c2)
+    | Formula.Or (c1, c2) ->
+        if sat ~proofs trace c1 || sat ~proofs trace c2 then None
+        else
+          Some
+            (Format.asprintf "neither disjunct holds: %a" Formula.pp
+               (Formula.Or (c1, c2)))
+    | Formula.Not c1 ->
+        if sat ~proofs trace c1 then
+          Some (Format.asprintf "negated constraint holds: %a" Formula.pp c1)
+        else None
+  in
+  match find_failure c with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,13 @@
+(** Finite-trace constraint satisfaction — Definition 3.6.
+
+    [sat ~proofs t C] decides [t ⊨ C] where the atom and ordering cases
+    additionally require execution proofs ([Pr_x]) as the definition
+    demands.  Pass {!Proof.always} for the purely structural reading
+    (static checking before execution). *)
+
+val sat : proofs:Proof.store -> Sral.Trace.t -> Formula.t -> bool
+
+val explain :
+  proofs:Proof.store -> Sral.Trace.t -> Formula.t -> (unit, string) result
+(** Like {!sat} but a failing check reports which subformula failed
+    first (for audit logs and error messages). *)

@@ -1,0 +1,45 @@
+type t =
+  | Skip
+  | Access of Access.t
+  | Recv of string * string
+  | Send of string * Expr.t
+  | Signal of string
+  | Wait of string
+  | Assign of string * Expr.t
+  | Seq of t * t
+  | If of Expr.t * t * t
+  | While of Expr.t * t
+  | Par of t * t
+
+let rec seq = function
+  | [] -> Skip
+  | [ p ] -> p
+  | p :: rest -> Seq (p, seq rest)
+
+let rec par = function
+  | [] -> Skip
+  | [ p ] -> p
+  | p :: rest -> Par (p, par rest)
+
+let access a = Access a
+
+let rec equal p1 p2 =
+  match (p1, p2) with
+  | Skip, Skip -> true
+  | Access a1, Access a2 -> Access.equal a1 a2
+  | Recv (c1, x1), Recv (c2, x2) -> String.equal c1 c2 && String.equal x1 x2
+  | Send (c1, e1), Send (c2, e2) -> String.equal c1 c2 && Expr.equal e1 e2
+  | Signal x1, Signal x2 | Wait x1, Wait x2 -> String.equal x1 x2
+  | Assign (x1, e1), Assign (x2, e2) ->
+      String.equal x1 x2 && Expr.equal e1 e2
+  | Seq (a1, b1), Seq (a2, b2) | Par (a1, b1), Par (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | If (c1, a1, b1), If (c2, a2, b2) ->
+      Expr.equal c1 c2 && equal a1 a2 && equal b1 b2
+  | While (c1, a1), While (c2, a2) -> Expr.equal c1 c2 && equal a1 a2
+  | ( ( Skip | Access _ | Recv _ | Send _ | Signal _ | Wait _ | Assign _
+      | Seq _ | If _ | While _ | Par _ ),
+      _ ) ->
+      false
+
+let compare p1 p2 = Stdlib.compare p1 p2

@@ -1,0 +1,36 @@
+(** Abstract syntax of SRAL programs (Definition 3.1 of the paper).
+
+    {v
+      a ::= op r @ s | ch ? x | ch ! e | signal(xi) | wait(xi)
+          | x := e
+          | a1 ; a2 | if c then a1 else a2 | while c do a | a1 || a2
+    v}
+
+    [x := e] is the one addition over the paper's grammar: Definition
+    3.1 ranges conditions over a set of variables [V] but gives no
+    construct that binds them besides channel receive; assignment makes
+    loop conditions expressible without a peer agent, and erases to the
+    same trace model (assignments are not shared-resource accesses). *)
+
+type t =
+  | Skip  (** the empty program; unit of [Seq] and [Par] *)
+  | Access of Access.t  (** [op r @ s] *)
+  | Recv of string * string  (** [ch ? x]: receive from channel into var *)
+  | Send of string * Expr.t  (** [ch ! e]: append value of [e] to channel *)
+  | Signal of string  (** [signal(xi)] *)
+  | Wait of string  (** [wait(xi)]: blocks until the signal was raised *)
+  | Assign of string * Expr.t  (** [x := e] *)
+  | Seq of t * t  (** [a1 ; a2] *)
+  | If of Expr.t * t * t  (** [if c then a1 else a2] *)
+  | While of Expr.t * t  (** [while c do a] *)
+  | Par of t * t  (** [a1 || a2]: interleaved execution *)
+
+val seq : t list -> t
+(** Right-nested sequential composition; [seq []] is [Skip]. *)
+
+val par : t list -> t
+(** Right-nested parallel composition; [par []] is [Skip]. *)
+
+val access : Access.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int

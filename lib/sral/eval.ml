@@ -1,0 +1,51 @@
+type error = Unsupported of string | Eval_error of string | Out_of_fuel
+
+type outcome = { trace : Trace.t; env : Env.t }
+
+exception Error of error
+
+let run ?(fuel = 100_000) ?(env = Env.empty) program =
+  let remaining = ref fuel in
+  let tick () =
+    if !remaining <= 0 then raise (Error Out_of_fuel) else decr remaining
+  in
+  (* accesses accumulated in reverse *)
+  let rec go env acc p =
+    tick ();
+    match p with
+    | Ast.Skip -> (env, acc)
+    | Ast.Access a -> (env, a :: acc)
+    | Ast.Assign (x, e) -> (Env.bind env x (Expr.eval env e), acc)
+    | Ast.Recv (ch, _) -> raise (Error (Unsupported ("receive on " ^ ch)))
+    | Ast.Send (ch, _) -> raise (Error (Unsupported ("send on " ^ ch)))
+    | Ast.Signal x -> raise (Error (Unsupported ("signal " ^ x)))
+    | Ast.Wait x -> raise (Error (Unsupported ("wait " ^ x)))
+    | Ast.Seq (p1, p2) ->
+        let env, acc = go env acc p1 in
+        go env acc p2
+    | Ast.If (c, p1, p2) ->
+        if Expr.eval_bool env c then go env acc p1 else go env acc p2
+    | Ast.While (c, body) ->
+        if Expr.eval_bool env c then
+          let env, acc = go env acc body in
+          go env acc p
+        else (env, acc)
+    | Ast.Par (p1, p2) ->
+        (* one legal interleaving: left branch entirely first *)
+        let env, acc = go env acc p1 in
+        go env acc p2
+  in
+  match go env [] program with
+  | env, acc -> Ok { trace = List.rev acc; env }
+  | exception Error e -> Error e
+  | exception Expr.Eval_error msg -> Error (Eval_error msg)
+
+let trace_of ?fuel ?env program =
+  match run ?fuel ?env program with
+  | Ok { trace; _ } -> Some trace
+  | Error _ -> None
+
+let pp_error ppf = function
+  | Unsupported what -> Format.fprintf ppf "unsupported construct: %s" what
+  | Eval_error msg -> Format.fprintf ppf "evaluation error: %s" msg
+  | Out_of_fuel -> Format.pp_print_string ppf "out of fuel"

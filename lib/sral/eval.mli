@@ -1,0 +1,26 @@
+(** Big-step reference evaluator for SRAL programs.
+
+    Runs a program to completion in one (deterministic) execution
+    order, collecting the access trace — the executable counterpart of
+    the trace semantics, used for differential testing against the
+    Naplet machine's small-step interpreter and against the symbolic
+    trace model.
+
+    Channels and signals need a peer to synchronize with, so this
+    single-object evaluator rejects them; [Par] is evaluated
+    left-branch-first (one legal interleaving). *)
+
+type error =
+  | Unsupported of string  (** channel/signal constructs *)
+  | Eval_error of string  (** unbound variable, type error, ... *)
+  | Out_of_fuel  (** loop exceeded the step budget *)
+
+type outcome = { trace : Trace.t; env : Env.t }
+
+val run : ?fuel:int -> ?env:Env.t -> Ast.t -> (outcome, error) result
+(** [fuel] (default 100_000) bounds total evaluation steps. *)
+
+val trace_of : ?fuel:int -> ?env:Env.t -> Ast.t -> Trace.t option
+(** Just the trace, [None] on any error. *)
+
+val pp_error : Format.formatter -> error -> unit

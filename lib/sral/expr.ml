@@ -1,0 +1,129 @@
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Binop of binop * t * t
+  | Not of t
+  | Neg of t
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let arith name f v1 v2 =
+  match (v1, v2) with
+  | Value.Int i, Value.Int j -> Value.Int (f i j)
+  | _ -> eval_error "operator %s expects integers" name
+
+let cmp f v1 v2 = Value.Bool (f (Value.compare v1 v2) 0)
+
+let rec eval env e =
+  match e with
+  | Int i -> Value.Int i
+  | Bool b -> Value.Bool b
+  | Var x -> (
+      match Env.find env x with
+      | Some v -> v
+      | None -> eval_error "unbound variable %s" x)
+  | Not e1 -> Value.Bool (not (Value.truthy (eval env e1)))
+  | Neg e1 -> (
+      match eval env e1 with
+      | Value.Int i -> Value.Int (-i)
+      | Value.Bool _ -> eval_error "unary minus expects an integer")
+  | Binop (And, e1, e2) ->
+      if Value.truthy (eval env e1) then Value.Bool (Value.truthy (eval env e2))
+      else Value.Bool false
+  | Binop (Or, e1, e2) ->
+      if Value.truthy (eval env e1) then Value.Bool true
+      else Value.Bool (Value.truthy (eval env e2))
+  | Binop (op, e1, e2) -> (
+      let v1 = eval env e1 in
+      let v2 = eval env e2 in
+      match op with
+      | Add -> arith "+" ( + ) v1 v2
+      | Sub -> arith "-" ( - ) v1 v2
+      | Mul -> arith "*" ( * ) v1 v2
+      | Div ->
+          if v2 = Value.Int 0 then eval_error "division by zero"
+          else arith "/" ( / ) v1 v2
+      | Mod ->
+          if v2 = Value.Int 0 then eval_error "modulo by zero"
+          else arith "%%" ( mod ) v1 v2
+      | Lt -> cmp ( < ) v1 v2
+      | Le -> cmp ( <= ) v1 v2
+      | Gt -> cmp ( > ) v1 v2
+      | Ge -> cmp ( >= ) v1 v2
+      | Eq -> Value.Bool (Value.equal v1 v2)
+      | Ne -> Value.Bool (not (Value.equal v1 v2))
+      | And | Or -> assert false)
+
+let eval_bool env e = Value.truthy (eval env e)
+
+let free_vars e =
+  let rec collect acc = function
+    | Int _ | Bool _ -> acc
+    | Var x -> x :: acc
+    | Not e1 | Neg e1 -> collect acc e1
+    | Binop (_, e1, e2) -> collect (collect acc e1) e2
+  in
+  List.sort_uniq String.compare (collect [] e)
+
+let rec size = function
+  | Int _ | Bool _ | Var _ -> 1
+  | Not e1 | Neg e1 -> 1 + size e1
+  | Binop (_, e1, e2) -> 1 + size e1 + size e2
+
+let rec equal e1 e2 =
+  match (e1, e2) with
+  | Int i, Int j -> i = j
+  | Bool b, Bool c -> b = c
+  | Var x, Var y -> String.equal x y
+  | Not a, Not b | Neg a, Neg b -> equal a b
+  | Binop (op1, a1, b1), Binop (op2, a2, b2) ->
+      op1 = op2 && equal a1 a2 && equal b1 b2
+  | (Int _ | Bool _ | Var _ | Not _ | Neg _ | Binop _), _ -> false
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "or"
+
+(* Precedence levels for printing with minimal parentheses; higher binds
+   tighter.  Mirrors the parser's precedence climbing. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Lt | Le | Gt | Ge | Eq | Ne -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_prec prec ppf e =
+  match e with
+  | Int i -> Format.pp_print_int ppf i
+  | Bool b -> Format.pp_print_bool ppf b
+  | Var x -> Format.pp_print_string ppf x
+  | Not e1 -> Format.fprintf ppf "!%a" (pp_prec 6) e1
+  | Neg e1 -> Format.fprintf ppf "-%a" (pp_prec 6) e1
+  | Binop (op, e1, e2) ->
+      let p = binop_prec op in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (pp_prec p) e1 (binop_name op)
+          (pp_prec (p + 1)) e2
+      in
+      if p < prec then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,48 @@
+(** Arithmetic and boolean expressions.
+
+    Expressions appear as conditions of [if]/[while] (the syntactic set
+    [C] of the paper) and as payloads of channel sends ([a!e]). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Binop of binop * t * t
+  | Not of t
+  | Neg of t
+
+exception Eval_error of string
+(** Raised on unbound variables, type mismatches and division by zero. *)
+
+val eval : Env.t -> t -> Value.t
+(** Big-step evaluation.  [And]/[Or] short-circuit.
+    @raise Eval_error on dynamic errors. *)
+
+val eval_bool : Env.t -> t -> bool
+(** [eval_bool env e] is [Value.truthy (eval env e)]. *)
+
+val free_vars : t -> string list
+(** Sorted, without duplicates. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val equal : t -> t -> bool
+val binop_name : binop -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,169 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_SKIP
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_SIGNAL
+  | KW_WAIT
+  | KW_OP
+  | KW_TRUE
+  | KW_FALSE
+  | KW_OR
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | AT
+  | QUESTION
+  | BANG
+  | ASSIGN
+  | PARALLEL
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | EOF
+
+exception Lex_error of string * int
+
+let keyword_of_ident = function
+  | "skip" -> Some KW_SKIP
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "signal" -> Some KW_SIGNAL
+  | "wait" -> Some KW_WAIT
+  | "op" -> Some KW_OP
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "or" -> Some KW_OR
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let peek i = if i < n then Some input.[i] else None in
+  let rec scan i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1) acc
+      | '#' ->
+          let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+          scan (skip i) acc
+      | '{' -> scan (i + 1) (LBRACE :: acc)
+      | '}' -> scan (i + 1) (RBRACE :: acc)
+      | '(' -> scan (i + 1) (LPAREN :: acc)
+      | ')' -> scan (i + 1) (RPAREN :: acc)
+      | ';' -> scan (i + 1) (SEMI :: acc)
+      | '@' -> scan (i + 1) (AT :: acc)
+      | '?' -> scan (i + 1) (QUESTION :: acc)
+      | '+' -> scan (i + 1) (PLUS :: acc)
+      | '-' -> scan (i + 1) (MINUS :: acc)
+      | '*' -> scan (i + 1) (STAR :: acc)
+      | '/' -> scan (i + 1) (SLASH :: acc)
+      | '%' -> scan (i + 1) (PERCENT :: acc)
+      | ':' ->
+          if peek (i + 1) = Some '=' then scan (i + 2) (ASSIGN :: acc)
+          else raise (Lex_error ("expected ':='", i))
+      | '|' ->
+          if peek (i + 1) = Some '|' then scan (i + 2) (PARALLEL :: acc)
+          else raise (Lex_error ("expected '||'", i))
+      | '&' ->
+          if peek (i + 1) = Some '&' then scan (i + 2) (ANDAND :: acc)
+          else raise (Lex_error ("expected '&&'", i))
+      | '<' ->
+          if peek (i + 1) = Some '=' then scan (i + 2) (LE :: acc)
+          else scan (i + 1) (LT :: acc)
+      | '>' ->
+          if peek (i + 1) = Some '=' then scan (i + 2) (GE :: acc)
+          else scan (i + 1) (GT :: acc)
+      | '=' ->
+          if peek (i + 1) = Some '=' then scan (i + 2) (EQ :: acc)
+          else raise (Lex_error ("expected '=='", i))
+      | '!' ->
+          (* '!' is channel send when followed by an operand, NOT when it
+             negates; '!=' is always disequality.  The parser tells send
+             from negation by context, so we only split off '!='. *)
+          if peek (i + 1) = Some '=' then scan (i + 2) (NE :: acc)
+          else scan (i + 1) (BANG :: acc)
+      | c when is_digit c ->
+          let rec stop j = if j < n && is_digit input.[j] then stop (j + 1) else j in
+          let j = stop i in
+          scan j (INT (int_of_string (String.sub input i (j - i))) :: acc)
+      | c when is_ident_start c ->
+          let rec stop j = if j < n && is_ident_char input.[j] then stop (j + 1) else j in
+          let j = stop i in
+          let word = String.sub input i (j - i) in
+          let tok =
+            match keyword_of_ident word with
+            | Some kw -> kw
+            | None -> IDENT word
+          in
+          scan j (tok :: acc)
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  scan 0 []
+
+let pp_token ppf tok =
+  let s =
+    match tok with
+    | INT i -> string_of_int i
+    | IDENT x -> Printf.sprintf "ident %s" x
+    | KW_SKIP -> "skip"
+    | KW_IF -> "if"
+    | KW_THEN -> "then"
+    | KW_ELSE -> "else"
+    | KW_WHILE -> "while"
+    | KW_DO -> "do"
+    | KW_SIGNAL -> "signal"
+    | KW_WAIT -> "wait"
+    | KW_OP -> "op"
+    | KW_TRUE -> "true"
+    | KW_FALSE -> "false"
+    | KW_OR -> "or"
+    | LBRACE -> "{"
+    | RBRACE -> "}"
+    | LPAREN -> "("
+    | RPAREN -> ")"
+    | SEMI -> ";"
+    | AT -> "@"
+    | QUESTION -> "?"
+    | BANG -> "!"
+    | ASSIGN -> ":="
+    | PARALLEL -> "||"
+    | PLUS -> "+"
+    | MINUS -> "-"
+    | STAR -> "*"
+    | SLASH -> "/"
+    | PERCENT -> "%"
+    | LT -> "<"
+    | LE -> "<="
+    | GT -> ">"
+    | GE -> ">="
+    | EQ -> "=="
+    | NE -> "!="
+    | ANDAND -> "&&"
+    | EOF -> "<eof>"
+  in
+  Format.pp_print_string ppf s

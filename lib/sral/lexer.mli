@@ -1,0 +1,50 @@
+(** Hand-written lexer for the SRAL concrete syntax. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_SKIP
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_SIGNAL
+  | KW_WAIT
+  | KW_OP
+  | KW_TRUE
+  | KW_FALSE
+  | KW_OR
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | AT  (** [@] *)
+  | QUESTION
+  | BANG
+  | ASSIGN  (** [:=] *)
+  | PARALLEL  (** [||] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ  (** [==] *)
+  | NE  (** [!=] *)
+  | ANDAND  (** [&&] *)
+  | EOF
+
+exception Lex_error of string * int
+(** [(message, offset)] — byte offset into the input. *)
+
+val tokenize : string -> token list
+(** Whole-input tokenization, ending with [EOF].  Comments run from [#]
+    to end of line.
+    @raise Lex_error on an unexpected character. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,225 @@
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1)
+  else Lexer.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let tok = peek st in
+  advance st;
+  tok
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else parse_error "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let ident st =
+  match next st with
+  | Lexer.IDENT x -> x
+  | tok -> parse_error "expected identifier, found %a" Lexer.pp_token tok
+
+(* --- expressions: precedence climbing --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop acc =
+    if peek st = Lexer.KW_OR then (
+      advance st;
+      loop (Expr.Binop (Expr.Or, acc, parse_and st)))
+    else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if peek st = Lexer.ANDAND then (
+      advance st;
+      loop (Expr.Binop (Expr.And, acc, parse_cmp st)))
+    else acc
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.LT -> Some Expr.Lt
+    | Lexer.LE -> Some Expr.Le
+    | Lexer.GT -> Some Expr.Gt
+    | Lexer.GE -> Some Expr.Ge
+    | Lexer.EQ -> Some Expr.Eq
+    | Lexer.NE -> Some Expr.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Expr.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        loop (Expr.Binop (Expr.Add, acc, parse_mul st))
+    | Lexer.MINUS ->
+        advance st;
+        loop (Expr.Binop (Expr.Sub, acc, parse_mul st))
+    | _ -> acc
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        loop (Expr.Binop (Expr.Mul, acc, parse_unary st))
+    | Lexer.SLASH ->
+        advance st;
+        loop (Expr.Binop (Expr.Div, acc, parse_unary st))
+    | Lexer.PERCENT ->
+        advance st;
+        loop (Expr.Binop (Expr.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.BANG ->
+      advance st;
+      Expr.Not (parse_unary st)
+  | Lexer.MINUS ->
+      advance st;
+      Expr.Neg (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match next st with
+  | Lexer.INT i -> Expr.Int i
+  | Lexer.KW_TRUE -> Expr.Bool true
+  | Lexer.KW_FALSE -> Expr.Bool false
+  | Lexer.IDENT x -> Expr.Var x
+  | Lexer.LPAREN ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN "')'";
+      e
+  | tok -> parse_error "expected expression, found %a" Lexer.pp_token tok
+
+(* --- programs --- *)
+
+let rec parse_program st =
+  let lhs = parse_term st in
+  if peek st = Lexer.SEMI then (
+    advance st;
+    Ast.Seq (lhs, parse_program st))
+  else lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  if peek st = Lexer.PARALLEL then (
+    advance st;
+    Ast.Par (lhs, parse_term st))
+  else lhs
+
+and parse_block st =
+  expect st Lexer.LBRACE "'{'";
+  let p = parse_program st in
+  expect st Lexer.RBRACE "'}'";
+  p
+
+and parse_access_tail st op =
+  let resource = ident st in
+  expect st Lexer.AT "'@'";
+  let server = ident st in
+  Ast.Access (Access.make ~op ~resource ~server)
+
+and parse_factor st =
+  match peek st with
+  | Lexer.KW_SKIP ->
+      advance st;
+      Ast.Skip
+  | Lexer.KW_SIGNAL ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let x = ident st in
+      expect st Lexer.RPAREN "')'";
+      Ast.Signal x
+  | Lexer.KW_WAIT ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let x = ident st in
+      expect st Lexer.RPAREN "')'";
+      Ast.Wait x
+  | Lexer.KW_OP ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      let name = ident st in
+      expect st Lexer.RPAREN "')'";
+      parse_access_tail st (Access.Custom name)
+  | Lexer.KW_IF ->
+      advance st;
+      let c = parse_expr st in
+      expect st Lexer.KW_THEN "'then'";
+      let p1 = parse_block st in
+      expect st Lexer.KW_ELSE "'else'";
+      let p2 = parse_block st in
+      Ast.If (c, p1, p2)
+  | Lexer.KW_WHILE ->
+      advance st;
+      let c = parse_expr st in
+      expect st Lexer.KW_DO "'do'";
+      let body = parse_block st in
+      Ast.While (c, body)
+  | Lexer.LBRACE -> parse_block st
+  | Lexer.IDENT x -> (
+      match peek2 st with
+      | Lexer.QUESTION ->
+          advance st;
+          advance st;
+          Ast.Recv (x, ident st)
+      | Lexer.BANG ->
+          advance st;
+          advance st;
+          Ast.Send (x, parse_expr st)
+      | Lexer.ASSIGN ->
+          advance st;
+          advance st;
+          Ast.Assign (x, parse_expr st)
+      | Lexer.IDENT _ ->
+          advance st;
+          parse_access_tail st (Access.operation_of_name x)
+      | tok ->
+          parse_error "after %s: expected '?', '!', ':=' or a resource, found %a"
+            x Lexer.pp_token tok)
+  | tok -> parse_error "expected a program, found %a" Lexer.pp_token tok
+
+let run_parser parse input =
+  let tokens =
+    try Array.of_list (Lexer.tokenize input)
+    with Lexer.Lex_error (msg, off) ->
+      parse_error "lexical error at offset %d: %s" off msg
+  in
+  let st = { tokens; pos = 0 } in
+  let result = parse st in
+  expect st Lexer.EOF "end of input";
+  result
+
+let program input = run_parser parse_program input
+let expr input = run_parser parse_expr input
+
+let access input =
+  match run_parser parse_factor input with
+  | Ast.Access a -> a
+  | _ -> parse_error "expected a single access"

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for the SRAL concrete syntax.
+
+    Grammar (see {!Pretty} for the printer of the same grammar):
+    {v
+      program := term (';' program)?
+      term    := factor ('||' term)?
+      factor  := 'skip'
+               | op-name resource '@' server          (access)
+               | 'op' '(' name ')' resource '@' server
+               | chan '?' var | chan '!' expr
+               | 'signal' '(' name ')' | 'wait' '(' name ')'
+               | var ':=' expr
+               | 'if' expr 'then' '{' program '}' 'else' '{' program '}'
+               | 'while' expr 'do' '{' program '}'
+               | '{' program '}'
+    v}
+    Operation names [read], [write], [execute] map to the built-in
+    operations; any other leading identifier followed by an identifier
+    is parsed as a custom-operation access.  Expressions use the usual
+    precedence with boolean disjunction spelled [or] (to keep [||] for
+    parallel composition). *)
+
+exception Parse_error of string
+
+val program : string -> Ast.t
+(** Parse a complete program.  @raise Parse_error *)
+
+val expr : string -> Expr.t
+(** Parse a complete expression.  @raise Parse_error *)
+
+val access : string -> Access.t
+(** Parse a single access, e.g. ["read db @ s1"].  @raise Parse_error *)

@@ -1,0 +1,38 @@
+(* Concrete-syntax grammar printed here (and accepted by {!Parser}):
+     program := term (';' program)?
+     term    := factor ('||' factor)*
+     factor  := primitive | block
+   so ';' binds looser than '||', and nested compositions that violate
+   this shape are wrapped in braces. *)
+
+open Ast
+
+let rec pp ppf p =
+  match p with
+  | Seq (p1, p2) -> Format.fprintf ppf "@[<v>%a;@ %a@]" pp_term p1 pp p2
+  | _ -> pp_term ppf p
+
+and pp_term ppf p =
+  match p with
+  | Par (p1, p2) ->
+      Format.fprintf ppf "%a || %a" pp_factor p1 pp_term p2
+  | _ -> pp_factor ppf p
+
+and pp_factor ppf p =
+  match p with
+  | Skip -> Format.pp_print_string ppf "skip"
+  | Access a -> Access.pp ppf a
+  | Recv (ch, x) -> Format.fprintf ppf "%s ? %s" ch x
+  | Send (ch, e) -> Format.fprintf ppf "%s ! %a" ch Expr.pp e
+  | Signal x -> Format.fprintf ppf "signal(%s)" x
+  | Wait x -> Format.fprintf ppf "wait(%s)" x
+  | Assign (x, e) -> Format.fprintf ppf "%s := %a" x Expr.pp e
+  | If (c, p1, p2) ->
+      Format.fprintf ppf "@[<v>if %a then {@;<1 2>@[<v>%a@]@ } else {@;<1 2>@[<v>%a@]@ }@]"
+        Expr.pp c pp p1 pp p2
+  | While (c, body) ->
+      Format.fprintf ppf "@[<v>while %a do {@;<1 2>@[<v>%a@]@ }@]" Expr.pp c
+        pp body
+  | Seq _ | Par _ -> Format.fprintf ppf "{ @[<v>%a@] }" pp p
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,7 @@
+(** Pretty-printing of SRAL programs in concrete syntax.
+
+    The output parses back to an equal AST (round-trip property tested
+    in the suite). *)
+
+val pp : Format.formatter -> Ast.t -> unit
+val to_string : Ast.t -> string

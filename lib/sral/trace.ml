@@ -1,0 +1,36 @@
+type t = Access.t list
+
+let empty = []
+let is_empty t = t = []
+let length = List.length
+let mem a t = List.exists (Access.equal a) t
+let concat t v = t @ v
+let count pred t = List.length (List.filter pred t)
+
+let positions a t =
+  let rec loop i = function
+    | [] -> []
+    | b :: rest ->
+        if Access.equal a b then i :: loop (i + 1) rest else loop (i + 1) rest
+  in
+  loop 0 t
+
+let equal t v = List.length t = List.length v && List.for_all2 Access.equal t v
+
+let rec compare t v =
+  match (t, v) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | a :: t', b :: v' ->
+      let c = Access.compare a b in
+      if c <> 0 then c else compare t' v'
+
+let pp ppf t =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Access.pp)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

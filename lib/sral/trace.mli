@@ -1,0 +1,24 @@
+(** Execution traces: finite sequences of shared-resource accesses.
+
+    A trace records the accesses a mobile object performed and their
+    order (Section 3.2). *)
+
+type t = Access.t list
+
+val empty : t
+val is_empty : t -> bool
+val length : t -> int
+val mem : Access.t -> t -> bool
+val concat : t -> t -> t
+(** [concat t v] is the trace [t ^ v] ([t] followed by [v]). *)
+
+val count : (Access.t -> bool) -> t -> int
+(** Number of elements satisfying the predicate. *)
+
+val positions : Access.t -> t -> int list
+(** 0-based positions of an access in the trace, ascending. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

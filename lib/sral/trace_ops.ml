@@ -1,0 +1,67 @@
+module Trace_set = Set.Make (struct
+  type t = Trace.t
+
+  let compare = Trace.compare
+end)
+
+type t = Trace_set.t
+
+let of_list l = Trace_set.of_list l
+let to_list s = Trace_set.elements s
+
+let concat m1 m2 =
+  Trace_set.fold
+    (fun t acc ->
+      Trace_set.fold (fun v acc -> Trace_set.add (Trace.concat t v) acc) m2 acc)
+    m1 Trace_set.empty
+
+let union = Trace_set.union
+
+(* Definition in Section 3.2: head(t).x for x in (tail t # v), plus the
+   symmetric case. *)
+let rec interleave_traces t v =
+  match (t, v) with
+  | [], _ -> Trace_set.singleton v
+  | _, [] -> Trace_set.singleton t
+  | a :: t', b :: v' ->
+      let left =
+        Trace_set.map (fun x -> a :: x) (interleave_traces t' v)
+      in
+      let right =
+        Trace_set.map (fun x -> b :: x) (interleave_traces t v')
+      in
+      Trace_set.union left right
+
+let interleave m1 m2 =
+  Trace_set.fold
+    (fun t acc ->
+      Trace_set.fold
+        (fun v acc -> Trace_set.union (interleave_traces t v) acc)
+        m2 acc)
+    m1 Trace_set.empty
+
+let kleene ~bound m =
+  let eps = Trace_set.singleton Trace.empty in
+  let rec loop acc power i =
+    if i >= bound then acc
+    else
+      let power = concat power m in
+      if Trace_set.subset power acc then acc
+      else loop (Trace_set.union acc power) power (i + 1)
+  in
+  loop eps eps 0
+
+let rec traces_bounded ~loop_bound p =
+  let eps = Trace_set.singleton Trace.empty in
+  match p with
+  | Ast.Skip | Ast.Recv _ | Ast.Send _ | Ast.Signal _ | Ast.Wait _
+  | Ast.Assign _ ->
+      eps
+  | Ast.Access a -> Trace_set.singleton [ a ]
+  | Ast.Seq (p1, p2) ->
+      concat (traces_bounded ~loop_bound p1) (traces_bounded ~loop_bound p2)
+  | Ast.If (_, p1, p2) ->
+      union (traces_bounded ~loop_bound p1) (traces_bounded ~loop_bound p2)
+  | Ast.Par (p1, p2) ->
+      interleave (traces_bounded ~loop_bound p1) (traces_bounded ~loop_bound p2)
+  | Ast.While (_, body) -> kleene ~bound:loop_bound (traces_bounded ~loop_bound body)

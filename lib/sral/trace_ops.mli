@@ -1,0 +1,38 @@
+(** Operators on trace models (finite sets of traces), Section 3.2.
+
+    These are the *extensional* operators — they materialize sets of
+    traces and therefore only terminate on finite models.  The symbolic
+    (automata-based) counterparts live in the [automata] library; this
+    module is the executable specification the automata are tested
+    against. *)
+
+module Trace_set : Set.S with type elt = Trace.t
+
+type t = Trace_set.t
+
+val of_list : Trace.t list -> t
+val to_list : t -> Trace.t list
+
+val concat : t -> t -> t
+(** Pointwise concatenation [T . V]. *)
+
+val union : t -> t -> t
+
+val interleave_traces : Trace.t -> Trace.t -> t
+(** All interleavings of two traces (the [#] operator on traces).
+    The result has [C(|t|+|v|, |t|)] elements — use on short traces. *)
+
+val interleave : t -> t -> t
+(** Pointwise extension of {!interleave_traces} to trace models. *)
+
+val kleene : bound:int -> t -> t
+(** [kleene ~bound m] is [ε ∪ m ∪ m.m ∪ ... ∪ m^bound] — the Kleene
+    closure truncated at [bound] concatenations (the full closure is
+    infinite whenever [m] contains a non-empty trace). *)
+
+val traces_bounded : loop_bound:int -> Ast.t -> t
+(** Definition 3.2's [traces(p)] with [while] unrolled at most
+    [loop_bound] times: a finite under-approximation of the trace
+    model, exact for loop-free programs.  Conditions are not evaluated
+    (both branches contribute), matching the paper's trace semantics.
+    Non-access primitives contribute the empty trace. *)

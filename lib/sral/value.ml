@@ -1,0 +1,28 @@
+type t = Int of int | Bool of bool
+
+let equal v1 v2 =
+  match (v1, v2) with
+  | Int i, Int j -> i = j
+  | Bool b, Bool c -> b = c
+  | Int _, Bool _ | Bool _, Int _ -> false
+
+let compare v1 v2 =
+  match (v1, v2) with
+  | Int i, Int j -> Int.compare i j
+  | Bool b, Bool c -> Bool.compare b c
+  | Int _, Bool _ -> -1
+  | Bool _, Int _ -> 1
+
+let to_int = function
+  | Int i -> i
+  | Bool _ -> invalid_arg "Value.to_int: boolean value"
+
+let to_bool = function
+  | Bool b -> b
+  | Int _ -> invalid_arg "Value.to_bool: integer value"
+
+let truthy = function Bool b -> b | Int i -> i <> 0
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Bool b -> Format.pp_print_bool ppf b

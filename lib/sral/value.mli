@@ -1,0 +1,18 @@
+(** Runtime values carried by SRAL variables and channels. *)
+
+type t = Int of int | Bool of bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_int : t -> int
+(** @raise Invalid_argument on a boolean. *)
+
+val to_bool : t -> bool
+(** @raise Invalid_argument on an integer. *)
+
+val truthy : t -> bool
+(** [truthy v] is [v] as a condition: booleans as themselves, integers
+    as [v <> 0] (matching the C-family languages SRAL is modelled on). *)
+
+val pp : Format.formatter -> t -> unit

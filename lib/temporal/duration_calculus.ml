@@ -1,0 +1,176 @@
+type cmp = Lt | Le | Eq | Ge | Gt
+
+type t =
+  | True
+  | Everywhere of State_expr.t
+  | Dur_cmp of State_expr.t * cmp * Q.t
+  | Len_cmp of cmp * Q.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Chop of t * t
+
+let false_ = Not True
+let implies f g = Or (Not f, g)
+let begins f = Chop (f, True)
+let ends f = Chop (True, f)
+let eventually f = Chop (True, Chop (f, True))
+let always f = Not (eventually (Not f))
+
+let compare_q cmp x c =
+  match cmp with
+  | Lt -> Q.lt x c
+  | Le -> Q.le x c
+  | Eq -> Q.equal x c
+  | Ge -> Q.ge x c
+  | Gt -> Q.gt x c
+
+(* All m in [iv.lo, iv.hi] where the accumulated true-time of [h] from
+   iv.lo up to m equals [c]: walk the segments; a crossing inside a
+   true segment is a single point, a plateau at exactly [c] over a
+   false segment contributes its endpoints. *)
+let prefix_crossings h (iv : Interval.t) c =
+  if Q.sign c < 0 then []
+  else begin
+    let points = ref [] in
+    let add t = points := t :: !points in
+    let acc = ref Q.zero in
+    if Q.equal !acc c then add iv.lo;
+    let cuts =
+      iv.lo :: Step_fn.change_times_in h iv @ [ iv.hi ]
+    in
+    let rec walk = function
+      | a :: (b :: _ as rest) ->
+          let v = Step_fn.value_at h a in
+          let len = Q.sub b a in
+          if v then begin
+            let acc_end = Q.add !acc len in
+            if Q.le !acc c && Q.le c acc_end then add (Q.add a (Q.sub c !acc));
+            acc := acc_end
+          end
+          else if Q.equal !acc c then begin
+            (* plateau: every m in [a,b] works; endpoints suffice *)
+            add a;
+            add b
+          end;
+          walk rest
+      | [ _ ] | [] -> ()
+    in
+    walk cuts;
+    !points
+  end
+
+(* Symmetric: all m where accumulated true-time from m to iv.hi equals c. *)
+let suffix_crossings h (iv : Interval.t) c =
+  if Q.sign c < 0 then []
+  else begin
+    let total = Step_fn.integrate h iv in
+    (* ∫_m^hi = total - ∫_lo^m, so we need ∫_lo^m = total - c *)
+    prefix_crossings h iv (Q.sub total c)
+  end
+
+type side = Prefix | Suffix
+
+(* Candidate chop points contributed by a formula playing the given
+   role in a chop on [iv]. *)
+let rec candidates interp (iv : Interval.t) side formula acc =
+  match formula with
+  | True -> acc
+  | Everywhere s ->
+      let h = State_expr.eval interp s in
+      Step_fn.change_times_in h iv @ acc
+  | Dur_cmp (s, _, c) ->
+      let h = State_expr.eval interp s in
+      let crossings =
+        match side with
+        | Prefix -> prefix_crossings h iv c
+        | Suffix -> suffix_crossings h iv c
+      in
+      crossings @ Step_fn.change_times_in h iv @ acc
+  | Len_cmp (_, c) ->
+      let point =
+        match side with
+        | Prefix -> Q.add iv.lo c
+        | Suffix -> Q.sub iv.hi c
+      in
+      if Interval.contains iv point then point :: acc else acc
+  | Not f -> candidates interp iv side f acc
+  | And (f, g) | Or (f, g) ->
+      candidates interp iv side f (candidates interp iv side g acc)
+  | Chop (f, g) ->
+      (* nested chop: take both operands' candidates for both roles —
+         a sound over-approximation of the critical set *)
+      let acc = candidates interp iv Prefix f acc in
+      let acc = candidates interp iv Suffix f acc in
+      let acc = candidates interp iv Prefix g acc in
+      candidates interp iv Suffix g acc
+
+let chop_points interp iv f g =
+  let raw =
+    candidates interp iv Prefix f (candidates interp iv Suffix g [])
+  in
+  let inside =
+    List.filter (fun t -> Interval.contains iv t) raw
+  in
+  let base =
+    List.sort_uniq Q.compare ((iv : Interval.t).lo :: (iv : Interval.t).hi :: inside)
+  in
+  (* add interior samples between consecutive candidates *)
+  let rec with_mids = function
+    | t1 :: (t2 :: _ as rest) -> t1 :: Q.mid t1 t2 :: with_mids rest
+    | l -> l
+  in
+  with_mids base
+
+let rec sat interp (iv : Interval.t) formula =
+  match formula with
+  | True -> true
+  | Everywhere s ->
+      let h = State_expr.eval interp s in
+      (not (Interval.is_point iv))
+      && Q.equal (Step_fn.integrate h iv) (Interval.length iv)
+  | Dur_cmp (s, cmp, c) ->
+      let h = State_expr.eval interp s in
+      compare_q cmp (Step_fn.integrate h iv) c
+  | Len_cmp (cmp, c) -> compare_q cmp (Interval.length iv) c
+  | Not f -> not (sat interp iv f)
+  | And (f, g) -> sat interp iv f && sat interp iv g
+  | Or (f, g) -> sat interp iv f || sat interp iv g
+  | Chop (f, g) ->
+      List.exists
+        (fun m ->
+          match Interval.split iv m with
+          | Some (left, right) -> sat interp left f && sat interp right g
+          | None -> false)
+        (chop_points interp iv f g)
+
+let chop_witness interp iv f g =
+  List.find_opt
+    (fun m ->
+      match Interval.split iv m with
+      | Some (left, right) -> sat interp left f && sat interp right g
+      | None -> false)
+    (chop_points interp iv f g)
+
+let rec size = function
+  | True | Everywhere _ | Dur_cmp _ | Len_cmp _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Chop (f, g) -> 1 + size f + size g
+
+let cmp_name = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "="
+  | Ge -> ">="
+  | Gt -> ">"
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Everywhere s -> Format.fprintf ppf "[[%a]]" State_expr.pp s
+  | Dur_cmp (s, cmp, c) ->
+      Format.fprintf ppf "int(%a) %s %a" State_expr.pp s (cmp_name cmp) Q.pp c
+  | Len_cmp (cmp, c) -> Format.fprintf ppf "len %s %a" (cmp_name cmp) Q.pp c
+  | Not f -> Format.fprintf ppf "!(%a)" pp f
+  | And (f, g) -> Format.fprintf ppf "(%a && %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a or %a)" pp f pp g
+  | Chop (f, g) -> Format.fprintf ppf "(%a ; %a)" pp f pp g

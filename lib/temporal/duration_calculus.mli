@@ -1,0 +1,70 @@
+(** Model checking for a duration-calculus fragment.
+
+    Section 4 expresses temporal constraints with boolean-valued state
+    functions and integrals of states over intervals (following Zhou &
+    Hansen's Duration Calculus, the paper's [11]).  This module decides
+    [interp, [b,e] ⊨ φ] for the fragment
+
+    {v
+      φ ::= true | ⌈S⌉ | ∫S ⋈ c | ℓ ⋈ c | ¬φ | φ∧φ | φ∨φ | φ;φ
+    v}
+
+    over piecewise-constant interpretations — which is exactly the
+    shape Theorem 4.1 needs (the permission-validity formula is
+    [active ∧ ∫valid ≤ dur]).
+
+    Decision procedure: atomic formulas reduce to exact rational
+    comparisons; for chop [φ₁;φ₂] the truth of each operand as a
+    function of the chop point [m] changes only at finitely many
+    critical times (state-change points, integral-threshold crossings
+    and length-threshold points), so it suffices to test those times
+    and one interior sample between each consecutive pair.  This is
+    sound and complete when chop operands are chop-free; nested chops
+    reuse the same candidate set and remain sound (tested) but
+    completeness is only guaranteed for the nesting produced by this
+    library's own encodings. *)
+
+type cmp = Lt | Le | Eq | Ge | Gt
+
+type t =
+  | True
+  | Everywhere of State_expr.t
+      (** [⌈S⌉]: the interval is non-degenerate and S holds (almost)
+          everywhere on it, i.e. [∫S = ℓ ∧ ℓ > 0]. *)
+  | Dur_cmp of State_expr.t * cmp * Q.t  (** [∫S ⋈ c] *)
+  | Len_cmp of cmp * Q.t  (** [ℓ ⋈ c] *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Chop of t * t  (** [φ₁ ; φ₂] *)
+
+val false_ : t
+val implies : t -> t -> t
+
+(** {2 Derived modalities} (standard DC abbreviations)
+
+    These expand to nested chops; the decision procedure is sound for
+    them and complete on the piecewise-constant interpretations this
+    library produces (each nested chop's critical points are collected
+    recursively). *)
+
+val eventually : t -> t
+(** [◇φ = true ; φ ; true]: some subinterval satisfies φ. *)
+
+val always : t -> t
+(** [□φ = ¬◇¬φ]: every subinterval satisfies φ. *)
+
+val begins : t -> t
+(** [φ ; true]: some prefix satisfies φ. *)
+
+val ends : t -> t
+(** [true ; φ]: some suffix satisfies φ. *)
+
+val sat : State_expr.interp -> Interval.t -> t -> bool
+(** [sat interp iv φ] decides [interp, iv ⊨ φ]. *)
+
+val chop_witness : State_expr.interp -> Interval.t -> t -> t -> Q.t option
+(** A chop point witnessing [sat interp iv (Chop (f, g))], if any. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = { lo : Q.t; hi : Q.t }
+
+let make lo hi =
+  if Q.gt lo hi then
+    invalid_arg
+      (Format.asprintf "Interval.make: %a > %a" Q.pp lo Q.pp hi)
+  else { lo; hi }
+
+let of_ints lo hi = make (Q.of_int lo) (Q.of_int hi)
+let length iv = Q.sub iv.hi iv.lo
+let is_point iv = Q.equal iv.lo iv.hi
+let contains iv t = Q.le iv.lo t && Q.le t iv.hi
+let subsumes outer inner = Q.le outer.lo inner.lo && Q.ge outer.hi inner.hi
+
+let inter iv1 iv2 =
+  let lo = Q.max iv1.lo iv2.lo in
+  let hi = Q.min iv1.hi iv2.hi in
+  if Q.le lo hi then Some { lo; hi } else None
+
+let split iv m =
+  if contains iv m then Some ({ lo = iv.lo; hi = m }, { lo = m; hi = iv.hi })
+  else None
+
+let equal iv1 iv2 = Q.equal iv1.lo iv2.lo && Q.equal iv1.hi iv2.hi
+let pp ppf iv = Format.fprintf ppf "[%a, %a]" Q.pp iv.lo Q.pp iv.hi

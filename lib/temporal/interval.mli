@@ -1,0 +1,20 @@
+(** Closed, bounded time intervals [[lo, hi]] with [lo <= hi]. *)
+
+type t = private { lo : Q.t; hi : Q.t }
+
+val make : Q.t -> Q.t -> t
+(** @raise Invalid_argument when [lo > hi]. *)
+
+val of_ints : int -> int -> t
+val length : t -> Q.t
+val is_point : t -> bool
+val contains : t -> Q.t -> bool
+val subsumes : t -> t -> bool
+(** [subsumes outer inner]. *)
+
+val inter : t -> t -> t option
+val split : t -> Q.t -> (t * t) option
+(** [split iv m] is [Some ([lo,m], [m,hi])] when [m ∈ iv]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

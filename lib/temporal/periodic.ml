@@ -1,0 +1,71 @@
+type t = { start : Q.t; length : Q.t; period : Q.t }
+
+let make ~start ~length ~period =
+  if Q.sign period <= 0 then invalid_arg "Periodic.make: period <= 0";
+  if Q.sign length <= 0 || Q.gt length period then
+    invalid_arg "Periodic.make: length out of (0, period]";
+  if Q.sign start < 0 || Q.ge start period then
+    invalid_arg "Periodic.make: start out of [0, period)";
+  { start; length; period }
+
+let daily ~start_hour ~length_hours =
+  make ~start:start_hour ~length:length_hours ~period:(Q.of_int 24)
+
+(* largest k with k*period <= t, for t >= 0; for t < 0 rounds toward
+   negative infinity so windows extend to the whole line *)
+let cycle_index t ~period =
+  let open Q in
+  (* floor(t / period) on rationals *)
+  let ratio = div t period in
+  let n = ratio.num and d = ratio.den in
+  if n >= 0 then n / d else -(((-n) + d - 1) / d)
+
+let window_at p k =
+  let base = Q.mul (Q.of_int k) p.period in
+  let lo = Q.add base p.start in
+  (lo, Q.add lo p.length)
+
+let contains p t =
+  let k = cycle_index (Q.sub t p.start) ~period:p.period in
+  (* t could fall in cycle k's window (possibly wrapped from k) *)
+  List.exists
+    (fun k ->
+      let lo, hi = window_at p k in
+      Q.le lo t && Q.lt t hi)
+    [ k - 1; k; k + 1 ]
+
+let to_step_fn ~horizon p =
+  if Q.sign horizon <= 0 then Step_fn.const false
+  else begin
+    let intervals = ref [] in
+    let k = ref (cycle_index (Q.neg p.length) ~period:p.period - 1) in
+    let continue_ = ref true in
+    while !continue_ do
+      let lo, hi = window_at p !k in
+      if Q.gt lo horizon then continue_ := false
+      else begin
+        let lo' = Q.max lo Q.zero in
+        let hi' = Q.min hi horizon in
+        if Q.lt lo' hi' then
+          intervals := Interval.make lo' hi' :: !intervals;
+        incr k
+      end
+    done;
+    Step_fn.of_intervals !intervals
+  end
+
+let next_window_start p ~after =
+  let k = cycle_index (Q.sub after p.start) ~period:p.period in
+  let rec search k =
+    let lo, _ = window_at p k in
+    if Q.ge lo after then lo else search (k + 1)
+  in
+  search (k - 1)
+
+let enabled_measure p interval =
+  let horizon = (interval : Interval.t).hi in
+  Step_fn.integrate (to_step_fn ~horizon:(Q.add horizon p.period) p) interval
+
+let pp ppf p =
+  Format.fprintf ppf "every %a: [%a, %a)" Q.pp p.period Q.pp p.start Q.pp
+    (Q.add p.start p.length)

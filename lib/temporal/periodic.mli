@@ -1,0 +1,38 @@
+(** TRBAC/GTRBAC-style periodic enabling intervals — the *baseline*
+    temporal model the paper argues against (Sections 4 and 7).
+
+    TRBAC attaches periodic intervals with explicit begin/end points to
+    roles ("enabled daily 22:00–03:00").  This module compiles such
+    periodic expressions into {!Step_fn}s over a bounded horizon, so
+    the interval model and the paper's duration model can be run
+    side by side (ablation E11): with unpredictable arrival times, a
+    periodic window gives a mobile object anywhere between nothing and
+    the full window, whereas a validity duration always gives the same
+    budget — the paper's argument for durations, made measurable. *)
+
+type t = {
+  start : Q.t;  (** offset within the period, [0 <= start < period] *)
+  length : Q.t;  (** window length, [0 < length <= period] *)
+  period : Q.t;  (** e.g. 24 for daily with hour units *)
+}
+
+val make : start:Q.t -> length:Q.t -> period:Q.t -> t
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val daily : start_hour:Q.t -> length_hours:Q.t -> t
+(** Period 24. Windows may wrap midnight ([start + length > 24] is
+    fine — the window continues into the next day). *)
+
+val contains : t -> Q.t -> bool
+(** Is the instant inside some repetition of the window? *)
+
+val to_step_fn : horizon:Q.t -> t -> Step_fn.t
+(** True exactly on the window's repetitions within [[0, horizon]]. *)
+
+val next_window_start : t -> after:Q.t -> Q.t
+(** First window opening at or after the given instant. *)
+
+val enabled_measure : t -> Interval.t -> Q.t
+(** Total enabled time within an interval (window ∩ interval measure). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let sign = if den < 0 then -1 else 1 in
+    let num = sign * num and den = sign * den in
+    let g = gcd (abs num) den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+
+let add q1 q2 = make ((q1.num * q2.den) + (q2.num * q1.den)) (q1.den * q2.den)
+let sub q1 q2 = make ((q1.num * q2.den) - (q2.num * q1.den)) (q1.den * q2.den)
+let mul q1 q2 = make (q1.num * q2.num) (q1.den * q2.den)
+
+let div q1 q2 =
+  if q2.num = 0 then raise Division_by_zero
+  else make (q1.num * q2.den) (q1.den * q2.num)
+
+let neg q = { q with num = -q.num }
+let abs q = { q with num = Stdlib.abs q.num }
+let inv q = if q.num = 0 then raise Division_by_zero else make q.den q.num
+let compare q1 q2 = Int.compare (q1.num * q2.den) (q2.num * q1.den)
+let equal q1 q2 = q1.num = q2.num && q1.den = q2.den
+let lt q1 q2 = compare q1 q2 < 0
+let le q1 q2 = compare q1 q2 <= 0
+let gt q1 q2 = compare q1 q2 > 0
+let ge q1 q2 = compare q1 q2 >= 0
+let min q1 q2 = if le q1 q2 then q1 else q2
+let max q1 q2 = if ge q1 q2 then q1 else q2
+let sign q = Int.compare q.num 0
+let mid q1 q2 = div (add q1 q2) (of_int 2)
+let to_float q = float_of_int q.num /. float_of_int q.den
+
+let of_string s =
+  let s = String.trim s in
+  let fail () = invalid_arg (Printf.sprintf "Q.of_string: %S" s) in
+  let parse_int x = match int_of_string_opt x with Some i -> i | None -> fail () in
+  match String.index_opt s '/' with
+  | Some i ->
+      let num = parse_int (String.sub s 0 i) in
+      let den = parse_int (String.sub s (i + 1) (String.length s - i - 1)) in
+      if den = 0 then fail () else make num den
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_int (parse_int s)
+      | Some i ->
+          let whole = String.sub s 0 i in
+          let frac = String.sub s (i + 1) (String.length s - i - 1) in
+          if frac = "" then fail ()
+          else
+            let negative = String.length whole > 0 && whole.[0] = '-' in
+            let w = if whole = "" || whole = "-" then 0 else parse_int whole in
+            let f = parse_int frac in
+            if f < 0 then fail ()
+            else
+              let scale =
+                int_of_float (10. ** float_of_int (String.length frac))
+              in
+              let magnitude = add (of_int (Stdlib.abs w)) (make f scale) in
+              if negative || w < 0 then neg magnitude else magnitude)
+
+let pp ppf q =
+  if q.den = 1 then Format.pp_print_int ppf q.num
+  else Format.fprintf ppf "%d/%d" q.num q.den
+
+let to_string q = Format.asprintf "%a" pp q
+
+module O = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( > ) = gt
+  let ( >= ) = ge
+  let ( = ) = equal
+end

@@ -1,0 +1,68 @@
+(** Exact rational arithmetic on native integers.
+
+    Section 4 assumes a continuous time model isomorphic to ℝ.  The
+    decision procedures only ever need the field operations and exact
+    comparison on times that are themselves finite combinations of the
+    input constants, so ℚ suffices — and exactness is what makes
+    Theorem 4.1's "decidable" honest in code (no float epsilons).
+
+    Values are kept normalized ([den > 0], [gcd |num| den = 1]).
+    Native-int overflow is the usual caveat of this representation; the
+    library targets constraint constants, not astronomy. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den].  @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+
+val mid : t -> t -> t
+(** Midpoint — used to sample the interior of candidate intervals in
+    the duration-calculus chop search. *)
+
+val to_float : t -> float
+
+val of_string : string -> t
+(** Accepts ["3"], ["3/4"], ["-1/2"], and decimals like ["2.5"].
+    @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Infix aliases, intended for local [open Q.O]. *)
+module O : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+  val ( = ) : t -> t -> bool
+end

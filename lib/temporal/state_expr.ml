@@ -1,0 +1,36 @@
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+type interp = string -> Step_fn.t
+
+let rec eval interp = function
+  | Const b -> Step_fn.const b
+  | Var x -> interp x
+  | Not e -> Step_fn.not_ (eval interp e)
+  | And (e1, e2) -> Step_fn.and_ (eval interp e1) (eval interp e2)
+  | Or (e1, e2) -> Step_fn.or_ (eval interp e1) (eval interp e2)
+
+let vars e =
+  let rec collect acc = function
+    | Const _ -> acc
+    | Var x -> x :: acc
+    | Not e -> collect acc e
+    | And (e1, e2) | Or (e1, e2) -> collect (collect acc e1) e2
+  in
+  List.sort_uniq String.compare (collect [] e)
+
+let rec pp ppf = function
+  | Const b -> Format.pp_print_bool ppf b
+  | Var x -> Format.pp_print_string ppf x
+  | Not e -> Format.fprintf ppf "!%a" pp_atom e
+  | And (e1, e2) -> Format.fprintf ppf "%a && %a" pp_atom e1 pp_atom e2
+  | Or (e1, e2) -> Format.fprintf ppf "%a or %a" pp_atom e1 pp_atom e2
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Not _ -> pp ppf e
+  | And _ | Or _ -> Format.fprintf ppf "(%a)" pp e

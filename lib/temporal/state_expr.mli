@@ -1,0 +1,22 @@
+(** Boolean state expressions over named state variables.
+
+    Duration-calculus state expressions: each variable denotes a
+    boolean step function (e.g. [valid_perm], [active_perm]); an
+    expression denotes their pointwise boolean combination. *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+type interp = string -> Step_fn.t
+(** @raise Not_found is allowed for unknown variables; {!eval} lets it
+    propagate. *)
+
+val eval : interp -> t -> Step_fn.t
+val vars : t -> string list
+(** Sorted, distinct. *)
+
+val pp : Format.formatter -> t -> unit

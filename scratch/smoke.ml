@@ -1,0 +1,28 @@
+let rng_of seed = Random.State.make [| 0xC0FFEE; seed |]
+let resources = [ "r1"; "r2"; "r3"; "r4" ]
+let servers = [ "s1"; "s2"; "s3" ]
+let random_formula ~n program seed =
+  let rng = rng_of (seed + 17) in
+  let accesses = Array.of_list (Sral.Program.accesses program) in
+  let pick () = accesses.(Random.State.int rng (Array.length accesses)) in
+  let atom () =
+    match Random.State.int rng 3 with
+    | 0 -> Srac.Formula.Atom (pick ())
+    | 1 -> Srac.Formula.Ordered (pick (), pick ())
+    | _ -> Srac.Formula.Card { lo = 0; hi = Some (5 + Random.State.int rng 4);
+            sel = Srac.Selector.Server (List.nth servers (Random.State.int rng 3)) }
+  in
+  let rec conj k = if k <= 1 then atom () else Srac.Formula.And (atom (), conj (k - 1)) in
+  conj (max 1 n)
+let () =
+  List.iter (fun (m, n) ->
+    let program = Sral.Generate.program ~allow_par:false ~allow_io:false ~resources ~servers ~size:m (rng_of (m+n)) in
+    let formula = random_formula ~n program (m*n) in
+    let t0 = Sys.time () in
+    let stats = Srac.Program_sat.instrument program formula in
+    let t1 = Sys.time () in
+    ignore (Srac.Program_sat.check_bool ~modality:Srac.Program_sat.Forall program formula);
+    let t2 = Sys.time () in
+    Printf.printf "(m=%d n=%d): compile %.2fs check %.2fs prog=%d constr=%d\n%!"
+      m n (t1 -. t0) (t2 -. t1) stats.Srac.Program_sat.program_states stats.Srac.Program_sat.constraint_states)
+    [ (20,64); (40,64) ]

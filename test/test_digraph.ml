@@ -1,0 +1,149 @@
+(* Tests for the digraph substrate: structure, topological sorting,
+   SCCs, reachability, closure and generators. *)
+
+let fig1 () = Scenarios.Integrity_audit.module_graph ()
+
+let test_structure () =
+  let g = Digraph.of_edges [ ("a", "b"); ("a", "c"); ("b", "c") ] in
+  Alcotest.(check int) "vertices" 3 (Digraph.vertex_count g);
+  Alcotest.(check int) "edges" 3 (Digraph.edge_count g);
+  Alcotest.(check (list string)) "succ a" [ "b"; "c" ] (Digraph.successors g "a");
+  Alcotest.(check (list string)) "pred c" [ "a"; "b" ]
+    (Digraph.predecessors g "c");
+  Alcotest.(check int) "out degree" 2 (Digraph.out_degree g "a");
+  Alcotest.(check int) "in degree" 2 (Digraph.in_degree g "c");
+  Alcotest.(check bool) "mem edge" true (Digraph.mem_edge g "a" "b");
+  Alcotest.(check bool) "no reverse edge" false (Digraph.mem_edge g "b" "a")
+
+let test_idempotent_adds () =
+  let g = Digraph.create () in
+  Digraph.add_edge g "x" "y";
+  Digraph.add_edge g "x" "y";
+  Digraph.add_vertex g "x";
+  Alcotest.(check int) "one edge" 1 (Digraph.edge_count g);
+  Alcotest.(check int) "two vertices" 2 (Digraph.vertex_count g)
+
+let test_topological_sort () =
+  let g = Digraph.of_edges [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  (match Digraph.topological_sort g with
+  | Some order ->
+      Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] order
+  | None -> Alcotest.fail "dag expected");
+  let cyclic = Digraph.of_edges [ ("a", "b"); ("b", "a") ] in
+  Alcotest.(check bool) "cycle detected" true
+    (Digraph.topological_sort cyclic = None);
+  Alcotest.(check bool) "is_dag" false (Digraph.is_dag cyclic)
+
+let test_topo_respects_edges () =
+  let g = fig1 () in
+  match Digraph.topological_sort g with
+  | None -> Alcotest.fail "figure 1 is a DAG"
+  | Some order ->
+      let position v =
+        let rec find i = function
+          | [] -> Alcotest.fail ("missing " ^ v)
+          | x :: rest -> if String.equal x v then i else find (i + 1) rest
+        in
+        find 0 order
+      in
+      List.iter
+        (fun (u, v) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s before %s" u v)
+            true
+            (position u < position v))
+        (Digraph.edges g)
+
+let test_sccs () =
+  let g =
+    Digraph.of_edges
+      [ ("a", "b"); ("b", "c"); ("c", "a"); ("c", "d"); ("d", "e"); ("e", "d") ]
+  in
+  let sccs = Digraph.sccs g in
+  let sorted = List.sort compare (List.map (String.concat ",") sccs) in
+  Alcotest.(check (list string)) "components" [ "a,b,c"; "d,e" ] sorted
+
+let test_sccs_dag_singletons () =
+  let g = fig1 () in
+  Alcotest.(check int) "one scc per module" (Digraph.vertex_count g)
+    (List.length (Digraph.sccs g))
+
+let test_reachability_closure () =
+  let g = Digraph.of_edges [ ("a", "b"); ("b", "c"); ("d", "c") ] in
+  Alcotest.(check (list string)) "from a" [ "a"; "b"; "c" ]
+    (Digraph.reachable_from g "a");
+  Alcotest.(check (list string)) "unknown" [] (Digraph.reachable_from g "zz");
+  let tc = Digraph.transitive_closure g in
+  Alcotest.(check bool) "closure edge" true (Digraph.mem_edge tc "a" "c");
+  Alcotest.(check bool) "no self loops" false (Digraph.mem_edge tc "a" "a")
+
+let test_reverse () =
+  let g = Digraph.of_edges [ ("a", "b") ] in
+  let r = Digraph.reverse g in
+  Alcotest.(check bool) "reversed" true (Digraph.mem_edge r "b" "a");
+  Alcotest.(check bool) "original gone" false (Digraph.mem_edge r "a" "b")
+
+let test_to_dot () =
+  let g = Digraph.of_edges [ ("a", "b") ] in
+  let dot =
+    Digraph.to_dot ~name:"test"
+      ~vertex_attr:(fun v -> if v = "a" then Some "color=red" else None)
+      g
+  in
+  Alcotest.(check bool) "has header" true
+    (String.length dot > 0 && String.sub dot 0 12 = "digraph test");
+  let contains hay needle =
+    let n = String.length needle in
+    let rec scan i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "has attr" true (contains dot "color=red")
+
+let test_random_dag_is_dag () =
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 20 do
+    let g =
+      Digraph.random_dag
+        ~vertices:(List.init 12 (fun i -> Printf.sprintf "v%02d" i))
+        ~edge_prob:0.3 rng
+    in
+    Alcotest.(check bool) "random dag acyclic" true (Digraph.is_dag g)
+  done
+
+let test_layered () =
+  let rng = Random.State.make [| 5 |] in
+  let g = Digraph.layered ~layers:4 ~width:3 ~fanout:2 rng in
+  Alcotest.(check int) "vertices" 12 (Digraph.vertex_count g);
+  Alcotest.(check bool) "layered is dag" true (Digraph.is_dag g)
+
+let () =
+  Alcotest.run "digraph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_structure;
+          Alcotest.test_case "idempotent" `Quick test_idempotent_adds;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "topological sort" `Quick test_topological_sort;
+          Alcotest.test_case "topo respects edges" `Quick
+            test_topo_respects_edges;
+          Alcotest.test_case "sccs" `Quick test_sccs;
+          Alcotest.test_case "dag sccs singleton" `Quick
+            test_sccs_dag_singletons;
+          Alcotest.test_case "reachability/closure" `Quick
+            test_reachability_closure;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+        ] );
+      ( "output",
+        [ Alcotest.test_case "dot" `Quick test_to_dot ] );
+      ( "generators",
+        [
+          Alcotest.test_case "random dag" `Quick test_random_dag_is_dag;
+          Alcotest.test_case "layered" `Quick test_layered;
+        ] );
+    ]

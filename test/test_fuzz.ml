@@ -1,0 +1,265 @@
+(* Randomized whole-system invariant tests ("failure injection"):
+   random policies, random programs, random binding mixes — after every
+   run the audit log, the proof stores and the RBAC policy must agree
+   with each other.  These are the safety properties of the model
+   itself, checked on inputs nobody wrote by hand. *)
+
+module Q = Temporal.Q
+
+let resources = [ "r1"; "r2"; "r3" ]
+
+let random_policy rng =
+  (* 2 users, 3 roles with random grants and assignments *)
+  let policy = Rbac.Policy.create () in
+  List.iter (Rbac.Policy.add_user policy) [ "u1"; "u2" ];
+  List.iter (Rbac.Policy.add_role policy) [ "ra"; "rb"; "rc" ];
+  let ops = [ "read"; "write"; "execute" ] in
+  List.iter
+    (fun role ->
+      List.iter
+        (fun op ->
+          if Random.State.bool rng then
+            let target =
+              match Random.State.int rng 3 with
+              | 0 -> "*@*"
+              | 1 -> List.nth resources (Random.State.int rng 3) ^ "@*"
+              | _ ->
+                  List.nth resources (Random.State.int rng 3)
+                  ^ "@s"
+                  ^ string_of_int (1 + Random.State.int rng 2)
+            in
+            Rbac.Policy.grant policy role (Rbac.Perm.make ~operation:op ~target))
+        ops)
+    [ "ra"; "rb"; "rc" ];
+  List.iter
+    (fun u ->
+      List.iter
+        (fun r ->
+          if Random.State.bool rng then
+            Rbac.Policy.assign_user policy u r)
+        [ "ra"; "rb"; "rc" ])
+    [ "u1"; "u2" ];
+  policy
+
+let random_bindings rng =
+  let sel = Srac.Selector.Resource (List.nth resources (Random.State.int rng 3)) in
+  List.filteri
+    (fun _ _ -> Random.State.bool rng)
+    [
+      Coordinated.Perm_binding.make
+        ~spatial:(Srac.Formula.at_most (1 + Random.State.int rng 4) sel)
+        ~spatial_scope:Coordinated.Perm_binding.Performed
+        (Rbac.Perm.make ~operation:"*" ~target:"*@*");
+      Coordinated.Perm_binding.make
+        ~dur:(Q.of_int (2 + Random.State.int rng 10))
+        (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+      Coordinated.Perm_binding.make
+        ~dur:(Q.of_int (1 + Random.State.int rng 5))
+        ~scheme:Temporal.Validity.Per_server
+        (Rbac.Perm.make ~operation:"write" ~target:"*@*");
+      Coordinated.Perm_binding.make
+        ~spatial:
+          (Srac.Formula.at_most
+             (2 + Random.State.int rng 4)
+             (Srac.Selector.Op Sral.Access.Execute))
+        ~spatial_scope:Coordinated.Perm_binding.Performed
+        ~proof_scope:Coordinated.Perm_binding.Team
+        (Rbac.Perm.make ~operation:"execute" ~target:"*@*");
+    ]
+
+let build_world rng =
+  let policy = random_policy rng in
+  let bindings = random_bindings rng in
+  let control = Coordinated.System.create ~bindings policy in
+  let world = Naplet.World.create control in
+  let servers = [ "s1"; "s2" ] in
+  List.iter
+    (fun s -> Naplet.World.add_server world (Naplet.Server.create s))
+    servers;
+  let agents = 1 + Random.State.int rng 4 in
+  for i = 1 to agents do
+    let owner = if Random.State.bool rng then "u1" else "u2" in
+    let program =
+      Sral.Generate.program ~allow_io:false ~resources ~servers
+        ~size:(4 + Random.State.int rng 8)
+        rng
+    in
+    let team =
+      if Random.State.bool rng then Some "crew"
+      else if Random.State.bool rng then Some "other"
+      else None
+    in
+    Naplet.World.spawn ?team world
+      ~id:(Printf.sprintf "agent%d" i)
+      ~owner
+      ~roles:[ "ra"; "rb"; "rc" ]
+      ~home:"s1" program
+  done;
+  (control, world)
+
+let each_seed f =
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| 7777; seed |] in
+      f seed rng)
+    (List.init 40 Fun.id)
+
+(* 1. Soundness of grants: every granted access was allowed by some
+   role the owner is actually authorized for. *)
+let test_grants_are_rbac_sound () =
+  each_seed (fun seed rng ->
+      let control, world = build_world rng in
+      ignore (Naplet.World.run world);
+      let policy = Coordinated.System.policy control in
+      List.iter
+        (fun (e : Coordinated.Audit_log.entry) ->
+          if Coordinated.Decision.is_granted e.Coordinated.Audit_log.verdict
+          then begin
+            let owner =
+              match
+                Naplet.World.agent world e.Coordinated.Audit_log.object_id
+              with
+              | Some a -> a.Naplet.Agent.owner
+              | None -> Alcotest.fail "granted access by unknown agent"
+            in
+            let a = e.Coordinated.Audit_log.access in
+            let allowed =
+              List.exists
+                (fun perm ->
+                  Rbac.Perm.matches perm
+                    ~operation:(Sral.Access.operation_name a.Sral.Access.op)
+                    ~target:
+                      (a.Sral.Access.resource ^ "@" ^ a.Sral.Access.server))
+                (Rbac.Policy.user_permissions policy owner)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d: grant is authorized" seed)
+              true allowed
+          end)
+        (Coordinated.Audit_log.entries (Coordinated.System.log control)))
+
+(* 2. Proofs = grants: each object's performed trace is exactly its
+   granted audit entries, in order. *)
+let test_proofs_match_audit_log () =
+  each_seed (fun seed rng ->
+      let control, world = build_world rng in
+      ignore (Naplet.World.run world);
+      let log = Coordinated.System.log control in
+      List.iter
+        (fun (agent : Naplet.Agent.t) ->
+          let id = agent.Naplet.Agent.id in
+          let monitor = Coordinated.System.monitor control ~object_id:id in
+          let performed = Coordinated.Monitor.performed monitor in
+          let granted =
+            List.filter_map
+              (fun (e : Coordinated.Audit_log.entry) ->
+                if
+                  String.equal e.Coordinated.Audit_log.object_id id
+                  && Coordinated.Decision.is_granted
+                       e.Coordinated.Audit_log.verdict
+                then Some e.Coordinated.Audit_log.access
+                else None)
+              (Coordinated.Audit_log.entries log)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: %s proofs = grants" seed id)
+            true
+            (Sral.Trace.equal performed granted))
+        (Naplet.World.agents world))
+
+(* 3. Determinism: the same seed yields bit-identical metrics and audit
+   logs. *)
+let test_deterministic_replay () =
+  each_seed (fun seed _ ->
+      let run () =
+        let rng = Random.State.make [| 7777; seed |] in
+        let control, world = build_world rng in
+        let metrics = Naplet.World.run world in
+        let log_render =
+          Format.asprintf "%a" Coordinated.Audit_log.pp
+            (Coordinated.System.log control)
+        in
+        ( metrics.Naplet.Metrics.granted,
+          metrics.Naplet.Metrics.denied,
+          Q.to_string metrics.Naplet.Metrics.end_time,
+          log_render )
+      in
+      let r1 = run () and r2 = run () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: replay identical" seed)
+        true (r1 = r2))
+
+(* 4. Metric consistency: granted + denied = audit entries; agent
+   status counts partition the population. *)
+let test_metric_consistency () =
+  each_seed (fun seed rng ->
+      let control, world = build_world rng in
+      let metrics = Naplet.World.run world in
+      let log = Coordinated.System.log control in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: log size" seed)
+        (Coordinated.Audit_log.size log)
+        (metrics.Naplet.Metrics.granted + metrics.Naplet.Metrics.denied);
+      let agents = Naplet.World.agents world in
+      let finished =
+        metrics.Naplet.Metrics.completed_agents
+        + metrics.Naplet.Metrics.aborted_agents
+        + metrics.Naplet.Metrics.deadlocked_agents
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: statuses partition agents" seed)
+        (List.length agents) finished)
+
+(* 5. Budget safety: with a per-read duration binding, no object's read
+   grants exceed what the budget could possibly allow. *)
+let test_duration_budget_never_negative () =
+  each_seed (fun seed rng ->
+      let control, world = build_world rng in
+      ignore (Naplet.World.run world);
+      List.iter
+        (fun (agent : Naplet.Agent.t) ->
+          let monitor =
+            Coordinated.System.monitor control
+              ~object_id:agent.Naplet.Agent.id
+          in
+          List.iter
+            (fun (binding : Coordinated.Perm_binding.t) ->
+              match binding.Coordinated.Perm_binding.dur with
+              | None -> ()
+              | Some dur -> (
+                  match Coordinated.Monitor.arrivals monitor with
+                  | [] -> ()
+                  | arrivals ->
+                      let active =
+                        Coordinated.Monitor.activation_fn monitor
+                          ~key:(Coordinated.Perm_binding.key binding)
+                      in
+                      let spent =
+                        Temporal.Validity.spent
+                          ~scheme:binding.Coordinated.Perm_binding.scheme
+                          ~arrivals ~dur:(Some dur) active
+                          ~at:(Coordinated.Monitor.now monitor)
+                      in
+                      Alcotest.(check bool)
+                        (Printf.sprintf "seed %d: spent <= dur" seed)
+                        true (Q.le spent dur)))
+            (Coordinated.System.bindings control))
+        (Naplet.World.agents world))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "grants are rbac-sound" `Quick
+            test_grants_are_rbac_sound;
+          Alcotest.test_case "proofs match audit log" `Quick
+            test_proofs_match_audit_log;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+          Alcotest.test_case "metric consistency" `Quick
+            test_metric_consistency;
+          Alcotest.test_case "duration budget" `Quick
+            test_duration_budget_never_negative;
+        ] );
+    ]

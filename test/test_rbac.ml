@@ -1,0 +1,438 @@
+(* Tests for the RBAC baseline: permissions, hierarchy, policy store,
+   sessions, separation of duty and the plain decision engine. *)
+
+open Rbac
+
+let p op target = Perm.make ~operation:op ~target
+
+(* --- permissions --- *)
+
+let test_perm_matches_exact () =
+  Alcotest.(check bool) "exact" true
+    (Perm.matches (p "read" "db@s1") ~operation:"read" ~target:"db@s1");
+  Alcotest.(check bool) "wrong op" false
+    (Perm.matches (p "read" "db@s1") ~operation:"write" ~target:"db@s1");
+  Alcotest.(check bool) "wrong server" false
+    (Perm.matches (p "read" "db@s1") ~operation:"read" ~target:"db@s2")
+
+let test_perm_wildcards () =
+  Alcotest.(check bool) "op wildcard" true
+    (Perm.matches (p "*" "db@s1") ~operation:"write" ~target:"db@s1");
+  Alcotest.(check bool) "server wildcard" true
+    (Perm.matches (p "read" "db@*") ~operation:"read" ~target:"db@s9");
+  Alcotest.(check bool) "resource wildcard" true
+    (Perm.matches (p "read" "*@s1") ~operation:"read" ~target:"x@s1");
+  Alcotest.(check bool) "full wildcard" true
+    (Perm.matches (p "*" "*@*") ~operation:"hash" ~target:"m@s3");
+  Alcotest.(check bool) "resource wildcard wrong server" false
+    (Perm.matches (p "read" "*@s1") ~operation:"read" ~target:"x@s2")
+
+let test_perm_string_roundtrip () =
+  let perm = p "read" "db@s1" in
+  Alcotest.(check bool) "roundtrip" true
+    (Perm.equal perm (Perm.of_string (Perm.to_string perm)));
+  Alcotest.check_raises "no colon"
+    (Invalid_argument "Perm.of_string: missing ':' in \"nope\"") (fun () ->
+      ignore (Perm.of_string "nope"))
+
+let test_perm_overlaps () =
+  let check a b expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %s" (Perm.to_string a) (Perm.to_string b))
+      expected (Perm.overlaps a b);
+    Alcotest.(check bool) "symmetric" expected (Perm.overlaps b a)
+  in
+  check (p "read" "db@s1") (p "read" "db@s1") true;
+  check (p "read" "db@s1") (p "read" "*@*") true;
+  check (p "*" "*@*") (p "hash" "m@s3") true;
+  check (p "read" "db@s1") (p "write" "db@s1") false;
+  check (p "read" "db@s1") (p "read" "db@s2") false;
+  check (p "read" "db@*") (p "read" "*@s2") true
+
+(* --- hierarchy --- *)
+
+let test_hierarchy_inheritance () =
+  let h = Hierarchy.create () in
+  Hierarchy.add_inheritance h ~senior:"chief" ~junior:"auditor";
+  Hierarchy.add_inheritance h ~senior:"auditor" ~junior:"reader";
+  Alcotest.(check (list string)) "juniors of chief"
+    [ "auditor"; "chief"; "reader" ]
+    (Hierarchy.juniors h "chief");
+  Alcotest.(check (list string)) "seniors of reader"
+    [ "auditor"; "chief"; "reader" ]
+    (Hierarchy.seniors h "reader");
+  Alcotest.(check bool) "dominates transitively" true
+    (Hierarchy.dominates h ~senior:"chief" ~junior:"reader");
+  Alcotest.(check bool) "not upward" false
+    (Hierarchy.dominates h ~senior:"reader" ~junior:"chief");
+  Alcotest.(check bool) "reflexive" true
+    (Hierarchy.dominates h ~senior:"reader" ~junior:"reader")
+
+let test_hierarchy_cycle_rejected () =
+  let h = Hierarchy.create () in
+  Hierarchy.add_inheritance h ~senior:"a" ~junior:"b";
+  Hierarchy.add_inheritance h ~senior:"b" ~junior:"c";
+  Alcotest.check_raises "direct cycle" (Hierarchy.Cycle ("c", "a")) (fun () ->
+      Hierarchy.add_inheritance h ~senior:"c" ~junior:"a");
+  Alcotest.check_raises "self cycle" (Hierarchy.Cycle ("a", "a")) (fun () ->
+      Hierarchy.add_inheritance h ~senior:"a" ~junior:"a")
+
+(* --- policy --- *)
+
+let fixture () =
+  let policy = Policy.create () in
+  List.iter (Policy.add_user policy) [ "alice"; "bob" ];
+  List.iter (Policy.add_role policy) [ "chief"; "auditor"; "reader" ];
+  Policy.add_inheritance policy ~senior:"chief" ~junior:"auditor";
+  Policy.add_inheritance policy ~senior:"auditor" ~junior:"reader";
+  Policy.grant policy "reader" (p "read" "*@*");
+  Policy.grant policy "auditor" (p "hash" "*@*");
+  Policy.grant policy "chief" (p "write" "report@s1");
+  Policy.assign_user policy "alice" "auditor";
+  Policy.assign_user policy "bob" "reader";
+  policy
+
+let test_policy_review () =
+  let policy = fixture () in
+  Alcotest.(check (list string)) "alice assigned" [ "auditor" ]
+    (Policy.assigned_roles policy "alice");
+  Alcotest.(check (list string)) "alice authorized"
+    [ "auditor"; "reader" ]
+    (Policy.authorized_roles policy "alice");
+  Alcotest.(check int) "auditor perms include inherited" 2
+    (List.length (Policy.role_permissions policy "auditor"));
+  Alcotest.(check int) "chief perms" 3
+    (List.length (Policy.role_permissions policy "chief"));
+  Alcotest.(check int) "alice perms" 2
+    (List.length (Policy.user_permissions policy "alice"));
+  Alcotest.(check (list string)) "users of reader" [ "bob" ]
+    (Policy.users_of_role policy "reader")
+
+let test_policy_unknown () =
+  let policy = fixture () in
+  Alcotest.check_raises "unknown role" (Policy.Unknown ("role", "ghost"))
+    (fun () -> Policy.assign_user policy "alice" "ghost");
+  Alcotest.check_raises "unknown user" (Policy.Unknown ("user", "carol"))
+    (fun () -> Policy.assign_user policy "carol" "reader");
+  Alcotest.check_raises "grant unknown role"
+    (Policy.Unknown ("role", "ghost")) (fun () ->
+      Policy.grant policy "ghost" (p "read" "x@y"))
+
+let test_policy_deassign_revoke () =
+  let policy = fixture () in
+  Policy.deassign_user policy "alice" "auditor";
+  Alcotest.(check (list string)) "deassigned" []
+    (Policy.assigned_roles policy "alice");
+  Policy.revoke policy "reader" (p "read" "*@*");
+  Alcotest.(check int) "revoked" 0
+    (List.length (Policy.direct_permissions policy "reader"))
+
+(* --- separation of duty --- *)
+
+let test_ssd () =
+  let policy = fixture () in
+  Policy.add_role policy "payer";
+  Policy.add_role policy "approver";
+  let c = Sod.make ~name:"pay-vs-approve" ~roles:[ "payer"; "approver" ] ~max_roles:1 in
+  Policy.add_ssd policy c;
+  Policy.assign_user policy "alice" "payer";
+  (try
+     Policy.assign_user policy "alice" "approver";
+     Alcotest.fail "SSD should block"
+   with Policy.Ssd_violation (c', "alice", "approver") ->
+     Alcotest.(check string) "constraint name" "pay-vs-approve" c'.Sod.name)
+
+let test_ssd_retroactive_rejected () =
+  let policy = fixture () in
+  Policy.add_role policy "payer";
+  Policy.add_role policy "approver";
+  Policy.assign_user policy "alice" "payer";
+  Policy.assign_user policy "alice" "approver";
+  match
+    Policy.add_ssd policy
+      (Sod.make ~name:"late" ~roles:[ "payer"; "approver" ] ~max_roles:1)
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "retroactive violation should be rejected"
+
+let test_sod_validation () =
+  Alcotest.check_raises "max_roles < 1"
+    (Invalid_argument "Sod.make: max_roles must be >= 1") (fun () ->
+      ignore (Sod.make ~name:"x" ~roles:[ "a"; "b" ] ~max_roles:0));
+  Alcotest.check_raises "too few roles"
+    (Invalid_argument "Sod.make: need at least two conflicting roles")
+    (fun () -> ignore (Sod.make ~name:"x" ~roles:[ "a" ] ~max_roles:1))
+
+(* --- sessions --- *)
+
+let test_session_activation () =
+  let policy = fixture () in
+  let s = Session.create policy ~user:"alice" in
+  Alcotest.(check (list string)) "starts empty" [] (Session.active_roles s);
+  Session.activate s "auditor";
+  (* inherited junior is activatable too *)
+  Session.activate s "reader";
+  Alcotest.(check (list string)) "both active" [ "auditor"; "reader" ]
+    (Session.active_roles s);
+  Session.deactivate s "reader";
+  Alcotest.(check (list string)) "deactivated" [ "auditor" ]
+    (Session.active_roles s);
+  Session.drop s;
+  Alcotest.(check (list string)) "dropped" [] (Session.active_roles s)
+
+let test_session_not_authorized () =
+  let policy = fixture () in
+  let s = Session.create policy ~user:"bob" in
+  Alcotest.check_raises "bob cannot be auditor"
+    (Session.Not_authorized ("bob", "auditor")) (fun () ->
+      Session.activate s "auditor")
+
+let test_session_dsd () =
+  let policy = fixture () in
+  Policy.add_role policy "payer";
+  Policy.add_role policy "approver";
+  Policy.assign_user policy "alice" "payer";
+  Policy.assign_user policy "alice" "approver";
+  Policy.add_dsd policy
+    (Sod.make ~name:"dyn" ~roles:[ "payer"; "approver" ] ~max_roles:1);
+  let s = Session.create policy ~user:"alice" in
+  Session.activate s "payer";
+  (try
+     Session.activate s "approver";
+     Alcotest.fail "DSD should block"
+   with Session.Dsd_violation (_, "alice", "approver") -> ());
+  (* but assignment itself was fine (no SSD) *)
+  Session.deactivate s "payer";
+  Session.activate s "approver"
+
+let test_session_permissions () =
+  let policy = fixture () in
+  let s = Session.create policy ~user:"alice" in
+  Alcotest.(check bool) "nothing before activation" false
+    (Session.may s ~operation:"read" ~target:"db@s1");
+  Session.activate s "auditor";
+  Alcotest.(check bool) "inherited read" true
+    (Session.may s ~operation:"read" ~target:"db@s1");
+  Alcotest.(check bool) "own hash" true
+    (Session.may s ~operation:"hash" ~target:"m@s3");
+  Alcotest.(check bool) "not chief's write" false
+    (Session.may s ~operation:"write" ~target:"report@s1")
+
+(* --- engine --- *)
+
+let test_engine_decisions () =
+  let policy = fixture () in
+  let s = Session.create policy ~user:"alice" in
+  Session.activate s "auditor";
+  Alcotest.(check bool) "granted" true
+    (Engine.is_granted (Engine.decide s ~operation:"read" ~target:"db@s2"));
+  (match Engine.decide s ~operation:"write" ~target:"report@s1" with
+  | Engine.Denied why ->
+      Alcotest.(check bool) "reason mentions user" true
+        (String.length why > 0)
+  | Engine.Granted -> Alcotest.fail "should deny");
+  let access = Sral.Access.read "db" ~at:"s2" in
+  Alcotest.(check bool) "decide_access" true
+    (Engine.is_granted (Engine.decide_access s access))
+
+(* --- TRBAC baseline --- *)
+
+let qh = Temporal.Q.of_int
+
+let test_trbac_windows () =
+  let policy = fixture () in
+  let engine = Trbac.create policy in
+  Trbac.set_enabling engine ~role:"auditor"
+    (Temporal.Periodic.daily ~start_hour:(qh 9) ~length_hours:(qh 8));
+  let s = Session.create policy ~user:"alice" in
+  Session.activate s "auditor";
+  (* inside the window *)
+  Alcotest.(check bool) "granted at 10:00" true
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 10) ~operation:"hash" ~target:"m@s1"));
+  (* outside the window: the role's privileges are revoked wholesale *)
+  Alcotest.(check bool) "denied at 20:00" false
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 20) ~operation:"hash" ~target:"m@s1"));
+  (* next day, inside again *)
+  Alcotest.(check bool) "granted at 34:00 (10am next day)" true
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 34) ~operation:"hash" ~target:"m@s1"))
+
+let test_trbac_unwindowed_roles_always_enabled () =
+  let policy = fixture () in
+  let engine = Trbac.create policy in
+  let s = Session.create policy ~user:"bob" in
+  Session.activate s "reader";
+  Alcotest.(check bool) "plain role unaffected" true
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 3) ~operation:"read" ~target:"x@y"))
+
+let test_trbac_disabling_revokes_everything () =
+  (* Section 4's criticism: one window per role, so *all* the role's
+     permissions disappear together *)
+  let policy = fixture () in
+  let engine = Trbac.create policy in
+  Trbac.set_enabling engine ~role:"auditor"
+    (Temporal.Periodic.daily ~start_hour:(qh 9) ~length_hours:(qh 1));
+  let s = Session.create policy ~user:"alice" in
+  Session.activate s "auditor";
+  (* outside the window, both the role's own perm and the inherited
+     reader perm are gone (auditor was the only active role) *)
+  Alcotest.(check bool) "own perm revoked" false
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 12) ~operation:"hash" ~target:"m@s1"));
+  Alcotest.(check bool) "inherited perm revoked too" false
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 12) ~operation:"read" ~target:"m@s1"));
+  Trbac.clear_enabling engine ~role:"auditor";
+  Alcotest.(check bool) "cleared window re-enables" true
+    (Engine.is_granted
+       (Trbac.decide engine s ~at:(qh 12) ~operation:"hash" ~target:"m@s1"))
+
+let test_trbac_enabled_roles () =
+  let policy = fixture () in
+  let engine = Trbac.create policy in
+  Trbac.set_enabling engine ~role:"auditor"
+    (Temporal.Periodic.daily ~start_hour:(qh 22) ~length_hours:(qh 2));
+  let s = Session.create policy ~user:"alice" in
+  Session.activate s "auditor";
+  Session.activate s "reader";
+  Alcotest.(check (list string)) "only reader at noon" [ "reader" ]
+    (Trbac.enabled_roles engine s ~at:(qh 12));
+  Alcotest.(check (list string)) "both at 23:00" [ "auditor"; "reader" ]
+    (Trbac.enabled_roles engine s ~at:(qh 23))
+
+(* --- GTRBAC events and triggers --- *)
+
+let test_gtrbac_events () =
+  let policy = fixture () in
+  let g = Gtrbac.create policy in
+  Gtrbac.post g ~at:(qh 9) (Gtrbac.Enable "auditor");
+  Gtrbac.post g ~at:(qh 17) (Gtrbac.Disable "auditor");
+  Gtrbac.process g;
+  Alcotest.(check bool) "before" false (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 8));
+  Alcotest.(check bool) "during" true (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 12));
+  Alcotest.(check bool) "after" false (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 18));
+  (* un-administered roles are always enabled *)
+  Alcotest.(check bool) "plain role" true
+    (Gtrbac.is_enabled g ~role:"reader" ~at:(qh 3))
+
+let test_gtrbac_trigger_cascade () =
+  let policy = fixture () in
+  let g = Gtrbac.create policy in
+  (* enabling the chief brings the auditor online 2 hours later, and
+     disabling the chief takes the auditor down immediately *)
+  Gtrbac.add_trigger g
+    { Gtrbac.on = Gtrbac.Enable "chief"; after = qh 2; fire = Gtrbac.Enable "auditor" };
+  Gtrbac.add_trigger g
+    { Gtrbac.on = Gtrbac.Disable "chief"; after = Temporal.Q.zero;
+      fire = Gtrbac.Disable "auditor" };
+  Gtrbac.post g ~at:(qh 8) (Gtrbac.Enable "chief");
+  Gtrbac.post g ~at:(qh 16) (Gtrbac.Disable "chief");
+  Gtrbac.process g;
+  Alcotest.(check bool) "auditor not yet at 9" false
+    (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 9));
+  Alcotest.(check bool) "auditor on at 10" true
+    (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 10));
+  Alcotest.(check bool) "auditor off with chief at 16" false
+    (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 16))
+
+let test_gtrbac_cycle_guard () =
+  let policy = fixture () in
+  let g = Gtrbac.create ~cascade_limit:50 policy in
+  Gtrbac.add_trigger g
+    { Gtrbac.on = Gtrbac.Enable "auditor"; after = Temporal.Q.one;
+      fire = Gtrbac.Disable "auditor" };
+  Gtrbac.add_trigger g
+    { Gtrbac.on = Gtrbac.Disable "auditor"; after = Temporal.Q.one;
+      fire = Gtrbac.Enable "auditor" };
+  Gtrbac.post g ~at:Temporal.Q.zero (Gtrbac.Enable "auditor");
+  Alcotest.check_raises "trigger loop detected" Gtrbac.Cascade_limit (fun () ->
+      Gtrbac.process g)
+
+let test_gtrbac_decide () =
+  let policy = fixture () in
+  let g = Gtrbac.create policy in
+  Gtrbac.post g ~at:(qh 9) (Gtrbac.Enable "auditor");
+  Gtrbac.post g ~at:(qh 17) (Gtrbac.Disable "auditor");
+  let s = Session.create policy ~user:"alice" in
+  Session.activate s "auditor";
+  Alcotest.(check bool) "granted in window" true
+    (Engine.is_granted
+       (Gtrbac.decide g s ~at:(qh 10) ~operation:"hash" ~target:"m@s1"));
+  Alcotest.(check bool) "denied outside" false
+    (Engine.is_granted
+       (Gtrbac.decide g s ~at:(qh 20) ~operation:"hash" ~target:"m@s1"))
+
+let test_gtrbac_incremental_posting () =
+  let policy = fixture () in
+  let g = Gtrbac.create policy in
+  Gtrbac.post g ~at:(qh 1) (Gtrbac.Enable "auditor");
+  Gtrbac.process g;
+  Alcotest.(check bool) "first batch" true
+    (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 2));
+  (* post more events after processing: they extend the history *)
+  Gtrbac.post g ~at:(qh 5) (Gtrbac.Disable "auditor");
+  Gtrbac.process g;
+  Alcotest.(check bool) "second batch applied" false
+    (Gtrbac.is_enabled g ~role:"auditor" ~at:(qh 6))
+
+let () =
+  Alcotest.run "rbac"
+    [
+      ( "perm",
+        [
+          Alcotest.test_case "exact" `Quick test_perm_matches_exact;
+          Alcotest.test_case "wildcards" `Quick test_perm_wildcards;
+          Alcotest.test_case "string roundtrip" `Quick
+            test_perm_string_roundtrip;
+          Alcotest.test_case "overlaps" `Quick test_perm_overlaps;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "inheritance" `Quick test_hierarchy_inheritance;
+          Alcotest.test_case "cycle rejected" `Quick
+            test_hierarchy_cycle_rejected;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "review" `Quick test_policy_review;
+          Alcotest.test_case "unknown" `Quick test_policy_unknown;
+          Alcotest.test_case "deassign/revoke" `Quick
+            test_policy_deassign_revoke;
+        ] );
+      ( "sod",
+        [
+          Alcotest.test_case "ssd blocks" `Quick test_ssd;
+          Alcotest.test_case "retroactive" `Quick test_ssd_retroactive_rejected;
+          Alcotest.test_case "validation" `Quick test_sod_validation;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "activation" `Quick test_session_activation;
+          Alcotest.test_case "not authorized" `Quick test_session_not_authorized;
+          Alcotest.test_case "dsd" `Quick test_session_dsd;
+          Alcotest.test_case "permissions" `Quick test_session_permissions;
+        ] );
+      ("engine", [ Alcotest.test_case "decisions" `Quick test_engine_decisions ]);
+      ( "gtrbac",
+        [
+          Alcotest.test_case "events" `Quick test_gtrbac_events;
+          Alcotest.test_case "trigger cascade" `Quick
+            test_gtrbac_trigger_cascade;
+          Alcotest.test_case "cycle guard" `Quick test_gtrbac_cycle_guard;
+          Alcotest.test_case "decide" `Quick test_gtrbac_decide;
+          Alcotest.test_case "incremental posting" `Quick
+            test_gtrbac_incremental_posting;
+        ] );
+      ( "trbac",
+        [
+          Alcotest.test_case "windows" `Quick test_trbac_windows;
+          Alcotest.test_case "unwindowed always enabled" `Quick
+            test_trbac_unwindowed_roles_always_enabled;
+          Alcotest.test_case "disabling revokes everything" `Quick
+            test_trbac_disabling_revokes_everything;
+          Alcotest.test_case "enabled roles" `Quick test_trbac_enabled_roles;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the three paper scenarios: the Figure 1 integrity audit
+   (Section 6), the license guard (intro + Example 3.5) and the
+   newspaper deadline (intro, Section 4 schemes). *)
+
+module Q = Temporal.Q
+
+(* --- integrity audit (Figure 1) --- *)
+
+let test_fig1_graph_shape () =
+  let g = Scenarios.Integrity_audit.module_graph () in
+  Alcotest.(check int) "11 modules" 11 (Digraph.vertex_count g);
+  Alcotest.(check bool) "acyclic" true (Digraph.is_dag g);
+  (* k is the common sink *)
+  Alcotest.(check (list string)) "k depends on nothing" []
+    (Digraph.successors g "k");
+  Alcotest.(check int) "3 servers" 3
+    (List.length
+       (List.sort_uniq String.compare
+          (List.map snd Scenarios.Integrity_audit.placement)))
+
+let test_fig1_constraints_cover_dependencies () =
+  let g = Scenarios.Integrity_audit.module_graph () in
+  let constraints = Scenarios.Integrity_audit.dependency_constraints () in
+  (* one constraint per module with outgoing dependencies *)
+  let with_deps =
+    List.filter (fun v -> Digraph.successors g v <> []) (Digraph.vertices g)
+  in
+  Alcotest.(check int) "constraint count" (List.length with_deps)
+    (List.length constraints)
+
+let test_audit_ordered_run () =
+  let r = Scenarios.Integrity_audit.run () in
+  Alcotest.(check int) "all granted" 11 r.Scenarios.Integrity_audit.granted;
+  Alcotest.(check int) "none denied" 0 r.Scenarios.Integrity_audit.denied;
+  Alcotest.(check bool) "all verified" true
+    r.Scenarios.Integrity_audit.all_verified;
+  Alcotest.(check bool) "no deadline issue" false
+    r.Scenarios.Integrity_audit.deadline_hit;
+  (* all hashes match the pristine reference *)
+  let expected = Scenarios.Integrity_audit.expected_hashes () in
+  List.iter
+    (fun (m, h) ->
+      Alcotest.(check string) ("hash of " ^ m) (List.assoc m expected) h)
+    r.Scenarios.Integrity_audit.hashes
+
+let test_audit_tampered_order_denied () =
+  let r = Scenarios.Integrity_audit.run ~respect_order:false () in
+  Alcotest.(check bool) "not all verified" false
+    r.Scenarios.Integrity_audit.all_verified;
+  (* only dependency-free modules can be hashed out of order; the Fig. 1
+     graph has exactly one (k) *)
+  Alcotest.(check int) "one granted" 1 r.Scenarios.Integrity_audit.granted;
+  Alcotest.(check int) "rest denied" 10 r.Scenarios.Integrity_audit.denied
+
+let test_audit_deadline () =
+  let tight = Scenarios.Integrity_audit.run ~deadline:(Q.of_int 6) () in
+  Alcotest.(check bool) "deadline hit" true
+    tight.Scenarios.Integrity_audit.deadline_hit;
+  Alcotest.(check bool) "incomplete" false
+    tight.Scenarios.Integrity_audit.all_verified;
+  let loose = Scenarios.Integrity_audit.run ~deadline:(Q.of_int 100) () in
+  Alcotest.(check bool) "loose deadline ok" true
+    loose.Scenarios.Integrity_audit.all_verified;
+  Alcotest.(check bool) "no expiry" false
+    loose.Scenarios.Integrity_audit.deadline_hit
+
+let test_audit_detects_tampered_contents () =
+  let r = Scenarios.Integrity_audit.run ~tamper_contents:[ "g"; "c" ] () in
+  let expected = Scenarios.Integrity_audit.expected_hashes () in
+  let mismatching =
+    List.sort String.compare
+      (List.filter_map
+         (fun (m, h) ->
+           if String.equal (List.assoc m expected) h then None else Some m)
+         r.Scenarios.Integrity_audit.hashes)
+  in
+  Alcotest.(check (list string)) "exactly the corrupted modules"
+    [ "c"; "g" ] mismatching
+
+(* --- license guard --- *)
+
+let test_license_overuse_locks_s2 () =
+  let o = Scenarios.License_guard.run () in
+  Alcotest.(check int) "s1 grants all" 7 o.Scenarios.License_guard.granted_s1;
+  Alcotest.(check int) "s2 grants none" 0 o.Scenarios.License_guard.granted_s2;
+  Alcotest.(check bool) "locked out" true o.Scenarios.License_guard.s2_locked_out
+
+let test_license_moderate_use_keeps_s2 () =
+  let o = Scenarios.License_guard.run ~s1_uses:3 () in
+  Alcotest.(check int) "s1" 3 o.Scenarios.License_guard.granted_s1;
+  Alcotest.(check int) "s2 open" 3 o.Scenarios.License_guard.granted_s2;
+  Alcotest.(check bool) "not locked" false
+    o.Scenarios.License_guard.s2_locked_out
+
+let test_license_boundary () =
+  (* exactly at the limit: still allowed *)
+  let o = Scenarios.License_guard.run ~s1_uses:5 () in
+  Alcotest.(check bool) "boundary open" false
+    o.Scenarios.License_guard.s2_locked_out;
+  (* one past the limit: locked *)
+  let o2 = Scenarios.License_guard.run ~s1_uses:6 () in
+  Alcotest.(check bool) "over boundary locked" true
+    o2.Scenarios.License_guard.s2_locked_out
+
+let test_license_global_limit () =
+  let o = Scenarios.License_guard.run ~s1_uses:4 ~s2_uses:3 ~global_limit:5 () in
+  Alcotest.(check int) "s1 within" 4 o.Scenarios.License_guard.granted_s1;
+  Alcotest.(check int) "s2 gets remainder" 1
+    o.Scenarios.License_guard.granted_s2;
+  Alcotest.(check int) "excess denied" 2 o.Scenarios.License_guard.denied
+
+(* --- newspaper deadline --- *)
+
+let test_newspaper_journey_deadline () =
+  let o = Scenarios.Newspaper.run () in
+  Alcotest.(check int) "attempted" 8 o.Scenarios.Newspaper.edits_attempted;
+  Alcotest.(check int) "granted before 3am" 5
+    o.Scenarios.Newspaper.edits_granted;
+  Alcotest.(check int) "denied after" 3 o.Scenarios.Newspaper.edits_denied;
+  (match o.Scenarios.Newspaper.last_granted_at with
+  | Some t -> Alcotest.(check bool) "last grant before 27" true (Q.lt t (Q.of_int 27))
+  | None -> Alcotest.fail "some edit granted");
+  match o.Scenarios.Newspaper.first_denied_at with
+  | Some t ->
+      Alcotest.(check bool) "first denial at/after 27" true
+        (Q.ge t (Q.of_int 27))
+  | None -> Alcotest.fail "some edit denied"
+
+let test_newspaper_per_server_resets () =
+  (* the contrast of Section 4's two schemes: per-server base time
+     resets the budget at the mid-session migration *)
+  let o = Scenarios.Newspaper.run ~scheme:Temporal.Validity.Per_server () in
+  Alcotest.(check int) "all granted" 8 o.Scenarios.Newspaper.edits_granted;
+  Alcotest.(check int) "none denied" 0 o.Scenarios.Newspaper.edits_denied
+
+let test_newspaper_no_migration_same_result () =
+  (* without migration, both schemes agree *)
+  let j =
+    Scenarios.Newspaper.run ~migrate_midway:false
+      ~scheme:Temporal.Validity.Whole_journey ()
+  in
+  let p =
+    Scenarios.Newspaper.run ~migrate_midway:false
+      ~scheme:Temporal.Validity.Per_server ()
+  in
+  Alcotest.(check int) "same grants"
+    j.Scenarios.Newspaper.edits_granted p.Scenarios.Newspaper.edits_granted
+
+let test_newspaper_earlier_start_more_edits () =
+  let early = Scenarios.Newspaper.run ~session_start:(Q.of_int 20) () in
+  let late = Scenarios.Newspaper.run ~session_start:(Q.of_int 25) () in
+  Alcotest.(check bool) "earlier start edits more" true
+    (early.Scenarios.Newspaper.edits_granted
+    > late.Scenarios.Newspaper.edits_granted)
+
+(* --- parallel audit (ApplAgentProg) --- *)
+
+let test_parallel_audit_meets_deadline () =
+  (* 3 clones beat a deadline a single agent misses *)
+  let deadline = Q.of_int 15 in
+  let parallel = Scenarios.Integrity_audit.run_parallel ~clones:3 ~deadline () in
+  let single = Scenarios.Integrity_audit.run ~deadline () in
+  Alcotest.(check bool) "parallel verifies" true
+    parallel.Scenarios.Integrity_audit.base.Scenarios.Integrity_audit.all_verified;
+  Alcotest.(check bool) "single misses" false
+    single.Scenarios.Integrity_audit.all_verified;
+  Alcotest.(check int) "clones used" 3
+    parallel.Scenarios.Integrity_audit.clones_used;
+  Alcotest.(check int) "all reports home" 3
+    parallel.Scenarios.Integrity_audit.reports_collected
+
+let test_parallel_audit_no_deadline () =
+  let r = Scenarios.Integrity_audit.run_parallel ~clones:2 () in
+  Alcotest.(check bool) "verified" true
+    r.Scenarios.Integrity_audit.base.Scenarios.Integrity_audit.all_verified;
+  Alcotest.(check int) "granted all" 11
+    r.Scenarios.Integrity_audit.base.Scenarios.Integrity_audit.granted
+
+(* --- teamwork (companions) --- *)
+
+let test_teamwork_shared_proofs () =
+  let o = Scenarios.Teamwork.run () in
+  Alcotest.(check int) "scout read" 1 o.Scenarios.Teamwork.scout_reads;
+  Alcotest.(check int) "courier committed" 1
+    o.Scenarios.Teamwork.courier_commits;
+  Alcotest.(check bool) "team succeeded" true
+    o.Scenarios.Teamwork.team_succeeded
+
+let test_teamwork_own_proofs_denied () =
+  let o = Scenarios.Teamwork.run ~share_proofs:false () in
+  Alcotest.(check int) "courier denied" 1 o.Scenarios.Teamwork.courier_denied;
+  Alcotest.(check bool) "team failed" false
+    o.Scenarios.Teamwork.team_succeeded
+
+(* --- editorial workflow --- *)
+
+let test_workflow_honest () =
+  let o = Scenarios.Workflow.run () in
+  Alcotest.(check bool) "drafted" true o.Scenarios.Workflow.drafted;
+  Alcotest.(check bool) "reviewed" true o.Scenarios.Workflow.reviewed;
+  Alcotest.(check bool) "published" true o.Scenarios.Workflow.published;
+  Alcotest.(check int) "no denials" 0 o.Scenarios.Workflow.denied;
+  Alcotest.(check bool) "all agents completed" true
+    o.Scenarios.Workflow.all_completed
+
+let test_workflow_dsd_blocks_cheater () =
+  let o = Scenarios.Workflow.run ~cheat:true () in
+  Alcotest.(check bool) "drafted" true o.Scenarios.Workflow.drafted;
+  Alcotest.(check bool) "reviewed" true o.Scenarios.Workflow.reviewed;
+  Alcotest.(check bool) "publish blocked" false o.Scenarios.Workflow.published;
+  Alcotest.(check bool) "at least one denial" true
+    (o.Scenarios.Workflow.denied >= 1)
+
+let test_workflow_deadline () =
+  let o = Scenarios.Workflow.run ~deadline:(Q.make 1 100) () in
+  Alcotest.(check bool) "stages before publish fine" true
+    (o.Scenarios.Workflow.drafted && o.Scenarios.Workflow.reviewed);
+  Alcotest.(check bool) "publish expired" false o.Scenarios.Workflow.published
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "integrity-audit",
+        [
+          Alcotest.test_case "figure 1 shape" `Quick test_fig1_graph_shape;
+          Alcotest.test_case "constraints cover deps" `Quick
+            test_fig1_constraints_cover_dependencies;
+          Alcotest.test_case "ordered run" `Quick test_audit_ordered_run;
+          Alcotest.test_case "tampered order" `Quick
+            test_audit_tampered_order_denied;
+          Alcotest.test_case "deadline" `Quick test_audit_deadline;
+          Alcotest.test_case "tampered contents" `Quick
+            test_audit_detects_tampered_contents;
+        ] );
+      ( "parallel-audit",
+        [
+          Alcotest.test_case "meets deadline" `Quick
+            test_parallel_audit_meets_deadline;
+          Alcotest.test_case "no deadline" `Quick test_parallel_audit_no_deadline;
+        ] );
+      ( "workflow",
+        [
+          Alcotest.test_case "honest" `Quick test_workflow_honest;
+          Alcotest.test_case "dsd blocks cheater" `Quick
+            test_workflow_dsd_blocks_cheater;
+          Alcotest.test_case "deadline" `Quick test_workflow_deadline;
+        ] );
+      ( "teamwork",
+        [
+          Alcotest.test_case "shared proofs" `Quick test_teamwork_shared_proofs;
+          Alcotest.test_case "own proofs denied" `Quick
+            test_teamwork_own_proofs_denied;
+        ] );
+      ( "license-guard",
+        [
+          Alcotest.test_case "overuse locks s2" `Quick
+            test_license_overuse_locks_s2;
+          Alcotest.test_case "moderate use" `Quick
+            test_license_moderate_use_keeps_s2;
+          Alcotest.test_case "boundary" `Quick test_license_boundary;
+          Alcotest.test_case "global limit" `Quick test_license_global_limit;
+        ] );
+      ( "newspaper",
+        [
+          Alcotest.test_case "journey deadline" `Quick
+            test_newspaper_journey_deadline;
+          Alcotest.test_case "per-server resets" `Quick
+            test_newspaper_per_server_resets;
+          Alcotest.test_case "no migration" `Quick
+            test_newspaper_no_migration_same_result;
+          Alcotest.test_case "earlier start" `Quick
+            test_newspaper_earlier_start_more_edits;
+        ] );
+    ]
