@@ -380,6 +380,78 @@ let e11_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E13 — decision fast path: check latency vs coalition size.  The
+   [Naive] mode is the seed's linear path (binding scan + companion
+   fold over every object in the coalition); [Indexed] resolves
+   bindings through Binding_index, companions through team rosters and
+   repeat decisions through the per-monitor verdict cache.  The naive
+   curve should grow linearly with the object count, the indexed one
+   should stay flat.                                                   *)
+
+let e13_tests =
+  let policy () =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r" (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+    policy
+  in
+  let access = Sral.Access.read "db" ~at:"s1" in
+  let program = Sral.Parser.program "read cfg @ s1; read db @ s1" in
+  let spatial =
+    Srac.Formula.Ordered (Sral.Access.read "cfg" ~at:"s1", access)
+  in
+  (* one binding that matters plus 15 that never match the probed
+     access — the naive path pays applies_to on all 16 every check *)
+  let bindings =
+    Coordinated.Perm_binding.make ~spatial
+      (Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+    :: List.init 15 (fun i ->
+           Coordinated.Perm_binding.make
+             ~dur:(Q.of_int 1_000_000_000)
+             (Rbac.Perm.make ~operation:"read"
+                ~target:(Printf.sprintf "aux%d@s9" i)))
+  in
+  let make ~mode ~objects =
+    let control =
+      Coordinated.System.create ~mode ~bindings ~log_capacity:1024 (policy ())
+    in
+    let session = Coordinated.System.new_session control ~user:"u" in
+    Rbac.Session.activate session "r";
+    (* the whole coalition is organized in teams of 8; the probed
+       object's companions are its 7 teammates either way, but the
+       naive path rediscovers them by folding over all [objects] *)
+    for i = 0 to objects - 1 do
+      Coordinated.System.join_team control
+        ~object_id:(Printf.sprintf "o%d" i)
+        ~team:(Printf.sprintf "t%d" (i / 8))
+    done;
+    Coordinated.System.arrive control ~object_id:"o0" ~server:"s1"
+      ~time:Q.zero;
+    let t = ref 0 in
+    fun () ->
+      incr t;
+      Coordinated.System.check control ~session ~object_id:"o0" ~program
+        ~time:(Q.of_int !t) access
+  in
+  let mode_name = function
+    | Coordinated.System.Naive -> "naive"
+    | Coordinated.System.Indexed -> "indexed"
+  in
+  Test.make_grouped ~name:"E13-decision-fastpath"
+    (List.concat_map
+       (fun objects ->
+         List.map
+           (fun mode ->
+             Test.make
+               ~name:
+                 (Printf.sprintf "%s,objects=%04d" (mode_name mode) objects)
+               (Staged.stage (make ~mode ~objects)))
+           [ Coordinated.System.Naive; Coordinated.System.Indexed ])
+       [ 16; 64; 256; 1024 ])
+
+(* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
 let scenario_tests =
@@ -415,6 +487,7 @@ let all_groups =
     ("E8", e8_tests);
     ("E9", e9_tests);
     ("E11", e11_tests);
+    ("E13", e13_tests);
     ("E1", scenario_tests);
   ]
 

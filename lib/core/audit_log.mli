@@ -1,4 +1,14 @@
-(** Audit log of coordinated access-control decisions. *)
+(** Audit log of coordinated access-control decisions.
+
+    Statistics ({!size}, {!granted_count}, {!grant_rate},
+    {!count_by_object}, {!count_by_server}) are maintained
+    incrementally at {!record} time — O(1) per record, O(1) per query —
+    instead of re-walking the entry list.  They count over the log's
+    whole lifetime.
+
+    With [~capacity] the log keeps only the most recent entries (a ring
+    buffer, for long emulations); the lifetime counters still cover
+    every decision ever recorded, evicted or not. *)
 
 type entry = {
   time : Temporal.Q.t;
@@ -9,18 +19,46 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Unbounded unless [capacity] is given.
+    @raise Invalid_argument if [capacity < 1]. *)
+
 val record : t -> entry -> unit
+
 val entries : t -> entry list
-(** In record order. *)
+(** Retained entries, in record order (everything, when unbounded). *)
 
 val size : t -> int
+(** Lifetime number of recorded decisions, O(1).  In unbounded mode
+    this equals [List.length (entries t)]; in ring mode it keeps
+    counting past evictions. *)
+
+val retained : t -> int
+(** Entries currently held — [min size capacity] in ring mode. *)
+
+val granted_count : t -> int
+(** Lifetime granted decisions, O(1). *)
+
+val denied_count : t -> int
+(** Lifetime denied decisions, O(1). *)
+
 val granted : t -> entry list
+(** Granted entries among {!entries} (retained only). *)
+
 val denied : t -> entry list
+
 val grant_rate : t -> float
-(** NaN-free: 1.0 on an empty log. *)
+(** Lifetime granted/size.  NaN-free: 1.0 on an empty log. *)
+
+val count_by_object : t -> string -> int
+(** Lifetime decisions concerning the object, O(1). *)
+
+val count_by_server : t -> string -> int
+(** Lifetime decisions at the server, O(1). *)
 
 val by_object : t -> string -> entry list
+(** Retained entries concerning the object. *)
+
 val by_server : t -> string -> entry list
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,30 +1,17 @@
 module Q = Temporal.Q
 
-type reason =
+type reason = Verdict.reason =
   | Rbac_denied of string
   | Spatial_violation of { binding : string; detail : string }
   | Temporal_expired of { binding : string; spent : Temporal.Q.t }
   | Not_active of string
   | Not_arrived
 
-type verdict = Granted | Denied of reason
+type verdict = Verdict.t = Granted | Denied of reason
 
-let is_granted = function Granted -> true | Denied _ -> false
-
-let pp_reason ppf = function
-  | Rbac_denied msg -> Format.fprintf ppf "rbac: %s" msg
-  | Spatial_violation { binding; detail } ->
-      Format.fprintf ppf "spatial constraint of %s: %s" binding detail
-  | Temporal_expired { binding; spent } ->
-      Format.fprintf ppf "validity of %s exhausted (spent %a)" binding Q.pp
-        spent
-  | Not_active binding ->
-      Format.fprintf ppf "permission %s is not active" binding
-  | Not_arrived -> Format.pp_print_string ppf "object has not arrived anywhere"
-
-let pp_verdict ppf = function
-  | Granted -> Format.pp_print_string ppf "granted"
-  | Denied r -> Format.fprintf ppf "denied: %a" pp_reason r
+let is_granted = Verdict.is_granted
+let pp_reason = Verdict.pp_reason
+let pp_verdict = Verdict.pp
 
 (* Feasibility semantics: can the program (still) satisfy the
    constraint?  Future accesses *will* carry execution proofs once
@@ -151,12 +138,24 @@ let refresh_activation ?(companions = []) ~session ~monitor ~bindings
     ~program ~time () =
   List.iter (refresh_one ~session ~monitor ~companions ~program ~time) bindings
 
-let decide ?(companions = []) ~session ~monitor ~bindings ~program ~time
+(* The temporal tail of the decision, in binding order.  Shared by the
+   recomputing path and the cache-hit fast path: it reads the query
+   time, so it is recomputed on every decision either way. *)
+let first_temporal_failure ~monitor ~time applicable =
+  List.find_map
+    (fun b ->
+      match temporal_state ~monitor ~time b with
+      | `Valid -> None
+      | `Inactive -> Some (Not_active (Perm_binding.key b))
+      | `Not_arrived -> Some Not_arrived
+      | `Expired spent ->
+          Some (Temporal_expired { binding = Perm_binding.key b; spent }))
+    applicable
+
+(* Full recomputation over an already-filtered applicable-binding list. *)
+let decide_applicable ~companions ~session ~monitor ~applicable ~program ~time
     access =
   let rbac = Rbac.Engine.decide_access session access in
-  let applicable =
-    List.filter (fun b -> Perm_binding.applies_to b access) bindings
-  in
   List.iter (refresh_one ~session ~monitor ~companions ~program ~time) applicable;
   let spatial_results =
     List.map
@@ -180,22 +179,108 @@ let decide ?(companions = []) ~session ~monitor ~bindings ~program ~time
       match spatial_failure with
       | Some reason -> Denied reason
       | None -> (
-          let temporal_failure =
-            List.find_map
-              (fun (b, _) ->
-                match temporal_state ~monitor ~time b with
-                | `Valid -> None
-                | `Inactive -> Some (Not_active (Perm_binding.key b))
-                | `Not_arrived -> Some Not_arrived
-                | `Expired spent ->
-                    Some
-                      (Temporal_expired
-                         { binding = Perm_binding.key b; spent }))
-              spatial_results
-          in
-          match temporal_failure with
+          match first_temporal_failure ~monitor ~time applicable with
           | Some reason -> Denied reason
           | None -> Granted))
+
+let decide ?(companions = []) ~session ~monitor ~bindings ~program ~time
+    access =
+  let applicable =
+    List.filter (fun b -> Perm_binding.applies_to b access) bindings
+  in
+  decide_applicable ~companions ~session ~monitor ~applicable ~program ~time
+    access
+
+let decide_naive = decide
+
+(* Which cache-stamp components can affect the RBAC ∧ spatial prefix
+   for this applicable set?  Program-scope constraints never read
+   execution proofs; Performed/Both-scope ones do, and additionally
+   read companions' proofs when the proof scope is [Team]. *)
+let reads_history (b : Perm_binding.t) =
+  b.spatial <> None
+  &&
+  match b.spatial_scope with
+  | Perm_binding.Performed | Perm_binding.Both -> true
+  | Perm_binding.Program -> false
+
+let uses_history_of applicable = List.exists reads_history applicable
+
+let uses_team_of applicable =
+  List.exists
+    (fun (b : Perm_binding.t) ->
+      reads_history b && b.proof_scope = Perm_binding.Team)
+    applicable
+
+let stamp_matches (entry : Monitor.cached_decision) ~(now : Monitor.decision_stamp)
+    =
+  let s = entry.stamp in
+  s.location = now.location && s.activation = now.activation
+  && s.session = now.session && s.bindings = now.bindings
+  && ((not entry.uses_history) || s.history = now.history)
+  && ((not entry.uses_team)
+     || (s.team_version = now.team_version
+        && s.team_history = now.team_history))
+
+let decide_indexed ?(companions = []) ~session ~monitor ~applicable
+    ~bindings_version ~team_version ~team_history ~program ~time access =
+  let current_stamp () =
+    {
+      Monitor.location = Monitor.location_epoch monitor;
+      activation = Monitor.activation_epoch monitor;
+      history = Monitor.history_epoch monitor;
+      session = Rbac.Session.version session;
+      bindings = bindings_version;
+      team_version;
+      team_history;
+    }
+  in
+  let key = Sral.Access.to_string access in
+  let cached =
+    match Monitor.find_decision monitor ~key with
+    | Some entry
+      when stamp_matches entry ~now:(current_stamp ())
+           && Sral.Access.equal entry.access access
+           && Sral.Ast.equal entry.program program ->
+        Some entry
+    | _ -> None
+  in
+  match cached with
+  | Some entry -> (
+      (* replicate the naive path's clock movement: refresh_one advances
+         the monitor clock once per applicable binding (and raises on
+         backwards time), so the fast path must advance too *)
+      if applicable <> [] then Monitor.advance monitor time;
+      match entry.pre_temporal with
+      | Error reason -> Denied reason
+      | Ok () -> (
+          match first_temporal_failure ~monitor ~time applicable with
+          | Some reason -> Denied reason
+          | None -> Granted))
+  | None ->
+      let verdict =
+        decide_applicable ~companions ~session ~monitor ~applicable ~program
+          ~time access
+      in
+      let pre_temporal =
+        match verdict with
+        | Granted -> Ok ()
+        | Denied ((Rbac_denied _ | Spatial_violation _) as r) -> Error r
+        | Denied (Temporal_expired _ | Not_active _ | Not_arrived) -> Ok ()
+      in
+      (* stamp *after* the recomputation: refresh_one may itself bump
+         the activation epoch, and the cached entry must be valid
+         against the post-decision state *)
+      Monitor.store_decision monitor ~key
+        {
+          Monitor.stamp = current_stamp ();
+          access;
+          program;
+          uses_history = uses_history_of applicable;
+          uses_team = uses_team_of applicable;
+          pre_temporal;
+        };
+      verdict
 
 let validity_dc_check ~monitor ~(binding : Perm_binding.t) ~time =
   match binding.dur with

@@ -17,7 +17,7 @@
     is the "event will be triggered to set valid to 0" mechanism of
     Section 4, made explicit. *)
 
-type reason =
+type reason = Verdict.reason =
   | Rbac_denied of string
   | Spatial_violation of { binding : string; detail : string }
   | Temporal_expired of { binding : string; spent : Temporal.Q.t }
@@ -26,7 +26,7 @@ type reason =
           (Eq. 3.1's conjunction failed earlier on this timeline) *)
   | Not_arrived  (** no arrival recorded — object not on any server *)
 
-type verdict = Granted | Denied of reason
+type verdict = Verdict.t = Granted | Denied of reason
 
 val decide :
   ?companions:Monitor.t list ->
@@ -41,6 +41,45 @@ val decide :
     permission pattern covers the access.  [companions] are the
     monitors of the object's teammates, consulted by bindings with
     [Team] proof scope. *)
+
+val decide_naive :
+  ?companions:Monitor.t list ->
+  session:Rbac.Session.t ->
+  monitor:Monitor.t ->
+  bindings:Perm_binding.t list ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  verdict
+(** The linear-scan reference decision — literally {!decide}.  Kept
+    under its own name as the differential oracle the indexed/cached
+    fast path is fuzz-tested against, and as the baseline Bechamel's
+    E13 experiment measures. *)
+
+val decide_indexed :
+  ?companions:Monitor.t list ->
+  session:Rbac.Session.t ->
+  monitor:Monitor.t ->
+  applicable:Perm_binding.t list ->
+  bindings_version:int ->
+  team_version:int ->
+  team_history:int ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  verdict
+(** The fast path.  [applicable] is the pre-filtered binding list (from
+    {!Binding_index.applicable}), in binding-store insertion order —
+    the caller is trusted to pass exactly the bindings {!decide} would
+    have selected.  The RBAC ∧ spatial prefix of the outcome is cached
+    in the monitor under the access's key and reused while the
+    {!Monitor.decision_stamp} — location/activation/history epochs,
+    {!Rbac.Session.version}, [bindings_version], and (for [Team]-scope
+    bindings) [team_version]/[team_history] — is unchanged; only the
+    cheap time-dependent temporal tail is recomputed on a hit.
+    Observationally identical to {!decide_naive} on the same inputs,
+    including the denial reason and the monitor-clock side effects
+    (property-tested in [test/test_fuzz.ml]). *)
 
 val refresh_activation :
   ?companions:Monitor.t list ->

@@ -1,5 +1,24 @@
 module Q = Temporal.Q
 
+type decision_stamp = {
+  location : int;
+  activation : int;
+  history : int;
+  session : int;
+  bindings : int;
+  team_version : int;
+  team_history : int;
+}
+
+type cached_decision = {
+  stamp : decision_stamp;
+  access : Sral.Access.t;
+  program : Sral.Ast.t;
+  uses_history : bool;
+  uses_team : bool;
+  pre_temporal : (unit, Verdict.reason) result;
+}
+
 type t = {
   object_id : string;
   proofs : Srac.Proof.store;
@@ -7,7 +26,11 @@ type t = {
   activations : (string, (Q.t * bool) list ref) Hashtbl.t;
       (* per key, reverse-order change list *)
   spatial_memo : (string, Sral.Ast.t * (unit, string) result) Hashtbl.t;
+  decision_memo : (string, cached_decision) Hashtbl.t;
   mutable clock : Q.t;
+  mutable location_epoch : int;
+  mutable activation_epoch : int;
+  mutable history_epoch : int;
 }
 
 let create ~object_id =
@@ -17,11 +40,18 @@ let create ~object_id =
     visits = [];
     activations = Hashtbl.create 8;
     spatial_memo = Hashtbl.create 8;
+    decision_memo = Hashtbl.create 8;
     clock = Q.zero;
+    location_epoch = 0;
+    activation_epoch = 0;
+    history_epoch = 0;
   }
 
 let object_id m = m.object_id
 let proofs m = m.proofs
+let location_epoch m = m.location_epoch
+let activation_epoch m = m.activation_epoch
+let history_epoch m = m.history_epoch
 
 let advance m time =
   if Q.lt time m.clock then
@@ -32,6 +62,7 @@ let advance m time =
 
 let record_arrival m ~server ~time =
   advance m time;
+  m.location_epoch <- m.location_epoch + 1;
   m.visits <- (server, time) :: m.visits
 
 let arrivals m = List.rev_map snd m.visits
@@ -40,6 +71,7 @@ let current_server m = match m.visits with [] -> None | (s, _) :: _ -> Some s
 
 let record_access m a ~time =
   advance m time;
+  m.history_epoch <- m.history_epoch + 1;
   Srac.Proof.record m.proofs a ~time
 
 let performed m = Srac.Proof.performed_trace m.proofs
@@ -57,7 +89,10 @@ let set_active m ~key ~time state =
   let r = changes_ref m key in
   let current = match !r with [] -> false | (_, v) :: _ -> v in
   if Bool.equal current state then ()
-  else r := (time, state) :: !r
+  else begin
+    m.activation_epoch <- m.activation_epoch + 1;
+    r := (time, state) :: !r
+  end
 
 let activation_fn m ~key =
   match Hashtbl.find_opt m.activations key with
@@ -74,6 +109,9 @@ let memo_spatial m ~key ~program compute =
       let value = compute () in
       Hashtbl.replace m.spatial_memo key (program, value);
       value
+
+let find_decision m ~key = Hashtbl.find_opt m.decision_memo key
+let store_decision m ~key entry = Hashtbl.replace m.decision_memo key entry
 
 let now m = m.clock
 

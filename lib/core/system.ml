@@ -1,27 +1,39 @@
+module String_set = Set.Make (String)
+
+type decision_mode = Indexed | Naive
+
 type t = {
   policy : Rbac.Policy.t;
-  mutable bindings : Perm_binding.t list;
+  mode : decision_mode;
+  index : Binding_index.t;
   monitors : (string, Monitor.t) Hashtbl.t;
   teams : (string, string) Hashtbl.t;  (* object_id -> team name *)
+  rosters : (string, String_set.t) Hashtbl.t;  (* team name -> members *)
+  mutable teams_version : int;
   log : Audit_log.t;
 }
 
-let create ?(bindings = []) policy =
+let create ?(mode = Indexed) ?(bindings = []) ?log_capacity policy =
   {
     policy;
-    bindings;
+    mode;
+    index = Binding_index.of_list bindings;
     monitors = Hashtbl.create 8;
     teams = Hashtbl.create 8;
-    log = Audit_log.create ();
+    rosters = Hashtbl.create 8;
+    teams_version = 0;
+    log = Audit_log.create ?capacity:log_capacity ();
   }
 
-let of_policy_text text =
+let of_policy_text ?mode text =
   let parsed = Policy_lang.parse text in
-  create ~bindings:parsed.Policy_lang.bindings parsed.Policy_lang.policy
+  create ?mode ~bindings:parsed.Policy_lang.bindings parsed.Policy_lang.policy
 
 let policy t = t.policy
-let bindings t = t.bindings
-let add_binding t b = t.bindings <- t.bindings @ [ b ]
+let mode t = t.mode
+let bindings t = Binding_index.to_list t.index
+let add_binding t b = Binding_index.add t.index b
+let applicable_bindings t access = Binding_index.applicable t.index access
 let log t = t.log
 
 let monitor t ~object_id =
@@ -34,10 +46,30 @@ let monitor t ~object_id =
 
 let new_session t ~user = Rbac.Session.create t.policy ~user
 
-let join_team t ~object_id ~team = Hashtbl.replace t.teams object_id team
+let roster t team =
+  Option.value ~default:String_set.empty (Hashtbl.find_opt t.rosters team)
+
+let join_team t ~object_id ~team =
+  (match Hashtbl.find_opt t.teams object_id with
+  | Some old ->
+      Hashtbl.replace t.rosters old (String_set.remove object_id (roster t old))
+  | None -> ());
+  Hashtbl.replace t.teams object_id team;
+  Hashtbl.replace t.rosters team (String_set.add object_id (roster t team));
+  t.teams_version <- t.teams_version + 1
+
 let team_of t ~object_id = Hashtbl.find_opt t.teams object_id
 
 let teammates t ~object_id =
+  match Hashtbl.find_opt t.teams object_id with
+  | None -> []
+  | Some team -> String_set.elements (String_set.remove object_id (roster t team))
+
+(* The seed's fold over every object in the coalition — kept verbatim
+   as the [Naive] mode's companion lookup, both so E13 can measure the
+   O(coalition) cost it had and so the differential fuzz suite runs the
+   genuinely old path. *)
+let teammates_scan t ~object_id =
   match Hashtbl.find_opt t.teams object_id with
   | None -> []
   | Some team ->
@@ -52,11 +84,36 @@ let teammates t ~object_id =
 let companions t ~object_id =
   List.map (fun id -> monitor t ~object_id:id) (teammates t ~object_id)
 
+let companions_scan t ~object_id =
+  List.map (fun id -> monitor t ~object_id:id) (teammates_scan t ~object_id)
+
+(* Cache stamp for everything the companions contribute to a decision:
+   their identity (teams_version bumps on any membership change) and
+   their proof stores (sum of history epochs; including the member
+   count guards the all-zero corner). *)
+let team_history_stamp companions =
+  List.fold_left
+    (fun acc m -> acc + Monitor.history_epoch m)
+    (List.length companions) companions
+
 let check t ~session ~object_id ~program ~time access =
   let m = monitor t ~object_id in
   let verdict =
-    Decision.decide ~companions:(companions t ~object_id) ~session ~monitor:m
-      ~bindings:t.bindings ~program ~time access
+    match t.mode with
+    | Naive ->
+        Decision.decide_naive
+          ~companions:(companions_scan t ~object_id)
+          ~session ~monitor:m
+          ~bindings:(Binding_index.to_list t.index)
+          ~program ~time access
+    | Indexed ->
+        let applicable = Binding_index.applicable t.index access in
+        let companions = companions t ~object_id in
+        Decision.decide_indexed ~companions ~session ~monitor:m ~applicable
+          ~bindings_version:(Binding_index.version t.index)
+          ~team_version:t.teams_version
+          ~team_history:(team_history_stamp companions)
+          ~program ~time access
   in
   Audit_log.record t.log { Audit_log.time; object_id; access; verdict };
   (match verdict with
@@ -68,5 +125,12 @@ let arrive t ~object_id ~server ~time =
   Monitor.record_arrival (monitor t ~object_id) ~server ~time
 
 let refresh t ~session ~object_id ~program ~time =
-  Decision.refresh_activation ~companions:(companions t ~object_id) ~session
-    ~monitor:(monitor t ~object_id) ~bindings:t.bindings ~program ~time ()
+  let companions =
+    match t.mode with
+    | Naive -> companions_scan t ~object_id
+    | Indexed -> companions t ~object_id
+  in
+  Decision.refresh_activation ~companions ~session
+    ~monitor:(monitor t ~object_id)
+    ~bindings:(Binding_index.to_list t.index)
+    ~program ~time ()

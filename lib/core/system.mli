@@ -2,17 +2,51 @@
 
     Wires the RBAC policy, the spatio-temporal bindings, the per-object
     monitors and the audit log into the single object a server (or the
-    Naplet emulation's security manager) consults. *)
+    Naplet emulation's security manager) consults.
+
+    Two decision modes share one observable behavior:
+
+    - [Indexed] (the default) resolves applicable bindings through
+      {!Binding_index}, looks companions up in precomputed team
+      rosters, and serves repeat decisions from the per-monitor verdict
+      cache ({!Decision.decide_indexed}).
+    - [Naive] is the seed's linear path — full binding scan, companion
+      fold over every object, no caching — kept as the differential
+      oracle and the E13 baseline.
+
+    The differential fuzz suite ([test/test_fuzz.ml]) checks that both
+    modes produce identical verdicts (including denial reasons) and
+    identical audit logs on randomized coalitions. *)
 
 type t
 
-val create : ?bindings:Perm_binding.t list -> Rbac.Policy.t -> t
-val of_policy_text : string -> t
+type decision_mode = Indexed | Naive
+
+val create :
+  ?mode:decision_mode ->
+  ?bindings:Perm_binding.t list ->
+  ?log_capacity:int ->
+  Rbac.Policy.t ->
+  t
+(** [log_capacity] bounds the audit log (ring mode, for long
+    emulations); lifetime counters stay exact either way. *)
+
+val of_policy_text : ?mode:decision_mode -> string -> t
 (** Build from {!Policy_lang} text.  @raise Policy_lang.Error *)
 
 val policy : t -> Rbac.Policy.t
+val mode : t -> decision_mode
+
 val bindings : t -> Perm_binding.t list
+(** In insertion order. *)
+
 val add_binding : t -> Perm_binding.t -> unit
+(** Amortized O(1) append (the seed rebuilt the whole list per add). *)
+
+val applicable_bindings : t -> Sral.Access.t -> Perm_binding.t list
+(** The bindings {!check} consults for this access, in insertion order
+    — resolved through the index.  Exposed for tests and tooling. *)
+
 val log : t -> Audit_log.t
 
 val monitor : t -> object_id:string -> Monitor.t
@@ -26,7 +60,8 @@ val join_team : t -> object_id:string -> team:string -> unit
 
 val team_of : t -> object_id:string -> string option
 val teammates : t -> object_id:string -> string list
-(** Other members of the object's team, sorted. *)
+(** Other members of the object's team, sorted.  O(|team|) via the
+    precomputed roster. *)
 
 val new_session : t -> user:string -> Rbac.Session.t
 

@@ -1,0 +1,20 @@
+(** Decision outcomes, factored out of {!Decision} so lower layers
+    (notably {!Monitor}'s verdict cache) can store them without
+    depending on the decision procedure itself.  {!Decision} re-exports
+    these constructors under its historical names ([Decision.reason],
+    [Decision.verdict]); new code may use either spelling. *)
+
+type reason =
+  | Rbac_denied of string
+  | Spatial_violation of { binding : string; detail : string }
+  | Temporal_expired of { binding : string; spent : Temporal.Q.t }
+  | Not_active of string
+      (** the permission is not in the active state at decision time
+          (Eq. 3.1's conjunction failed earlier on this timeline) *)
+  | Not_arrived  (** no arrival recorded — object not on any server *)
+
+type t = Granted | Denied of reason
+
+val is_granted : t -> bool
+val pp_reason : Format.formatter -> reason -> unit
+val pp : Format.formatter -> t -> unit

@@ -3,6 +3,8 @@ type t = {
   sessions : (string, Rbac.Session.t) Hashtbl.t;
 }
 
+type rejected_role = { role : string; reason : string }
+
 let create control = { control; sessions = Hashtbl.create 8 }
 let control t = t.control
 
@@ -15,14 +17,23 @@ let on_arrival t ~object_id ~owner ~roles ~server ~time ~program =
         Hashtbl.add t.sessions object_id s;
         s
   in
-  List.iter
-    (fun r ->
-      try Rbac.Session.activate session r with
-      | Rbac.Session.Not_authorized _ | Rbac.Session.Dsd_violation _ -> ())
-    roles;
+  let rejected =
+    List.filter_map
+      (fun role ->
+        try
+          Rbac.Session.activate session role;
+          None
+        with
+        | Rbac.Session.Not_authorized (user, _) ->
+            Some { role; reason = Printf.sprintf "%s is not authorized" user }
+        | Rbac.Session.Dsd_violation (c, _, _) ->
+            Some
+              { role; reason = Format.asprintf "dynamic SoD %a" Rbac.Sod.pp c })
+      roles
+  in
   Coordinated.System.arrive t.control ~object_id ~server ~time;
   Coordinated.System.refresh t.control ~session ~object_id ~program ~time;
-  session
+  (session, rejected)
 
 let check t ~object_id ~program ~time access =
   match Hashtbl.find_opt t.sessions object_id with

@@ -10,6 +10,10 @@
 
 type t
 
+type rejected_role = { role : string; reason : string }
+(** A requested role the manager refused to activate, with a
+    human-readable reason (unauthorized, or a dynamic-SoD conflict). *)
+
 val create : Coordinated.System.t -> t
 val control : t -> Coordinated.System.t
 
@@ -21,11 +25,14 @@ val on_arrival :
   server:string ->
   time:Temporal.Q.t ->
   program:Sral.Ast.t ->
-  Rbac.Session.t
+  Rbac.Session.t * rejected_role list
 (** Authenticate the agent's owner, create/reuse its session, activate
-    the requested roles (silently skipping ones the owner is not
-    authorized for — they simply yield later denials) and record the
-    arrival.  Returns the session. *)
+    the requested roles and record the arrival.  Roles the owner may
+    not activate ([Not_authorized]) or that a dynamic
+    separation-of-duty constraint forbids ([Dsd_violation]) are
+    reported in the second component, in request order, instead of
+    being silently dropped — callers can surface them; the session is
+    still established with the roles that did activate. *)
 
 val check :
   t ->

@@ -12,6 +12,12 @@ val make : operation:string -> target:string -> t
 val on_resource : operation:string -> resource:string -> server:string -> t
 (** Target spelled ["resource@server"]. *)
 
+val split_target : string -> string * string option
+(** Split a target at its first ['@']: ["db@s1"] is [("db", Some "s1")],
+    ["*"] is [("*", None)].  This is the exact decomposition {!matches}
+    uses — exposed so index structures can bucket patterns the same
+    way the matcher reads them. *)
+
 val matches : t -> operation:string -> target:string -> bool
 (** Wildcard-aware: a ["*"] operation or target in the permission
     matches anything; a ["res@*"] target matches any server for that

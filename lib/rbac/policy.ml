@@ -12,6 +12,7 @@ type t = {
   mutable role_grants : Perm_set.t String_map.t;  (** role -> perms *)
   mutable ssd : Sod.t list;
   mutable dsd : Sod.t list;
+  mutable version : int;
 }
 
 let create () =
@@ -22,17 +23,25 @@ let create () =
     role_grants = String_map.empty;
     ssd = [];
     dsd = [];
+    version = 0;
   }
 
 let hierarchy p = p.hierarchy
+let version p = p.version
+let touch p = p.version <- p.version + 1
 
 exception Unknown of string * string
 exception Ssd_violation of Sod.t * user * role
 
-let add_user p u = p.users <- String_set.add u p.users
-let add_role p r = Hierarchy.add_role p.hierarchy r
+let add_user p u =
+  touch p;
+  p.users <- String_set.add u p.users
+let add_role p r =
+  touch p;
+  Hierarchy.add_role p.hierarchy r
 
 let add_inheritance p ~senior ~junior =
+  touch p;
   Hierarchy.add_inheritance p.hierarchy ~senior ~junior
 
 let require_user p u =
@@ -55,6 +64,7 @@ let assign_user p u r =
       if Sod.would_violate c ~current ~adding:r then
         raise (Ssd_violation (c, u, r)))
     p.ssd;
+  touch p;
   p.user_assignments <-
     String_map.update u
       (function
@@ -63,6 +73,7 @@ let assign_user p u r =
       p.user_assignments
 
 let deassign_user p u r =
+  touch p;
   p.user_assignments <-
     String_map.update u
       (function
@@ -72,6 +83,7 @@ let deassign_user p u r =
 
 let grant p r perm =
   require_role p r;
+  touch p;
   p.role_grants <-
     String_map.update r
       (function
@@ -80,6 +92,7 @@ let grant p r perm =
       p.role_grants
 
 let revoke p r perm =
+  touch p;
   p.role_grants <-
     String_map.update r
       (function
@@ -95,9 +108,12 @@ let add_ssd p c =
           (Format.asprintf
              "Policy.add_ssd: user %s already violates %a" u Sod.pp c))
     p.user_assignments;
+  touch p;
   p.ssd <- c :: p.ssd
 
-let add_dsd p c = p.dsd <- c :: p.dsd
+let add_dsd p c =
+  touch p;
+  p.dsd <- c :: p.dsd
 let users p = String_set.elements p.users
 let roles p = Hierarchy.roles p.hierarchy
 let ssd_constraints p = p.ssd

@@ -12,6 +12,12 @@ type t
 val create : unit -> t
 val hierarchy : t -> Hierarchy.t
 
+val version : t -> int
+(** Monotone mutation counter: bumped by every administrative change
+    ([add_user], [grant], [add_dsd], …).  Two reads returning the same
+    number mean the policy was not administratively modified in
+    between, which lets callers use the version as a cache stamp. *)
+
 (** {2 Administration} *)
 
 val add_user : t -> user -> unit

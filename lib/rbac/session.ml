@@ -2,6 +2,7 @@ type t = {
   policy : Policy.t;
   user : string;
   mutable active : string list;  (* sorted *)
+  mutable bumps : int;
 }
 
 exception Not_authorized of string * string
@@ -10,10 +11,14 @@ exception Dsd_violation of Sod.t * string * string
 let create policy ~user =
   if not (List.mem user (Policy.users policy)) then
     raise (Policy.Unknown ("user", user));
-  { policy; user; active = [] }
+  { policy; user; active = []; bumps = 0 }
 
 let user s = s.user
 let active_roles s = s.active
+
+(* The stamp is the sum of two monotone counters, so equal stamps mean
+   neither the active-role set nor the backing policy changed. *)
+let version s = s.bumps + Policy.version s.policy
 
 let activate s r =
   if not (List.mem r s.active) then begin
@@ -24,11 +29,19 @@ let activate s r =
         if Sod.would_violate c ~current:s.active ~adding:r then
           raise (Dsd_violation (c, s.user, r)))
       (Policy.dsd_constraints s.policy);
+    s.bumps <- s.bumps + 1;
     s.active <- List.sort String.compare (r :: s.active)
   end
 
-let deactivate s r = s.active <- List.filter (fun r' -> not (String.equal r r')) s.active
-let drop s = s.active <- []
+let deactivate s r =
+  if List.mem r s.active then begin
+    s.bumps <- s.bumps + 1;
+    s.active <- List.filter (fun r' -> not (String.equal r r')) s.active
+  end
+
+let drop s =
+  if s.active <> [] then s.bumps <- s.bumps + 1;
+  s.active <- []
 
 let active_permissions s =
   List.sort_uniq Perm.compare

@@ -19,6 +19,13 @@ val user : t -> string
 val active_roles : t -> string list
 (** Sorted. *)
 
+val version : t -> int
+(** Monotone stamp covering everything an RBAC decision for this
+    session reads: it grows whenever the active-role set actually
+    changes ({!activate}/{!deactivate}/{!drop} that are no-ops leave it
+    alone) and whenever the backing {!Policy} is administratively
+    modified.  Equal stamps ⟹ [may] answers are unchanged. *)
+
 val activate : t -> string -> unit
 (** @raise Not_authorized when the user may not activate the role;
     @raise Dsd_violation when dynamic separation of duty forbids it.

@@ -438,6 +438,169 @@ let test_own_scope_ignores_teammates () =
       Alcotest.fail
         (Format.asprintf "own scope should deny: %a" Decision.pp_verdict v)
 
+(* --- verdict cache invalidation (the indexed fast path must never
+   serve a stale grant) --- *)
+
+let test_cache_hit_is_taken () =
+  (* program-scope binding: after a granted check the cached entry is
+     present and a repeated identical check (different time) still
+     matches the naive outcome *)
+  let binding =
+    Perm_binding.make
+      ~spatial:(Srac.Formula.Ordered (a_cfg, a_db))
+      (Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+  in
+  let control, session = setup ~bindings:[ binding ] () in
+  let program = prog "read cfg @ s1; read db @ s1" in
+  let check t =
+    System.check control ~session ~object_id:"o" ~program ~time:(q t) a_db
+  in
+  Alcotest.(check bool) "first granted" true (Decision.is_granted (check 1));
+  let m = System.monitor control ~object_id:"o" in
+  Alcotest.(check bool) "verdict cached" true
+    (Option.is_some
+       (Monitor.find_decision m ~key:(Sral.Access.to_string a_db)));
+  Alcotest.(check bool) "repeat granted (cache hit)" true
+    (Decision.is_granted (check 2));
+  Alcotest.(check bool) "clock advanced on the hit path" true
+    (Q.equal (Monitor.now m) (q 2))
+
+let test_cache_invalidated_by_arrival () =
+  (* a cached Granted must flip once record_arrival moves the object
+     off the server whose per-server budget the grant was living on *)
+  let binding =
+    Perm_binding.make ~dur:(q 5) ~scheme:Temporal.Validity.Per_server
+      (Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+  in
+  let control, session = setup ~bindings:[ binding ] () in
+  let program = prog "read db @ s1; read db @ s1" in
+  let check t =
+    System.check control ~session ~object_id:"o" ~program ~time:(q t) a_db
+  in
+  Alcotest.(check bool) "granted on s1" true (Decision.is_granted (check 1));
+  System.arrive control ~object_id:"o" ~server:"s2" ~time:(q 2);
+  (* budget rebased at t=2; by t=8 it is exhausted — a stale cache
+     would keep granting *)
+  match check 8 with
+  | Decision.Denied (Decision.Temporal_expired _) -> ()
+  | v ->
+      Alcotest.fail
+        (Format.asprintf "expected expiry after migration, got %a"
+           Decision.pp_verdict v)
+
+let test_cache_invalidated_by_companion_history () =
+  (* Team proof scope, at most 2 db reads for the whole team: the
+     worker's second check is identical to its first (same access, same
+     program) but a companion's grant in between changes the
+     coordinated outcome *)
+  let binding =
+    Perm_binding.make
+      ~spatial:(Srac.Formula.at_most 2 (Srac.Selector.Resource "db"))
+      ~spatial_scope:Perm_binding.Performed ~proof_scope:Perm_binding.Team
+      (Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+  in
+  let control = System.create ~bindings:[ binding ] (base_policy ()) in
+  let worker_session = session_of control in
+  let helper_session = session_of control in
+  System.arrive control ~object_id:"worker" ~server:"s1" ~time:Q.zero;
+  System.arrive control ~object_id:"helper" ~server:"s1" ~time:Q.zero;
+  System.join_team control ~object_id:"worker" ~team:"t1";
+  System.join_team control ~object_id:"helper" ~team:"t1";
+  let program = prog "read db @ s1; read db @ s1" in
+  let check session object_id t =
+    System.check control ~session ~object_id ~program ~time:(q t) a_db
+  in
+  Alcotest.(check bool) "worker 1st" true
+    (Decision.is_granted (check worker_session "worker" 1));
+  Alcotest.(check bool) "helper consumes the team budget" true
+    (Decision.is_granted (check helper_session "helper" 2));
+  (* team history now holds 2 db reads; the worker's identical recheck
+     would make 3 — must be denied, not served from cache *)
+  match check worker_session "worker" 3 with
+  | Decision.Denied (Decision.Spatial_violation _) -> ()
+  | v ->
+      Alcotest.fail
+        (Format.asprintf "expected team-budget denial, got %a"
+           Decision.pp_verdict v)
+
+let test_cache_invalidated_by_session_change () =
+  (* deactivating the role between two identical checks must flip the
+     cached Granted to an RBAC denial *)
+  let binding =
+    Perm_binding.make (Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+  in
+  let control, session = setup ~bindings:[ binding ] () in
+  let program = prog "read db @ s1" in
+  let check t =
+    System.check control ~session ~object_id:"o" ~program ~time:(q t) a_db
+  in
+  Alcotest.(check bool) "granted while active" true
+    (Decision.is_granted (check 1));
+  Alcotest.(check bool) "still granted (cache hit)" true
+    (Decision.is_granted (check 2));
+  Rbac.Session.deactivate session "r";
+  (match check 3 with
+  | Decision.Denied (Decision.Rbac_denied _) -> ()
+  | v ->
+      Alcotest.fail
+        (Format.asprintf "expected rbac denial after deactivation, got %a"
+           Decision.pp_verdict v));
+  (* and reactivation restores the grant *)
+  Rbac.Session.activate session "r";
+  Alcotest.(check bool) "granted again" true (Decision.is_granted (check 4))
+
+(* --- binding index --- *)
+
+let index_agrees_with_linear_scan =
+  QCheck.Test.make ~name:"Binding_index.applicable = linear filter" ~count:200
+    (QCheck.make (fun rng -> Random.State.int rng 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+      let operation () = pick [ "read"; "write"; "execute"; "*" ] in
+      let target () =
+        match Random.State.int rng 5 with
+        | 0 -> "*"
+        | 1 -> pick [ "db"; "cfg" ]  (* unstructured: matches nothing *)
+        | _ ->
+            pick [ "db"; "cfg"; "*" ] ^ "@" ^ pick [ "s1"; "s2"; "*" ]
+      in
+      let bindings =
+        List.init
+          (Random.State.int rng 12)
+          (fun _ ->
+            Perm_binding.make
+              (Rbac.Perm.make ~operation:(operation ()) ~target:(target ())))
+      in
+      let index = Binding_index.of_list bindings in
+      let accesses =
+        List.init 6 (fun _ ->
+            Sral.Generate.access ~resources:[ "db"; "cfg"; "log" ]
+              ~servers:[ "s1"; "s2"; "s3" ] rng)
+      in
+      List.for_all
+        (fun a ->
+          let via_index = Binding_index.applicable index a in
+          let via_scan =
+            List.filter (fun b -> Perm_binding.applies_to b a) bindings
+          in
+          via_index = via_scan)
+        accesses)
+
+let test_index_append_and_order () =
+  let b1 = Perm_binding.make (Rbac.Perm.make ~operation:"read" ~target:"*@*") in
+  let b2 = Perm_binding.make ~dur:(q 5) perm_db in
+  let b3 = Perm_binding.make (Rbac.Perm.make ~operation:"*" ~target:"db@s1") in
+  let index = Binding_index.of_list [ b1; b2 ] in
+  Alcotest.(check int) "version counts" 2 (Binding_index.version index);
+  Binding_index.add index b3;
+  Alcotest.(check int) "version bumps" 3 (Binding_index.version index);
+  Alcotest.(check bool) "insertion order preserved" true
+    (Binding_index.to_list index == [ b1; b2; b3 ]
+    || Binding_index.to_list index = [ b1; b2; b3 ]);
+  Alcotest.(check bool) "applicable in insertion order" true
+    (Binding_index.applicable index a_db = [ b1; b2; b3 ])
+
 (* --- audit log --- *)
 
 let test_audit_log () =
@@ -459,6 +622,105 @@ let test_audit_log () =
     (List.length (Audit_log.by_object log "o1"));
   Alcotest.(check int) "by server" 2
     (List.length (Audit_log.by_server log "s1"))
+
+let random_entry rng t =
+  let object_id = Printf.sprintf "o%d" (Random.State.int rng 7) in
+  let access =
+    Sral.Generate.access ~resources:[ "db"; "cfg" ]
+      ~servers:[ "s1"; "s2"; "s3" ] rng
+  in
+  let verdict =
+    if Random.State.bool rng then Decision.Granted
+    else Decision.Denied (Decision.Rbac_denied "no")
+  in
+  { Audit_log.time = q t; object_id; access; verdict }
+
+let test_audit_counters_agree_with_entries () =
+  (* 10k mixed records: every O(1) counter equals the O(n)
+     recomputation from the retained entries *)
+  let rng = Random.State.make [| 2025; 8 |] in
+  let log = Audit_log.create () in
+  for t = 1 to 10_000 do
+    Audit_log.record log (random_entry rng t)
+  done;
+  let entries = Audit_log.entries log in
+  Alcotest.(check int) "size" (List.length entries) (Audit_log.size log);
+  Alcotest.(check int) "retained" (List.length entries)
+    (Audit_log.retained log);
+  Alcotest.(check int) "granted"
+    (List.length
+       (List.filter
+          (fun (e : Audit_log.entry) -> Decision.is_granted e.verdict)
+          entries))
+    (Audit_log.granted_count log);
+  Alcotest.(check int) "denied"
+    (List.length
+       (List.filter
+          (fun (e : Audit_log.entry) -> not (Decision.is_granted e.verdict))
+          entries))
+    (Audit_log.denied_count log);
+  Alcotest.(check (float 1e-9)) "grant rate"
+    (float_of_int (Audit_log.granted_count log)
+    /. float_of_int (Audit_log.size log))
+    (Audit_log.grant_rate log);
+  List.iter
+    (fun id ->
+      Alcotest.(check int)
+        (Printf.sprintf "count_by_object %s" id)
+        (List.length (Audit_log.by_object log id))
+        (Audit_log.count_by_object log id))
+    (List.init 7 (Printf.sprintf "o%d"));
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "count_by_server %s" s)
+        (List.length (Audit_log.by_server log s))
+        (Audit_log.count_by_server log s))
+    [ "s1"; "s2"; "s3" ]
+
+let test_audit_ring_mode () =
+  (* capacity 100, 250 records: the ring retains the newest 100 while
+     lifetime counters keep counting the evicted ones *)
+  let rng = Random.State.make [| 2025; 9 |] in
+  let log = Audit_log.create ~capacity:100 () in
+  let granted_lifetime = ref 0 in
+  for t = 1 to 250 do
+    let e = random_entry rng t in
+    if Decision.is_granted e.Audit_log.verdict then incr granted_lifetime;
+    Audit_log.record log e
+  done;
+  Alcotest.(check int) "lifetime size" 250 (Audit_log.size log);
+  Alcotest.(check int) "retained capped" 100 (Audit_log.retained log);
+  let entries = Audit_log.entries log in
+  Alcotest.(check int) "entries = retained" 100 (List.length entries);
+  (* oldest retained entry is record #151, newest is #250, in order *)
+  Alcotest.(check string) "oldest survivor" "151"
+    (Q.to_string (List.hd entries).Audit_log.time);
+  Alcotest.(check string) "newest survivor" "250"
+    (Q.to_string (List.nth entries 99).Audit_log.time);
+  Alcotest.(check bool) "retained in record order" true
+    (List.for_all2
+       (fun (e : Audit_log.entry) t -> Q.equal e.time (q t))
+       entries
+       (List.init 100 (fun i -> 151 + i)));
+  Alcotest.(check int) "lifetime granted exact" !granted_lifetime
+    (Audit_log.granted_count log);
+  Alcotest.(check int) "lifetime denied exact" (250 - !granted_lifetime)
+    (Audit_log.denied_count log);
+  Alcotest.(check (float 1e-9)) "lifetime grant rate"
+    (float_of_int !granted_lifetime /. 250.)
+    (Audit_log.grant_rate log)
+
+let test_audit_empty_log_conventions () =
+  let log = Audit_log.create () in
+  Alcotest.(check (float 0.0)) "empty rate is 1.0" 1.0
+    (Audit_log.grant_rate log);
+  Alcotest.(check int) "empty size" 0 (Audit_log.size log);
+  Alcotest.(check int) "unknown object count" 0
+    (Audit_log.count_by_object log "ghost");
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Audit_log.create: capacity 0 < 1") (fun () ->
+      ignore (Audit_log.create ~capacity:0 ()))
 
 (* --- export --- *)
 
@@ -763,7 +1025,31 @@ let () =
           Alcotest.test_case "team history" `Quick test_team_history;
           Alcotest.test_case "own scope" `Quick test_own_scope_ignores_teammates;
         ] );
-      ("audit", [ Alcotest.test_case "log" `Quick test_audit_log ]);
+      ( "verdict-cache",
+        [
+          Alcotest.test_case "hit is taken" `Quick test_cache_hit_is_taken;
+          Alcotest.test_case "invalidated by arrival" `Quick
+            test_cache_invalidated_by_arrival;
+          Alcotest.test_case "invalidated by companion history" `Quick
+            test_cache_invalidated_by_companion_history;
+          Alcotest.test_case "invalidated by session change" `Quick
+            test_cache_invalidated_by_session_change;
+        ] );
+      ( "binding-index",
+        [
+          QCheck_alcotest.to_alcotest index_agrees_with_linear_scan;
+          Alcotest.test_case "append and order" `Quick
+            test_index_append_and_order;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "log" `Quick test_audit_log;
+          Alcotest.test_case "counters agree with entries" `Quick
+            test_audit_counters_agree_with_entries;
+          Alcotest.test_case "ring mode" `Quick test_audit_ring_mode;
+          Alcotest.test_case "empty-log conventions" `Quick
+            test_audit_empty_log_conventions;
+        ] );
       ( "lint",
         [
           Alcotest.test_case "clean policy" `Quick test_lint_clean_policy;

@@ -662,6 +662,68 @@ let test_clone_guard_skips () =
       | _ -> Alcotest.fail "guarded-out accesses must not count")
   | None -> Alcotest.fail "collector lost"
 
+(* --- security manager: rejected role activations are observable --- *)
+
+let test_on_arrival_reports_rejections () =
+  let policy = Rbac.Policy.create () in
+  Rbac.Policy.add_user policy "owner";
+  List.iter (Rbac.Policy.add_role policy) [ "worker"; "pilot"; "navigator" ];
+  Rbac.Policy.assign_user policy "owner" "worker";
+  Rbac.Policy.assign_user policy "owner" "pilot";
+  Rbac.Policy.assign_user policy "owner" "navigator";
+  (* pilot and navigator conflict dynamically: at most one active *)
+  Rbac.Policy.add_dsd policy
+    (Rbac.Sod.make ~name:"cockpit" ~roles:[ "pilot"; "navigator" ] ~max_roles:1);
+  let manager =
+    Naplet.Security_manager.create (Coordinated.System.create policy)
+  in
+  let session, rejected =
+    Naplet.Security_manager.on_arrival manager ~object_id:"o" ~owner:"owner"
+      ~roles:[ "worker"; "ghost"; "pilot"; "navigator" ]
+      ~server:"s1" ~time:Q.zero ~program:(prog "skip")
+  in
+  Alcotest.(check (list string)) "activated what it could"
+    [ "pilot"; "worker" ]
+    (Rbac.Session.active_roles session);
+  Alcotest.(check (list string)) "rejections in request order"
+    [ "ghost"; "navigator" ]
+    (List.map
+       (fun (r : Naplet.Security_manager.rejected_role) -> r.role)
+       rejected);
+  List.iter
+    (fun (r : Naplet.Security_manager.rejected_role) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reason for %s is non-empty" r.role)
+        true
+        (String.length r.reason > 0))
+    rejected;
+  (* the DSD rejection names the constraint *)
+  let dsd_reason =
+    (List.find
+       (fun (r : Naplet.Security_manager.rejected_role) ->
+         String.equal r.role "navigator")
+       rejected)
+      .reason
+  in
+  Alcotest.(check bool) "dsd reason mentions the sod" true
+    (String.length dsd_reason > String.length "dynamic SoD")
+
+let test_on_arrival_no_rejections () =
+  let manager = Naplet.Security_manager.create (permissive_control ()) in
+  let _session, rejected =
+    Naplet.Security_manager.on_arrival manager ~object_id:"o" ~owner:"owner"
+      ~roles:[ "worker" ] ~server:"s1" ~time:Q.zero ~program:(prog "skip")
+  in
+  Alcotest.(check int) "nothing rejected" 0 (List.length rejected);
+  (* re-arrival reuses the session and re-activating is idempotent *)
+  let session2, rejected2 =
+    Naplet.Security_manager.on_arrival manager ~object_id:"o" ~owner:"owner"
+      ~roles:[ "worker" ] ~server:"s2" ~time:(q 1) ~program:(prog "skip")
+  in
+  Alcotest.(check int) "still nothing rejected" 0 (List.length rejected2);
+  Alcotest.(check (list string)) "roles stable" [ "worker" ]
+    (Rbac.Session.active_roles session2)
+
 let () =
   Alcotest.run "naplet"
     [
@@ -723,6 +785,13 @@ let () =
         [
           Alcotest.test_case "role revocation mid-run" `Quick
             test_admin_event_revokes_role;
+        ] );
+      ( "security-manager",
+        [
+          Alcotest.test_case "rejected roles reported" `Quick
+            test_on_arrival_reports_rejections;
+          Alcotest.test_case "clean arrival rejects nothing" `Quick
+            test_on_arrival_no_rejections;
         ] );
       ( "appraisal",
         [
