@@ -452,6 +452,76 @@ let e13_tests =
        [ 16; 64; 256; 1024 ])
 
 (* ------------------------------------------------------------------ *)
+(* E14 — per-stage decision latency through the observability spine.
+   The E13 workload (16 bindings, one relevant; coalition in teams of
+   8) re-run with a real-clock trace bus and an [Obs.Stats] sink
+   subscribed: every check emits rbac/spatial/temporal stage spans and
+   cache probes, and the histograms answer {e where} a decision spends
+   its time — not just how long it takes end to end.  Not a Bechamel
+   group: the spans themselves are the measurement.                    *)
+
+let e14_report () =
+  let policy () =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r" (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+    policy
+  in
+  let access = Sral.Access.read "db" ~at:"s1" in
+  let program = Sral.Parser.program "read cfg @ s1; read db @ s1" in
+  let spatial =
+    Srac.Formula.Ordered (Sral.Access.read "cfg" ~at:"s1", access)
+  in
+  let bindings =
+    Coordinated.Perm_binding.make ~spatial
+      (Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+    :: List.init 15 (fun i ->
+           Coordinated.Perm_binding.make
+             ~dur:(Q.of_int 1_000_000_000)
+             (Rbac.Perm.make ~operation:"read"
+                ~target:(Printf.sprintf "aux%d@s9" i)))
+  in
+  let measure ~mode ~objects ~checks =
+    let bus = Obs.Bus.create ~clock:Monotonic_clock.now () in
+    let stats = Obs.Stats.create () in
+    Obs.Bus.subscribe bus (Obs.Stats.sink stats);
+    let control =
+      Coordinated.System.create ~mode ~bindings ~log_capacity:1024 ~bus
+        (policy ())
+    in
+    let session = Coordinated.System.new_session control ~user:"u" in
+    Rbac.Session.activate session "r";
+    for i = 0 to objects - 1 do
+      Coordinated.System.join_team control
+        ~object_id:(Printf.sprintf "o%d" i)
+        ~team:(Printf.sprintf "t%d" (i / 8))
+    done;
+    Coordinated.System.arrive control ~object_id:"o0" ~server:"s1" ~time:Q.zero;
+    for t = 1 to checks do
+      ignore
+        (Coordinated.System.check control ~session ~object_id:"o0" ~program
+           ~time:(Q.of_int t) access)
+    done;
+    stats
+  in
+  let mode_name = function
+    | Coordinated.System.Naive -> "naive"
+    | Coordinated.System.Indexed -> "indexed"
+  in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun objects ->
+          let stats = measure ~mode ~objects ~checks:10_000 in
+          Printf.printf "  -- %s, objects=%04d, checks=10000 --\n%!"
+            (mode_name mode) objects;
+          Format.printf "%a@." Obs.Stats.pp stats)
+        [ 16; 1024 ])
+    [ Coordinated.System.Naive; Coordinated.System.Indexed ]
+
+(* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
 let scenario_tests =
@@ -524,14 +594,20 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups
+    | _ -> List.map fst all_groups @ [ "E14" ]
   in
   List.iter
     (fun id ->
-      match List.assoc_opt id all_groups with
-      | Some test ->
-          Printf.printf "== %s ==\n%!" id;
-          run_group test
-      | None -> Printf.printf "unknown experiment id %S (known: %s)\n" id
-                  (String.concat ", " (List.map fst all_groups)))
+      if id = "E14" then begin
+        Printf.printf "== E14 ==\n%!";
+        e14_report ()
+      end
+      else
+        match List.assoc_opt id all_groups with
+        | Some test ->
+            Printf.printf "== %s ==\n%!" id;
+            run_group test
+        | None ->
+            Printf.printf "unknown experiment id %S (known: %s, E14)\n" id
+              (String.concat ", " (List.map fst all_groups)))
     selected

@@ -5,6 +5,7 @@
      stacc traces  <file|-> [-b N]     enumerate (bounded) traces
      stacc check   <file|-> -c CONSTR  decide P |= C (Theorem 3.2)
      stacc audit                       run the Figure 1 integrity audit
+     stacc trace [-o FILE] [--stats]   audit + export the JSONL trace
      stacc simulate -p POLICY -a PROG  run one agent under a policy file *)
 
 open Cmdliner
@@ -169,6 +170,59 @@ let audit_cmd =
     (Cmd.info "audit"
        ~doc:"Run the Section 6 / Figure 1 integrity audit scenario.")
     Term.(const run $ deadline_arg $ tampered_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let deadline_arg =
+    let doc = "Verification deadline in time units (rational, e.g. 15 or 15/2)." in
+    Arg.(value & opt (some string) None & info [ "deadline" ] ~docv:"D" ~doc)
+  in
+  let tampered_arg =
+    let doc = "Hash the modules out of dependency order (must be denied)." in
+    Arg.(value & flag & info [ "out-of-order" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSONL trace to this file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc = "Replay the trace through Obs.Stats and print per-stage counters to stderr." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run deadline out_of_order out stats =
+    let deadline = Option.map Temporal.Q.of_string deadline in
+    let report =
+      Scenarios.Integrity_audit.run ?deadline ~respect_order:(not out_of_order)
+        ()
+    in
+    let trace = report.Scenarios.Integrity_audit.trace in
+    (match out with
+    | "-" ->
+        List.iter
+          (fun ev ->
+            print_string (Obs.Export.to_line ev);
+            print_newline ())
+          trace
+    | path ->
+        let oc = open_out path in
+        Obs.Export.to_channel oc trace;
+        close_out oc);
+    Format.eprintf "%d event(s) traced@." (List.length trace);
+    if stats then begin
+      let s = Obs.Stats.create () in
+      List.iter (Obs.Sink.handle (Obs.Stats.sink s)) trace;
+      Format.eprintf "%a@." Obs.Stats.pp s
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the Figure 1 integrity audit and export its end-to-end \
+          observability trace as JSONL (lifecycle events, per-stage decision \
+          spans, cache probes, verdicts).")
+    Term.(const run $ deadline_arg $ tampered_arg $ out_arg $ stats_arg)
 
 (* --- dot --- *)
 
@@ -337,6 +391,7 @@ let () =
             check_cmd;
             dot_cmd;
             audit_cmd;
+            trace_cmd;
             policy_cmd;
             lint_cmd;
             simulate_cmd;

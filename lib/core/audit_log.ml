@@ -104,6 +104,12 @@ let by_object log id =
 let by_server log server =
   List.filter (fun e -> String.equal e.access.Sral.Access.server server) (entries log)
 
+let sink log =
+  Obs.Sink.make ~name:"audit-log" (function
+    | Obs.Trace.Decision { time; object_id; access; verdict } ->
+        record log { time; object_id; access; verdict }
+    | _ -> ())
+
 let pp_entry ppf e =
   Format.fprintf ppf "[%a] %s: %a -> %a" Temporal.Q.pp e.time e.object_id
     Sral.Access.pp e.access Decision.pp_verdict e.verdict

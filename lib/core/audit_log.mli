@@ -1,5 +1,10 @@
 (** Audit log of coordinated access-control decisions.
 
+    The log is a {e sink} over the observability bus: it has no
+    recording wiring of its own — {!Coordinated.System.check} emits an
+    {!Obs.Trace.Decision} event and {!sink} turns it into an entry.
+    ({!record} remains public for building logs by hand in tests.)
+
     Statistics ({!size}, {!granted_count}, {!grant_rate},
     {!count_by_object}, {!count_by_server}) are maintained
     incrementally at {!record} time — O(1) per record, O(1) per query —
@@ -60,5 +65,12 @@ val by_object : t -> string -> entry list
 (** Retained entries concerning the object. *)
 
 val by_server : t -> string -> entry list
+
+val sink : t -> Obs.Sink.t
+(** The log as a trace-bus subscriber: records one entry per
+    {!Obs.Trace.Decision} event and ignores every other variant.
+    {!Coordinated.System} subscribes this at creation, so decisions
+    reach the log through the bus rather than by direct calls. *)
+
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

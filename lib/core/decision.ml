@@ -152,15 +152,43 @@ let first_temporal_failure ~monitor ~time applicable =
           Some (Temporal_expired { binding = Perm_binding.key b; spent }))
     applicable
 
+(* Bracket [f]'s evaluation with Stage_start/Stage_end span events on
+   the bus, measuring host-clock nanoseconds through the bus clock
+   (zero under the default null clock, keeping traces deterministic).
+   With no bus the stage runs untouched — the un-instrumented fast
+   path is byte-for-byte the seed's. *)
+let span ~obs ~monitor ~time stage ok_of f =
+  match obs with
+  | None -> f ()
+  | Some bus ->
+      let object_id = Monitor.object_id monitor in
+      Obs.Bus.emit bus (Obs.Trace.Stage_start { time; object_id; stage });
+      let t0 = Obs.Bus.now_ns bus in
+      let result = f () in
+      let elapsed_ns = Int64.sub (Obs.Bus.now_ns bus) t0 in
+      Obs.Bus.emit bus
+        (Obs.Trace.Stage_end
+           { time; object_id; stage; ok = ok_of result; elapsed_ns });
+      result
+
 (* Full recomputation over an already-filtered applicable-binding list. *)
-let decide_applicable ~companions ~session ~monitor ~applicable ~program ~time
-    access =
-  let rbac = Rbac.Engine.decide_access session access in
-  List.iter (refresh_one ~session ~monitor ~companions ~program ~time) applicable;
+let decide_applicable ?obs ~companions ~session ~monitor ~applicable ~program
+    ~time access =
+  let rbac =
+    span ~obs ~monitor ~time Obs.Trace.Rbac
+      (function Rbac.Engine.Granted -> true | Rbac.Engine.Denied _ -> false)
+      (fun () -> Rbac.Engine.decide_access session access)
+  in
   let spatial_results =
-    List.map
-      (fun b -> (b, spatial_ok ~monitor ~companions ~program ~access b))
-      applicable
+    span ~obs ~monitor ~time Obs.Trace.Spatial
+      (List.for_all (fun (_, r) -> Result.is_ok r))
+      (fun () ->
+        List.iter
+          (refresh_one ~session ~monitor ~companions ~program ~time)
+          applicable;
+        List.map
+          (fun b -> (b, spatial_ok ~monitor ~companions ~program ~access b))
+          applicable)
   in
   match rbac with
   | Rbac.Engine.Denied why -> Denied (Rbac_denied why)
@@ -179,17 +207,20 @@ let decide_applicable ~companions ~session ~monitor ~applicable ~program ~time
       match spatial_failure with
       | Some reason -> Denied reason
       | None -> (
-          match first_temporal_failure ~monitor ~time applicable with
+          match
+            span ~obs ~monitor ~time Obs.Trace.Temporal Option.is_none
+              (fun () -> first_temporal_failure ~monitor ~time applicable)
+          with
           | Some reason -> Denied reason
           | None -> Granted))
 
-let decide ?(companions = []) ~session ~monitor ~bindings ~program ~time
+let decide ?obs ?(companions = []) ~session ~monitor ~bindings ~program ~time
     access =
   let applicable =
     List.filter (fun b -> Perm_binding.applies_to b access) bindings
   in
-  decide_applicable ~companions ~session ~monitor ~applicable ~program ~time
-    access
+  decide_applicable ?obs ~companions ~session ~monitor ~applicable ~program
+    ~time access
 
 let decide_naive = decide
 
@@ -222,7 +253,7 @@ let stamp_matches (entry : Monitor.cached_decision) ~(now : Monitor.decision_sta
      || (s.team_version = now.team_version
         && s.team_history = now.team_history))
 
-let decide_indexed ?(companions = []) ~session ~monitor ~applicable
+let decide_indexed ?obs ?(companions = []) ~session ~monitor ~applicable
     ~bindings_version ~team_version ~team_history ~program ~time access =
   let current_stamp () =
     {
@@ -245,6 +276,16 @@ let decide_indexed ?(companions = []) ~session ~monitor ~applicable
         Some entry
     | _ -> None
   in
+  (match obs with
+  | Some bus ->
+      Obs.Bus.emit bus
+        (Obs.Trace.Cache_probe
+           {
+             time;
+             object_id = Monitor.object_id monitor;
+             hit = cached <> None;
+           })
+  | None -> ());
   match cached with
   | Some entry -> (
       (* replicate the naive path's clock movement: refresh_one advances
@@ -254,13 +295,16 @@ let decide_indexed ?(companions = []) ~session ~monitor ~applicable
       match entry.pre_temporal with
       | Error reason -> Denied reason
       | Ok () -> (
-          match first_temporal_failure ~monitor ~time applicable with
+          match
+            span ~obs ~monitor ~time Obs.Trace.Temporal Option.is_none
+              (fun () -> first_temporal_failure ~monitor ~time applicable)
+          with
           | Some reason -> Denied reason
           | None -> Granted))
   | None ->
       let verdict =
-        decide_applicable ~companions ~session ~monitor ~applicable ~program
-          ~time access
+        decide_applicable ?obs ~companions ~session ~monitor ~applicable
+          ~program ~time access
       in
       let pre_temporal =
         match verdict with

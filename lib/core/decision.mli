@@ -29,6 +29,7 @@ type reason = Verdict.reason =
 type verdict = Verdict.t = Granted | Denied of reason
 
 val decide :
+  ?obs:Obs.Bus.t ->
   ?companions:Monitor.t list ->
   session:Rbac.Session.t ->
   monitor:Monitor.t ->
@@ -40,9 +41,14 @@ val decide :
 (** Decide the access at the given time.  Inspects only bindings whose
     permission pattern covers the access.  [companions] are the
     monitors of the object's teammates, consulted by bindings with
-    [Team] proof scope. *)
+    [Team] proof scope.  With [obs], each pipeline stage (rbac,
+    spatial, temporal) is bracketed with
+    {!Obs.Trace.Stage_start}/[Stage_end] span events on the bus, in
+    evaluation order; without it the decision is span-free and
+    allocation-identical to the seed. *)
 
 val decide_naive :
+  ?obs:Obs.Bus.t ->
   ?companions:Monitor.t list ->
   session:Rbac.Session.t ->
   monitor:Monitor.t ->
@@ -57,6 +63,7 @@ val decide_naive :
     E13 experiment measures. *)
 
 val decide_indexed :
+  ?obs:Obs.Bus.t ->
   ?companions:Monitor.t list ->
   session:Rbac.Session.t ->
   monitor:Monitor.t ->
@@ -79,7 +86,10 @@ val decide_indexed :
     cheap time-dependent temporal tail is recomputed on a hit.
     Observationally identical to {!decide_naive} on the same inputs,
     including the denial reason and the monitor-clock side effects
-    (property-tested in [test/test_fuzz.ml]). *)
+    (property-tested in [test/test_fuzz.ml]).  With [obs], every probe
+    of the verdict cache additionally emits an
+    {!Obs.Trace.Cache_probe} event (hit or miss) before the span
+    events of whatever stages then run. *)
 
 val refresh_activation :
   ?companions:Monitor.t list ->

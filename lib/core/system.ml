@@ -11,9 +11,15 @@ type t = {
   rosters : (string, String_set.t) Hashtbl.t;  (* team name -> members *)
   mutable teams_version : int;
   log : Audit_log.t;
+  bus : Obs.Bus.t;
 }
 
-let create ?(mode = Indexed) ?(bindings = []) ?log_capacity policy =
+let create ?(mode = Indexed) ?(bindings = []) ?log_capacity ?bus policy =
+  let bus = match bus with Some b -> b | None -> Obs.Bus.create () in
+  let log = Audit_log.create ?capacity:log_capacity () in
+  (* the audit log no longer records on its own: it is the bus's first
+     subscriber, fed one Decision event per check *)
+  Obs.Bus.subscribe bus (Audit_log.sink log);
   {
     policy;
     mode;
@@ -22,7 +28,8 @@ let create ?(mode = Indexed) ?(bindings = []) ?log_capacity policy =
     teams = Hashtbl.create 8;
     rosters = Hashtbl.create 8;
     teams_version = 0;
-    log = Audit_log.create ?capacity:log_capacity ();
+    log;
+    bus;
   }
 
 let of_policy_text ?mode text =
@@ -35,6 +42,7 @@ let bindings t = Binding_index.to_list t.index
 let add_binding t b = Binding_index.add t.index b
 let applicable_bindings t access = Binding_index.applicable t.index access
 let log t = t.log
+let bus t = t.bus
 
 let monitor t ~object_id =
   match Hashtbl.find_opt t.monitors object_id with
@@ -101,7 +109,7 @@ let check t ~session ~object_id ~program ~time access =
   let verdict =
     match t.mode with
     | Naive ->
-        Decision.decide_naive
+        Decision.decide_naive ~obs:t.bus
           ~companions:(companions_scan t ~object_id)
           ~session ~monitor:m
           ~bindings:(Binding_index.to_list t.index)
@@ -109,20 +117,22 @@ let check t ~session ~object_id ~program ~time access =
     | Indexed ->
         let applicable = Binding_index.applicable t.index access in
         let companions = companions t ~object_id in
-        Decision.decide_indexed ~companions ~session ~monitor:m ~applicable
+        Decision.decide_indexed ~obs:t.bus ~companions ~session ~monitor:m
+          ~applicable
           ~bindings_version:(Binding_index.version t.index)
           ~team_version:t.teams_version
           ~team_history:(team_history_stamp companions)
           ~program ~time access
   in
-  Audit_log.record t.log { Audit_log.time; object_id; access; verdict };
+  Obs.Bus.emit t.bus (Obs.Trace.Decision { time; object_id; access; verdict });
   (match verdict with
   | Decision.Granted -> Monitor.record_access m access ~time
   | Decision.Denied _ -> ());
   verdict
 
 let arrive t ~object_id ~server ~time =
-  Monitor.record_arrival (monitor t ~object_id) ~server ~time
+  Monitor.record_arrival (monitor t ~object_id) ~server ~time;
+  Obs.Bus.emit t.bus (Obs.Trace.Arrival { time; object_id; server })
 
 let refresh t ~session ~object_id ~program ~time =
   let companions =

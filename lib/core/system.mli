@@ -26,10 +26,16 @@ val create :
   ?mode:decision_mode ->
   ?bindings:Perm_binding.t list ->
   ?log_capacity:int ->
+  ?bus:Obs.Bus.t ->
   Rbac.Policy.t ->
   t
 (** [log_capacity] bounds the audit log (ring mode, for long
-    emulations); lifetime counters stay exact either way. *)
+    emulations); lifetime counters stay exact either way.  [bus] is the
+    observability spine the system publishes on (default: a fresh bus
+    with the deterministic null clock); pass a bus built with a
+    monotonic clock to give decision spans real durations.  The audit
+    log is subscribed to the bus at creation, before any caller
+    sinks. *)
 
 val of_policy_text : ?mode:decision_mode -> string -> t
 (** Build from {!Policy_lang} text.  @raise Policy_lang.Error *)
@@ -48,6 +54,12 @@ val applicable_bindings : t -> Sral.Access.t -> Perm_binding.t list
     — resolved through the index.  Exposed for tests and tooling. *)
 
 val log : t -> Audit_log.t
+
+val bus : t -> Obs.Bus.t
+(** The system's trace bus.  {!check} emits per-stage span events,
+    cache probes and one {!Obs.Trace.Decision} per decision on it;
+    {!arrive} emits {!Obs.Trace.Arrival}.  Subscribe sinks here to
+    observe (or record) everything the system does. *)
 
 val monitor : t -> object_id:string -> Monitor.t
 (** The monitor for a mobile object, created on first use. *)
@@ -73,9 +85,10 @@ val check :
   time:Temporal.Q.t ->
   Sral.Access.t ->
   Decision.verdict
-(** Decide, log the decision, and — when granted — record the execution
-    proof in the object's monitor (the server "carries out" the access
-    and issues the proof, Section 2). *)
+(** Decide, publish the decision on the {!bus} (which the audit log
+    records), and — when granted — record the execution proof in the
+    object's monitor (the server "carries out" the access and issues
+    the proof, Section 2). *)
 
 val arrive :
   t -> object_id:string -> server:string -> time:Temporal.Q.t -> unit

@@ -1,10 +1,13 @@
 (** Decision outcomes, factored out of {!Decision} so lower layers
     (notably {!Monitor}'s verdict cache) can store them without
-    depending on the decision procedure itself.  {!Decision} re-exports
-    these constructors under its historical names ([Decision.reason],
-    [Decision.verdict]); new code may use either spelling. *)
+    depending on the decision procedure itself.  The type now lives in
+    {!Obs.Verdict} — the observability layer carries verdicts inside
+    {!Obs.Trace.Decision} events, and sits below this library — and is
+    re-exported here unchanged.  {!Decision} re-exports these
+    constructors under its historical names ([Decision.reason],
+    [Decision.verdict]); all three spellings are interchangeable. *)
 
-type reason =
+type reason = Obs.Verdict.reason =
   | Rbac_denied of string
   | Spatial_violation of { binding : string; detail : string }
   | Temporal_expired of { binding : string; spent : Temporal.Q.t }
@@ -13,7 +16,7 @@ type reason =
           (Eq. 3.1's conjunction failed earlier on this timeline) *)
   | Not_arrived  (** no arrival recorded — object not on any server *)
 
-type t = Granted | Denied of reason
+type t = Obs.Verdict.t = Granted | Denied of reason
 
 val is_granted : t -> bool
 val pp_reason : Format.formatter -> reason -> unit

@@ -12,17 +12,61 @@ type kind =
 
 type event = { time : Temporal.Q.t; agent : string; kind : kind }
 
-type t = { mutable events : event list (* reverse order *) }
+type t = {
+  mutable events : event list;  (* reverse order *)
+  mutable size : int;  (* = List.length events, maintained at record *)
+}
 
-let create () = { events = [] }
+let create () = { events = []; size = 0 }
 
 let record t ~time ~agent kind =
-  t.events <- { time; agent; kind } :: t.events
+  t.events <- { time; agent; kind } :: t.events;
+  t.size <- t.size + 1
 
 let events t = List.rev t.events
-let for_agent t agent = List.filter (fun e -> String.equal e.agent agent) (events t)
-let size t = List.length t.events
-let count t pred = List.length (List.filter (fun e -> pred e.kind) (events t))
+
+(* The store is newest-first; a fold_left that prepends matches yields
+   them oldest-first without materializing the reversed list. *)
+let for_agent t agent =
+  List.fold_left
+    (fun acc e -> if String.equal e.agent agent then e :: acc else acc)
+    [] t.events
+
+let size t = t.size
+
+let count t pred =
+  List.fold_left (fun n e -> if pred e.kind then n + 1 else n) 0 t.events
+
+let sink ?(relevant = fun _ -> true) t =
+  Obs.Sink.make ~name:"event-log" (fun ev ->
+      match ev with
+      | Obs.Trace.Spawned { time; agent; home } when relevant agent ->
+          record t ~time ~agent (Spawned { home })
+      | Obs.Trace.Migrated { time; agent; from_; to_ } when relevant agent ->
+          record t ~time ~agent (Migrated { from_; to_ })
+      | Obs.Trace.Decision { time; object_id; access; verdict }
+        when relevant object_id -> (
+          match verdict with
+          | Obs.Verdict.Granted ->
+              record t ~time ~agent:object_id (Access_granted access)
+          | Obs.Verdict.Denied reason ->
+              record t ~time ~agent:object_id
+                (Access_denied
+                   (access, Format.asprintf "%a" Obs.Verdict.pp_reason reason)))
+      | Obs.Trace.Message_sent { time; agent; channel } when relevant agent ->
+          record t ~time ~agent (Message_sent channel)
+      | Obs.Trace.Message_received { time; agent; channel }
+        when relevant agent ->
+          record t ~time ~agent (Message_received channel)
+      | Obs.Trace.Signal_raised { time; agent; signal } when relevant agent ->
+          record t ~time ~agent (Signal_raised signal)
+      | Obs.Trace.Completed { time; agent } when relevant agent ->
+          record t ~time ~agent Completed
+      | Obs.Trace.Aborted { time; agent; reason } when relevant agent ->
+          record t ~time ~agent (Aborted reason)
+      | Obs.Trace.Deadlocked { time; agent } when relevant agent ->
+          record t ~time ~agent Deadlocked
+      | _ -> ())
 
 let pp_kind ppf = function
   | Spawned { home } -> Format.fprintf ppf "spawned at %s" home

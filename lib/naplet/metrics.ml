@@ -46,16 +46,54 @@ let total_accesses m = m.granted + m.denied
 
 let grant_rate m =
   let n = total_accesses m in
-  if n = 0 then 1.0 else float_of_int m.granted /. float_of_int n
+  if n = 0 then None else Some (float_of_int m.granted /. float_of_int n)
+
+let sink ?(relevant = fun _ -> true) m =
+  Obs.Sink.make ~name:"metrics" (fun ev ->
+      match ev with
+      | Obs.Trace.Decision { object_id; access; verdict; _ }
+        when relevant object_id -> (
+          match verdict with
+          | Obs.Verdict.Granted ->
+              m.granted <- m.granted + 1;
+              record_server m access.Sral.Access.server
+          | Obs.Verdict.Denied reason -> (
+              m.denied <- m.denied + 1;
+              match reason with
+              | Obs.Verdict.Rbac_denied _ -> m.denied_rbac <- m.denied_rbac + 1
+              | Obs.Verdict.Spatial_violation _ ->
+                  m.denied_spatial <- m.denied_spatial + 1
+              | Obs.Verdict.Temporal_expired _ | Obs.Verdict.Not_active _
+              | Obs.Verdict.Not_arrived ->
+                  m.denied_temporal <- m.denied_temporal + 1))
+      | Obs.Trace.Migrated { agent; _ } when relevant agent ->
+          m.migrations <- m.migrations + 1
+      | Obs.Trace.Message_sent { agent; _ } when relevant agent ->
+          m.messages <- m.messages + 1
+      | Obs.Trace.Signal_raised { agent; _ } when relevant agent ->
+          m.signals <- m.signals + 1
+      | Obs.Trace.Completed { agent; _ } when relevant agent ->
+          m.completed_agents <- m.completed_agents + 1
+      | Obs.Trace.Aborted { agent; _ } when relevant agent ->
+          m.aborted_agents <- m.aborted_agents + 1
+      | Obs.Trace.Deadlocked { agent; _ } when relevant agent ->
+          m.deadlocked_agents <- m.deadlocked_agents + 1
+      | Obs.Trace.Run_finished { time } -> m.end_time <- time
+      | _ -> ())
+
+let pp_rate ppf m =
+  match grant_rate m with
+  | None -> Format.pp_print_string ppf "n/a"
+  | Some rate -> Format.fprintf ppf "%.2f" rate
 
 let pp ppf m =
   Format.fprintf ppf
-    "@[<v>accesses: %d granted, %d denied (rate %.2f; rbac %d, spatial %d, \
+    "@[<v>accesses: %d granted, %d denied (rate %a; rbac %d, spatial %d, \
      temporal %d)@,\
      migrations: %d, messages: %d, signals: %d@,\
      agents: %d completed, %d aborted, %d deadlocked@,\
      simulated time: %a@]"
-    m.granted m.denied (grant_rate m) m.denied_rbac m.denied_spatial
+    m.granted m.denied pp_rate m m.denied_rbac m.denied_spatial
     m.denied_temporal m.migrations m.messages m.signals
     m.completed_agents m.aborted_agents m.deadlocked_agents Temporal.Q.pp
     m.end_time

@@ -1,4 +1,9 @@
-(** Simulation metrics. *)
+(** Simulation metrics.
+
+    The accumulator is a {e sink} over the observability bus
+    ({!sink}): the world and the coordinated system publish events and
+    the sink folds them into counters — there is no direct mutation
+    left in the simulation loop. *)
 
 type t = {
   mutable granted : int;
@@ -22,5 +27,16 @@ val server_counts : t -> (string * int) list
 (** Sorted by server name. *)
 
 val total_accesses : t -> int
-val grant_rate : t -> float
+
+val grant_rate : t -> float option
+(** [granted / (granted + denied)], or [None] when the run performed no
+    accesses — there is no rate to report, and the seed's [1.0] read as
+    "everything granted".  {!pp} prints it as ["n/a"]. *)
+
+val sink : ?relevant:(string -> bool) -> t -> Obs.Sink.t
+(** The accumulator as a trace-bus subscriber: decisions (with
+    per-reason denial breakdown), migrations, messages, signals, agent
+    terminations and [Run_finished] (which sets [end_time]).
+    [relevant] filters by agent/object id, as in {!Event_log.sink}. *)
+
 val pp : Format.formatter -> t -> unit

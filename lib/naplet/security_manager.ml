@@ -31,6 +31,12 @@ let on_arrival t ~object_id ~owner ~roles ~server ~time ~program =
               { role; reason = Format.asprintf "dynamic SoD %a" Rbac.Sod.pp c })
       roles
   in
+  let bus = Coordinated.System.bus t.control in
+  List.iter
+    (fun { role; reason } ->
+      Obs.Bus.emit bus
+        (Obs.Trace.Role_rejected { time; object_id; role; reason }))
+    rejected;
   Coordinated.System.arrive t.control ~object_id ~server ~time;
   Coordinated.System.refresh t.control ~session ~object_id ~program ~time;
   (session, rejected)

@@ -32,7 +32,9 @@ val on_arrival :
     separation-of-duty constraint forbids ([Dsd_violation]) are
     reported in the second component, in request order, instead of
     being silently dropped — callers can surface them; the session is
-    still established with the roles that did activate. *)
+    still established with the roles that did activate.  Each rejection
+    is also published as an {!Obs.Trace.Role_rejected} event on the
+    control's bus, before the arrival is recorded. *)
 
 val check :
   t ->

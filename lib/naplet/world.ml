@@ -24,6 +24,7 @@ type event = Step of string | Admin of (unit -> unit)
 type t = {
   config : config;
   manager : Security_manager.t;
+  bus : Obs.Bus.t;
   servers : (string, Server.t) Hashtbl.t;
   agents : (string, Agent.t) Hashtbl.t;
   channels : Channel.t;
@@ -36,19 +37,29 @@ type t = {
 }
 
 let create ?(config = default_config) control =
-  {
-    config;
-    manager = Security_manager.create control;
-    servers = Hashtbl.create 8;
-    agents = Hashtbl.create 8;
-    channels = Channel.create ();
-    signals = Signal_table.create ();
-    events = Sim.create ();
-    clock = Q.zero;
-    appraisal = None;
-    event_log = Event_log.create ();
-    metrics = Metrics.create ();
-  }
+  let t =
+    {
+      config;
+      manager = Security_manager.create control;
+      bus = Coordinated.System.bus control;
+      servers = Hashtbl.create 8;
+      agents = Hashtbl.create 8;
+      channels = Channel.create ();
+      signals = Signal_table.create ();
+      events = Sim.create ();
+      clock = Q.zero;
+      appraisal = None;
+      event_log = Event_log.create ();
+      metrics = Metrics.create ();
+    }
+  in
+  (* the world's stores consume the bus rather than being hand-wired
+     into the simulation loop; the membership filter keeps a shared
+     control's foreign traffic out of this world's books *)
+  let mine id = Hashtbl.mem t.agents id in
+  Obs.Bus.subscribe t.bus (Event_log.sink ~relevant:mine t.event_log);
+  Obs.Bus.subscribe t.bus (Metrics.sink ~relevant:mine t.metrics);
+  t
 
 let manager t = t.manager
 let set_appraisal t appraisal = t.appraisal <- Some appraisal
@@ -80,7 +91,7 @@ let metrics t = t.metrics
 let channels t = t.channels
 let events t = t.event_log
 
-let log_event t ~time ~agent kind = Event_log.record t.event_log ~time ~agent kind
+let emit t ev = Obs.Bus.emit t.bus ev
 
 let schedule_step t id ~time = Sim.schedule t.events ~time (Step id)
 
@@ -97,12 +108,10 @@ let finish_agent t (agent : Agent.t) status =
   agent.Agent.status <- status;
   match status with
   | Agent.Completed time ->
-      log_event t ~time ~agent:agent.Agent.id Event_log.Completed;
-      t.metrics.Metrics.completed_agents <-
-        t.metrics.Metrics.completed_agents + 1
+      emit t (Obs.Trace.Completed { time; agent = agent.Agent.id })
   | Agent.Aborted why ->
-      log_event t ~time:t.clock ~agent:agent.Agent.id (Event_log.Aborted why);
-      t.metrics.Metrics.aborted_agents <- t.metrics.Metrics.aborted_agents + 1
+      emit t
+        (Obs.Trace.Aborted { time = t.clock; agent = agent.Agent.id; reason = why })
   | Agent.Running | Agent.Waiting -> ()
 
 let spawn ?team t ~id ~owner ~roles ~home program =
@@ -121,7 +130,7 @@ let spawn ?team t ~id ~owner ~roles ~home program =
         ~object_id:id ~team
   | None -> ());
   arrive t agent ~server:home ~time:t.clock;
-  log_event t ~time:t.clock ~agent:id (Event_log.Spawned { home });
+  emit t (Obs.Trace.Spawned { time = t.clock; agent = id; home });
   match appraise t agent with
   | Appraisal.Corrupted invariant ->
       finish_agent t agent
@@ -152,11 +161,16 @@ let rec handle_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
   let time =
     if not migrated then time
     else begin
-      t.metrics.Metrics.migrations <- t.metrics.Metrics.migrations + 1;
       let arrival = Q.add time t.config.migration_latency in
       arrive t agent ~server:a.Sral.Access.server ~time:arrival;
-      log_event t ~time:arrival ~agent:agent.Agent.id
-        (Event_log.Migrated { from_ = origin; to_ = a.Sral.Access.server });
+      emit t
+        (Obs.Trace.Migrated
+           {
+             time = arrival;
+             agent = agent.Agent.id;
+             from_ = origin;
+             to_ = a.Sral.Access.server;
+           });
       arrival
     end
   in
@@ -166,15 +180,15 @@ let rec handle_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
   | Appraisal.Sound -> decide_access t agent ~thread ~time a
 
 and decide_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
+  (* the verdict reaches the event log and the metrics through the
+     bus: [System.check] publishes a [Decision] event, the sinks
+     subscribed in [create] fold it in *)
   let verdict =
     Security_manager.check t.manager ~object_id:agent.Agent.id
       ~program:agent.Agent.program ~time a
   in
   match verdict with
   | Coordinated.Decision.Granted ->
-      log_event t ~time ~agent:agent.Agent.id (Event_log.Access_granted a);
-      t.metrics.Metrics.granted <- t.metrics.Metrics.granted + 1;
-      Metrics.record_server t.metrics a.Sral.Access.server;
       let finish =
         match server t a.Sral.Access.server with
         | Some srv ->
@@ -185,20 +199,6 @@ and decide_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
       Machine.complete agent.Agent.machine ~thread;
       `Continue_at finish
   | Coordinated.Decision.Denied reason -> (
-      log_event t ~time ~agent:agent.Agent.id
-        (Event_log.Access_denied
-           (a, Format.asprintf "%a" Coordinated.Decision.pp_reason reason));
-      t.metrics.Metrics.denied <- t.metrics.Metrics.denied + 1;
-      (match reason with
-      | Coordinated.Decision.Rbac_denied _ ->
-          t.metrics.Metrics.denied_rbac <- t.metrics.Metrics.denied_rbac + 1
-      | Coordinated.Decision.Spatial_violation _ ->
-          t.metrics.Metrics.denied_spatial <-
-            t.metrics.Metrics.denied_spatial + 1
-      | Coordinated.Decision.Temporal_expired _
-      | Coordinated.Decision.Not_active _ | Coordinated.Decision.Not_arrived ->
-          t.metrics.Metrics.denied_temporal <-
-            t.metrics.Metrics.denied_temporal + 1);
       match t.config.deny_policy with
       | Skip_access ->
           Machine.skip_request agent.Agent.machine ~thread;
@@ -210,8 +210,8 @@ let handle_request t (agent : Agent.t) ~thread ~time request =
   match request with
   | Machine.Access a -> handle_access t agent ~thread ~time a
   | Machine.Send (chan, v) ->
-      log_event t ~time ~agent:agent.Agent.id (Event_log.Message_sent chan);
-      t.metrics.Metrics.messages <- t.metrics.Metrics.messages + 1;
+      emit t
+        (Obs.Trace.Message_sent { time; agent = agent.Agent.id; channel = chan });
       let waiters = Channel.send t.channels ~chan v in
       List.iter
         (fun (w : Channel.waiter) ->
@@ -222,8 +222,9 @@ let handle_request t (agent : Agent.t) ~thread ~time request =
   | Machine.Recv (chan, var) -> (
       match Channel.try_recv t.channels ~chan with
       | Some v ->
-          log_event t ~time ~agent:agent.Agent.id
-            (Event_log.Message_received chan);
+          emit t
+            (Obs.Trace.Message_received
+               { time; agent = agent.Agent.id; channel = chan });
           Machine.complete_recv agent.Agent.machine ~thread ~var v;
           `Continue_at time
       | None ->
@@ -232,8 +233,7 @@ let handle_request t (agent : Agent.t) ~thread ~time request =
             { Channel.agent = agent.Agent.id; thread };
           `Continue_at time)
   | Machine.Signal x ->
-      log_event t ~time ~agent:agent.Agent.id (Event_log.Signal_raised x);
-      t.metrics.Metrics.signals <- t.metrics.Metrics.signals + 1;
+      emit t (Obs.Trace.Signal_raised { time; agent = agent.Agent.id; signal = x });
       let waiters = Signal_table.raise_signal t.signals x in
       List.iter
         (fun (w : Signal_table.waiter) ->
@@ -294,10 +294,8 @@ let run t =
     (fun _ (agent : Agent.t) ->
       match agent.Agent.status with
       | Agent.Waiting ->
-          log_event t ~time:t.clock ~agent:agent.Agent.id Event_log.Deadlocked;
-          t.metrics.Metrics.deadlocked_agents <-
-            t.metrics.Metrics.deadlocked_agents + 1
+          emit t (Obs.Trace.Deadlocked { time = t.clock; agent = agent.Agent.id })
       | Agent.Running | Agent.Completed _ | Agent.Aborted _ -> ())
     t.agents;
-  t.metrics.Metrics.end_time <- t.clock;
+  emit t (Obs.Trace.Run_finished { time = t.clock });
   t.metrics

@@ -26,6 +26,11 @@ val default_config : config
 type t
 
 val create : ?config:config -> Coordinated.System.t -> t
+(** The world publishes its lifecycle events (spawns, migrations,
+    messages, signals, terminations) on the control's
+    {!Coordinated.System.bus} and subscribes its own {!Event_log} and
+    {!Metrics} sinks to it, filtered to this world's agents. *)
+
 val manager : t -> Security_manager.t
 
 val set_appraisal : t -> Appraisal.t -> unit

@@ -1,0 +1,28 @@
+(** Deterministic JSONL serialization of traces.
+
+    One event per line, keys in a fixed order, ℚ timestamps written
+    exactly ({!Temporal.Q.to_string}, e.g. ["3/2"]) — so two identical
+    runs export byte-identical files, and an exported trace can be
+    re-imported for replay assertions.
+
+    The reader inverts the writer: [of_string ∘ to_string] is the
+    identity on event lists, and [to_string ∘ of_string ∘ to_string =
+    to_string] (export → import → re-export is a fixed point; both
+    properties are tested in [test/test_obs.ml]).  The only lossy spot
+    is an access written with a {e standard} operation name under
+    [Custom] (e.g. [Custom "read"]), which reads back as the standard
+    constructor — no emitter in this repo produces such accesses. *)
+
+val to_line : Trace.event -> string
+(** One JSON object, no trailing newline. *)
+
+val of_line : string -> (Trace.event, string) result
+
+val to_string : Trace.event list -> string
+(** Newline-terminated lines, concatenated. *)
+
+val of_string : string -> (Trace.event list, string) result
+(** Parses a JSONL document; blank lines are skipped; the error names
+    the offending line. *)
+
+val to_channel : out_channel -> Trace.event list -> unit

@@ -1,0 +1,10 @@
+type t = { name : string; handle : Trace.event -> unit }
+
+let make ~name handle = { name; handle }
+let name t = t.name
+let handle t ev = t.handle ev
+
+let memory () =
+  let acc = ref [] in
+  ( make ~name:"memory" (fun ev -> acc := ev :: !acc),
+    fun () -> List.rev !acc )

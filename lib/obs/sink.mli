@@ -1,0 +1,24 @@
+(** Subscribers of the trace bus.
+
+    The sink contract: [handle] is called synchronously, in subscription
+    order, for {e every} event emitted on the bus it is subscribed to.
+    A sink interested in a subset of the taxonomy pattern-matches and
+    ignores the rest (a wildcard arm, not an error).  Handlers must not
+    emit on the same bus (no reentrancy) and should be O(1) per event —
+    the emitter runs on the decision hot path. *)
+
+type t
+
+val make : name:string -> (Trace.event -> unit) -> t
+(** [name] identifies the sink in diagnostics ({!Bus.sinks}). *)
+
+val name : t -> string
+
+val handle : t -> Trace.event -> unit
+(** Feed one event to the sink — used by {!Bus.emit} and by offline
+    replays of an exported trace. *)
+
+val memory : unit -> t * (unit -> Trace.event list)
+(** A sink that retains every event; the second component returns the
+    capture so far, in emission order.  The capture basis for trace
+    exports and replay assertions. *)

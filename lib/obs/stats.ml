@@ -1,0 +1,130 @@
+type histogram = {
+  buckets : int array;  (* buckets.(i): samples with 2^i <= ns < 2^(i+1) *)
+  mutable count : int;
+  mutable sum_ns : int64;
+  mutable max_ns : int64;
+}
+
+let buckets = 64
+let make_histogram () =
+  { buckets = Array.make buckets 0; count = 0; sum_ns = 0L; max_ns = 0L }
+
+(* floor(log2 ns), with everything <= 1ns in bucket 0 — an O(1) update
+   (the loop runs at most 63 times and in practice ~a dozen). *)
+let bucket_of ns =
+  if Int64.compare ns 1L <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref ns in
+    while Int64.compare !v 1L > 0 do
+      incr b;
+      v := Int64.shift_right_logical !v 1
+    done;
+    min !b (buckets - 1)
+  end
+
+let observe h ns =
+  let ns = if Int64.compare ns 0L < 0 then 0L else ns in
+  h.buckets.(bucket_of ns) <- h.buckets.(bucket_of ns) + 1;
+  h.count <- h.count + 1;
+  h.sum_ns <- Int64.add h.sum_ns ns;
+  if Int64.compare ns h.max_ns > 0 then h.max_ns <- ns
+
+let hist_count h = h.count
+let hist_max_ns h = h.max_ns
+
+let hist_mean_ns h =
+  if h.count = 0 then 0.0 else Int64.to_float h.sum_ns /. float_of_int h.count
+
+(* Upper bound of the bucket holding the p-quantile sample — a
+   conservative estimate with factor-2 resolution, which is all a
+   log2-bucketed histogram can promise. *)
+let hist_percentile_ns h p =
+  if h.count = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int h.count)) in
+    let rank = max 1 (min rank h.count) in
+    let cum = ref 0 and result = ref 0.0 and found = ref false in
+    Array.iteri
+      (fun i n ->
+        if not !found then begin
+          cum := !cum + n;
+          if !cum >= rank then begin
+            result := ldexp 1.0 (i + 1) -. 1.0;
+            found := true
+          end
+        end)
+      h.buckets;
+    !result
+  end
+
+type t = {
+  mutable decisions : int;
+  mutable granted : int;
+  mutable denied : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable stage_failures : int;
+  rbac : histogram;
+  spatial : histogram;
+  temporal : histogram;
+}
+
+let create () =
+  {
+    decisions = 0;
+    granted = 0;
+    denied = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    stage_failures = 0;
+    rbac = make_histogram ();
+    spatial = make_histogram ();
+    temporal = make_histogram ();
+  }
+
+let stage_histogram t = function
+  | Trace.Rbac -> t.rbac
+  | Trace.Spatial -> t.spatial
+  | Trace.Temporal -> t.temporal
+
+let decisions t = t.decisions
+let granted t = t.granted
+let denied t = t.denied
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let stage_failures t = t.stage_failures
+let stage_count t stage = (stage_histogram t stage).count
+
+let sink t =
+  Sink.make ~name:"stats" (function
+    | Trace.Stage_end { stage; ok; elapsed_ns; _ } ->
+        observe (stage_histogram t stage) elapsed_ns;
+        if not ok then t.stage_failures <- t.stage_failures + 1
+    | Trace.Cache_probe { hit; _ } ->
+        if hit then t.cache_hits <- t.cache_hits + 1
+        else t.cache_misses <- t.cache_misses + 1
+    | Trace.Decision { verdict; _ } ->
+        t.decisions <- t.decisions + 1;
+        if Verdict.is_granted verdict then t.granted <- t.granted + 1
+        else t.denied <- t.denied + 1
+    | _ -> ())
+
+let pp_stage ppf (name, h) =
+  if h.count = 0 then Format.fprintf ppf "%-8s (no samples)" name
+  else
+    Format.fprintf ppf
+      "%-8s n=%-7d mean %8.1fns  p50 %8.0fns  p90 %8.0fns  p99 %8.0fns  max \
+       %Ldns"
+      name h.count (hist_mean_ns h)
+      (hist_percentile_ns h 0.50)
+      (hist_percentile_ns h 0.90)
+      (hist_percentile_ns h 0.99)
+      h.max_ns
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>decisions: %d (%d granted, %d denied); cache: %d hit / %d miss; \
+     stage failures: %d@,%a@,%a@,%a@]"
+    t.decisions t.granted t.denied t.cache_hits t.cache_misses
+    t.stage_failures pp_stage ("rbac", t.rbac) pp_stage ("spatial", t.spatial)
+    pp_stage ("temporal", t.temporal)

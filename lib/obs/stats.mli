@@ -1,0 +1,47 @@
+(** O(1) streaming statistics over a trace.
+
+    A {!sink} that keeps decision/cache counters and one latency
+    histogram per decision stage (rbac, spatial, temporal), fed by
+    {!Trace.Stage_end.elapsed_ns} spans.  Histograms use 64 log₂
+    buckets, so every update is O(1) and percentile queries are a
+    64-bucket walk — percentile estimates are bucket upper bounds
+    (factor-2 resolution).
+
+    Under the default null bus clock every span is 0ns; attach the
+    stats sink to a bus created with a monotonic clock (as the E14
+    bench group does) to measure real per-stage latency. *)
+
+type t
+
+type histogram
+
+val create : unit -> t
+
+val sink : t -> Sink.t
+(** The accumulator as a bus subscriber.  Consumes [Stage_end],
+    [Cache_probe] and [Decision] events; ignores the rest. *)
+
+val decisions : t -> int
+val granted : t -> int
+val denied : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val stage_failures : t -> int
+(** Stages that reported [ok = false]. *)
+
+val stage_count : t -> Trace.stage -> int
+(** Spans observed for the stage. *)
+
+val stage_histogram : t -> Trace.stage -> histogram
+
+val hist_count : histogram -> int
+val hist_mean_ns : histogram -> float
+val hist_max_ns : histogram -> int64
+
+val hist_percentile_ns : histogram -> float -> float
+(** [hist_percentile_ns h 0.99] — upper bound of the bucket holding the
+    given quantile ([0] on an empty histogram). *)
+
+val pp : Format.formatter -> t -> unit
+(** Counter summary plus one histogram line per stage. *)

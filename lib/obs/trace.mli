@@ -1,0 +1,89 @@
+(** The event taxonomy of the trace bus.
+
+    One variant per observable fact in the system, spanning all layers:
+
+    - {b decision spans}: [Stage_start]/[Stage_end] bracket each stage
+      of the coordinated decision pipeline (RBAC, then spatial, then
+      temporal — the Eq. 3.1 ∧ Eq. 4.1 conjunction in evaluation
+      order), and [Cache_probe] records verdict-cache hits/misses on
+      the indexed fast path;
+    - {b decisions}: one [Decision] per {!Coordinated.System.check},
+      carrying the access and the full verdict (the audit log's unit of
+      record);
+    - {b agent lifecycle}: [Spawned], [Migrated], [Completed],
+      [Aborted], [Deadlocked], plus [Arrival] (the monitor-level
+      arrival record) and [Role_rejected] (role activation refused at
+      authentication);
+    - {b coordination traffic}: [Message_sent]/[Message_received] on
+      channels, [Signal_raised];
+    - {b run bookkeeping}: [Run_finished] closes a simulation run.
+
+    All events are timestamped with the simulator's exact ℚ clock, so a
+    trace is replayable and two identical runs produce identical
+    traces.  [Stage_end.elapsed_ns] is the only wall-clock-derived
+    field; under the default (null) bus clock it is [0] and traces stay
+    deterministic. *)
+
+type stage = Rbac | Spatial | Temporal
+
+type event =
+  | Stage_start of { time : Temporal.Q.t; object_id : string; stage : stage }
+  | Stage_end of {
+      time : Temporal.Q.t;
+      object_id : string;
+      stage : stage;
+      ok : bool;  (** did the stage pass for every applicable binding? *)
+      elapsed_ns : int64;
+          (** host-clock nanoseconds spent in the stage; [0] under the
+              null clock *)
+    }
+  | Cache_probe of { time : Temporal.Q.t; object_id : string; hit : bool }
+  | Decision of {
+      time : Temporal.Q.t;
+      object_id : string;
+      access : Sral.Access.t;
+      verdict : Verdict.t;
+    }
+  | Arrival of { time : Temporal.Q.t; object_id : string; server : string }
+  | Role_rejected of {
+      time : Temporal.Q.t;
+      object_id : string;
+      role : string;
+      reason : string;
+    }
+  | Spawned of { time : Temporal.Q.t; agent : string; home : string }
+  | Migrated of {
+      time : Temporal.Q.t;
+      agent : string;
+      from_ : string;
+      to_ : string;
+    }
+  | Message_sent of { time : Temporal.Q.t; agent : string; channel : string }
+  | Message_received of {
+      time : Temporal.Q.t;
+      agent : string;
+      channel : string;
+    }
+  | Signal_raised of { time : Temporal.Q.t; agent : string; signal : string }
+  | Completed of { time : Temporal.Q.t; agent : string }
+  | Aborted of { time : Temporal.Q.t; agent : string; reason : string }
+  | Deadlocked of { time : Temporal.Q.t; agent : string }
+  | Run_finished of { time : Temporal.Q.t }
+
+val time : event -> Temporal.Q.t
+(** The event's simulated timestamp. *)
+
+val subject : event -> string option
+(** The mobile object / agent the event concerns ([None] for
+    [Run_finished]). *)
+
+val stage_name : stage -> string
+(** ["rbac"], ["spatial"] or ["temporal"]. *)
+
+val stage_of_name : string -> stage option
+(** Inverse of {!stage_name}. *)
+
+val equal : event -> event -> bool
+
+val pp : Format.formatter -> event -> unit
+(** One human-readable line per event. *)

@@ -1,0 +1,27 @@
+module Q = Temporal.Q
+
+type reason =
+  | Rbac_denied of string
+  | Spatial_violation of { binding : string; detail : string }
+  | Temporal_expired of { binding : string; spent : Temporal.Q.t }
+  | Not_active of string
+  | Not_arrived
+
+type t = Granted | Denied of reason
+
+let is_granted = function Granted -> true | Denied _ -> false
+
+let pp_reason ppf = function
+  | Rbac_denied msg -> Format.fprintf ppf "rbac: %s" msg
+  | Spatial_violation { binding; detail } ->
+      Format.fprintf ppf "spatial constraint of %s: %s" binding detail
+  | Temporal_expired { binding; spent } ->
+      Format.fprintf ppf "validity of %s exhausted (spent %a)" binding Q.pp
+        spent
+  | Not_active binding ->
+      Format.fprintf ppf "permission %s is not active" binding
+  | Not_arrived -> Format.pp_print_string ppf "object has not arrived anywhere"
+
+let pp ppf = function
+  | Granted -> Format.pp_print_string ppf "granted"
+  | Denied r -> Format.fprintf ppf "denied: %a" pp_reason r

@@ -91,6 +91,7 @@ type report = {
   denied : int;
   all_verified : bool;
   deadline_hit : bool;
+  trace : Obs.Trace.event list;
 }
 
 let expected_hashes () =
@@ -145,7 +146,7 @@ let install_contents world =
       | None -> assert false)
     placement
 
-let report_of world control metrics =
+let report_of world control metrics trace =
   let log = Coordinated.System.log control in
   let granted_accesses =
     List.map
@@ -181,6 +182,7 @@ let report_of world control metrics =
     denied = metrics.Naplet.Metrics.denied;
     all_verified = List.for_all (fun m -> List.mem_assoc m hashes) (modules ());
     deadline_hit;
+    trace = trace ();
   }
 
 let run_parallel ?deadline ~clones () =
@@ -199,6 +201,8 @@ let run_parallel ?deadline ~clones () =
            ~scheme:Temporal.Validity.Whole_journey
            (Rbac.Perm.make ~operation:"hash" ~target:"*@*"))
   | None -> ());
+  let capture, trace = Obs.Sink.memory () in
+  Obs.Bus.subscribe (Coordinated.System.bus control) capture;
   let world = Naplet.World.create control in
   List.iter
     (fun s -> Naplet.World.add_server world (Naplet.Server.create s))
@@ -221,13 +225,15 @@ let run_parallel ?deadline ~clones () =
     | None -> 0
   in
   {
-    base = report_of world control metrics;
+    base = report_of world control metrics trace;
     clones_used = List.length clone_plans;
     reports_collected;
   }
 
 let run ?deadline ?(respect_order = true) ?(tamper_contents = []) () =
   let control = build_control ~deadline in
+  let capture, trace = Obs.Sink.memory () in
+  Obs.Bus.subscribe (Coordinated.System.bus control) capture;
   let world = Naplet.World.create control in
   List.iter
     (fun s -> Naplet.World.add_server world (Naplet.Server.create s))
@@ -289,4 +295,5 @@ let run ?deadline ?(respect_order = true) ?(tamper_contents = []) () =
     denied = metrics.Naplet.Metrics.denied;
     all_verified;
     deadline_hit;
+    trace = trace ();
   }

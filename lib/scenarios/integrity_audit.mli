@@ -42,6 +42,10 @@ type report = {
   all_verified : bool;
       (** every module hashed, in an order respecting dependencies *)
   deadline_hit : bool;  (** some hash was denied for temporal expiry *)
+  trace : Obs.Trace.event list;
+      (** the run's full end-to-end trace, in emission order: lifecycle
+          events, per-stage decision spans, cache probes and verdicts —
+          export it with {!Obs.Export.to_string} *)
 }
 
 val run :
