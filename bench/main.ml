@@ -522,6 +522,58 @@ let e14_report () =
     [ Coordinated.System.Naive; Coordinated.System.Indexed ]
 
 (* ------------------------------------------------------------------ *)
+(* E15 — resilience under deterministic chaos.  The Figure-1 coalition
+   (audit agent + couriers + channel traffic) re-run under each named
+   fault intensity in both decision modes; we report wall-clock
+   throughput, fault/retry counts and the retry amplification factor
+   (retries per completed migration) so degradation can be read off as
+   a function of fault rate.  Not a Bechamel group: each cell is one
+   deterministic end-to-end run, and the counters are the measurement. *)
+
+let e15_report () =
+  let mode_name = function
+    | Coordinated.System.Naive -> "naive"
+    | Coordinated.System.Indexed -> "indexed"
+  in
+  Printf.printf
+    "  %-8s %-10s %7s %8s %7s %7s %7s %7s %7s %9s %10s\n%!" "mode" "plan"
+    "events" "granted" "unavail" "faults" "retries" "gaveup" "ampl"
+    "simtime" "wall";
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun plan_name ->
+          let t0 = Monotonic_clock.now () in
+          let report =
+            Scenarios.Chaos.run ~mode ~plan_name ~seed:42 ~couriers:12 ()
+          in
+          let t1 = Monotonic_clock.now () in
+          let wall_ns = Int64.to_float (Int64.sub t1 t0) in
+          let m = report.Scenarios.Chaos.metrics in
+          let amplification =
+            if m.Naplet.Metrics.migrations = 0 then 0.
+            else
+              float_of_int m.Naplet.Metrics.retries
+              /. float_of_int m.Naplet.Metrics.migrations
+          in
+          (match report.Scenarios.Chaos.violations with
+          | [] -> ()
+          | vs ->
+              Printf.printf "  !! %d invariant violation(s) under %s/%s\n%!"
+                (List.length vs) (mode_name mode) plan_name);
+          Printf.printf
+            "  %-8s %-10s %7d %8d %7d %7d %7d %7d %7.2f %9s %7.2f ms\n%!"
+            (mode_name mode) plan_name
+            (List.length report.Scenarios.Chaos.trace)
+            m.Naplet.Metrics.granted m.Naplet.Metrics.denied_unavailable
+            m.Naplet.Metrics.faults_injected m.Naplet.Metrics.retries
+            m.Naplet.Metrics.gave_up amplification
+            (Q.to_string m.Naplet.Metrics.end_time)
+            (wall_ns /. 1e6))
+        Fault.Plan.intensity_names)
+    [ Coordinated.System.Naive; Coordinated.System.Indexed ]
+
+(* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
 let scenario_tests =
@@ -594,7 +646,7 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups @ [ "E14" ]
+    | _ -> List.map fst all_groups @ [ "E14"; "E15" ]
   in
   List.iter
     (fun id ->
@@ -602,12 +654,16 @@ let () =
         Printf.printf "== E14 ==\n%!";
         e14_report ()
       end
+      else if id = "E15" then begin
+        Printf.printf "== E15 ==\n%!";
+        e15_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
             Printf.printf "== %s ==\n%!" id;
             run_group test
         | None ->
-            Printf.printf "unknown experiment id %S (known: %s, E14)\n" id
+            Printf.printf "unknown experiment id %S (known: %s, E14, E15)\n" id
               (String.concat ", " (List.map fst all_groups)))
     selected

@@ -6,6 +6,7 @@
      stacc check   <file|-> -c CONSTR  decide P |= C (Theorem 3.2)
      stacc audit                       run the Figure 1 integrity audit
      stacc trace [-o FILE] [--stats]   audit + export the JSONL trace
+     stacc chaos [--plan P] [--seed N] audit under a deterministic fault plan
      stacc simulate -p POLICY -a PROG  run one agent under a policy file *)
 
 open Cmdliner
@@ -224,6 +225,89 @@ let trace_cmd =
           spans, cache probes, verdicts).")
     Term.(const run $ deadline_arg $ tampered_arg $ out_arg $ stats_arg)
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let plan_arg =
+    let doc =
+      "Fault plan intensity: one of none, light, moderate or heavy."
+    in
+    Arg.(value & opt string "moderate" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let seed_arg =
+    let doc = "Fault-plan seed (same plan + seed replays bit-identically)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let mode_arg =
+    let doc = "Decision mode: indexed or naive." in
+    Arg.(value & opt string "indexed" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let couriers_arg =
+    let doc = "Number of courier agents with reroutable itineraries." in
+    Arg.(value & opt int 4 & info [ "couriers" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSONL trace to this file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print the fault plan and world metrics to stderr." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run plan_name seed mode couriers out stats =
+    match
+      ( (match mode with
+        | "indexed" -> Ok Coordinated.System.Indexed
+        | "naive" -> Ok Coordinated.System.Naive
+        | m -> Error (Printf.sprintf "unknown mode %S (indexed|naive)" m)),
+        if List.mem plan_name Fault.Plan.intensity_names then Ok ()
+        else
+          Error
+            (Printf.sprintf "unknown plan %S (%s)" plan_name
+               (String.concat "|" Fault.Plan.intensity_names)) )
+    with
+    | Error msg, _ | _, Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok mode, Ok () ->
+        let report = Scenarios.Chaos.run ~mode ~plan_name ~seed ~couriers () in
+        (match out with
+        | "-" -> print_string (Scenarios.Chaos.export report)
+        | path ->
+            let oc = open_out path in
+            output_string oc (Scenarios.Chaos.export report);
+            close_out oc);
+        Format.eprintf "%d event(s) traced@."
+          (List.length report.Scenarios.Chaos.trace);
+        if stats then begin
+          Format.eprintf "%a@." Fault.Plan.pp report.Scenarios.Chaos.plan;
+          Format.eprintf "%a@." Naplet.Metrics.pp
+            report.Scenarios.Chaos.metrics;
+          List.iter
+            (fun (id, route) ->
+              Format.eprintf "%s: %s@." id (String.concat " -> " route))
+            report.Scenarios.Chaos.routes
+        end;
+        (match report.Scenarios.Chaos.violations with
+        | [] -> 0
+        | vs ->
+            List.iter
+              (fun v ->
+                Format.eprintf "violation: %a@." Fault.Invariant.pp_violation v)
+              vs;
+            2)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the Figure 1 coalition under a deterministic fault plan \
+          (server crashes, channel faults, signal loss) and export the \
+          trace; exits non-zero if a fail-closed or retry invariant is \
+          violated.")
+    Term.(
+      const run $ plan_arg $ seed_arg $ mode_arg $ couriers_arg $ out_arg
+      $ stats_arg)
+
 (* --- dot --- *)
 
 let dot_cmd =
@@ -392,6 +476,7 @@ let () =
             dot_cmd;
             audit_cmd;
             trace_cmd;
+            chaos_cmd;
             policy_cmd;
             lint_cmd;
             simulate_cmd;

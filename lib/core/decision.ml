@@ -6,6 +6,7 @@ type reason = Verdict.reason =
   | Temporal_expired of { binding : string; spent : Temporal.Q.t }
   | Not_active of string
   | Not_arrived
+  | Server_unavailable of string
 
 type verdict = Verdict.t = Granted | Denied of reason
 
@@ -310,7 +311,12 @@ let decide_indexed ?obs ?(companions = []) ~session ~monitor ~applicable
         match verdict with
         | Granted -> Ok ()
         | Denied ((Rbac_denied _ | Spatial_violation _) as r) -> Error r
-        | Denied (Temporal_expired _ | Not_active _ | Not_arrived) -> Ok ()
+        (* Server_unavailable is minted by the Naplet security manager
+           before the core procedure runs, so it cannot reach this
+           recomputation; listed for exhaustiveness as transient *)
+        | Denied (Temporal_expired _ | Not_active _ | Not_arrived
+                 | Server_unavailable _) ->
+            Ok ()
       in
       (* stamp *after* the recomputation: refresh_one may itself bump
          the activation epoch, and the cached entry must be valid

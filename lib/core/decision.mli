@@ -25,6 +25,9 @@ type reason = Verdict.reason =
       (** the permission is not in the active state at decision time
           (Eq. 3.1's conjunction failed earlier on this timeline) *)
   | Not_arrived  (** no arrival recorded — object not on any server *)
+  | Server_unavailable of string
+      (** fail-closed denial minted by the Naplet security manager when
+          the target server is inside a crash window *)
 
 type verdict = Verdict.t = Granted | Denied of reason
 

@@ -15,6 +15,10 @@ type reason = Obs.Verdict.reason =
       (** the permission is not in the active state at decision time
           (Eq. 3.1's conjunction failed earlier on this timeline) *)
   | Not_arrived  (** no arrival recorded — object not on any server *)
+  | Server_unavailable of string
+      (** fail-closed denial: the target server is crashed or its
+          policy replica is stale (produced by the Naplet layer's
+          security manager, never by the core decision procedure) *)
 
 type t = Obs.Verdict.t = Granted | Denied of reason
 

@@ -1,0 +1,56 @@
+module Q = Temporal.Q
+
+type t = { seed : int; plan : Plan.t }
+
+let create ~seed plan = { seed; plan }
+let plan t = t.plan
+let seed t = t.seed
+let roll t key = Prng.uniform ~seed:t.seed key
+let server_down t ~server ~time = Plan.server_down t.plan ~server ~time
+let recovery t ~server ~time = Plan.recovery t.plan ~server ~time
+
+let migration_fails t ~agent ~dest ~attempt ~time =
+  t.plan.Plan.migration_failure > 0.0
+  && roll t
+       (Printf.sprintf "mig|%s|%s|%d|%s" agent dest attempt (Q.to_string time))
+     < t.plan.Plan.migration_failure
+
+type fate = Deliver | Drop | Delay of Q.t | Duplicate
+
+let channel_fate t ~agent ~chan ~time =
+  let p = t.plan in
+  if p.Plan.channel_drop +. p.Plan.channel_delay +. p.Plan.channel_duplicate
+     <= 0.0
+  then Deliver
+  else
+    let x =
+      roll t (Printf.sprintf "chan|%s|%s|%s" chan agent (Q.to_string time))
+    in
+    if x < p.Plan.channel_drop then Drop
+    else if x < p.Plan.channel_drop +. p.Plan.channel_delay then
+      Delay p.Plan.delay_by
+    else if
+      x
+      < p.Plan.channel_drop +. p.Plan.channel_delay +. p.Plan.channel_duplicate
+    then Duplicate
+    else Deliver
+
+let signal_lost t ~agent ~signal ~time =
+  t.plan.Plan.signal_loss > 0.0
+  && roll t (Printf.sprintf "sig|%s|%s|%s" signal agent (Q.to_string time))
+     < t.plan.Plan.signal_loss
+
+let backoff t (r : Resilience.t) ~agent ~attempt =
+  let rec pow b n = if n <= 0 then Q.one else Q.mul b (pow b (n - 1)) in
+  let raw =
+    Q.mul r.Resilience.base_backoff
+      (pow (Q.of_int r.Resilience.backoff_factor) (attempt - 1))
+  in
+  let capped = Q.min raw r.Resilience.max_backoff in
+  if not r.Resilience.jitter then capped
+  else
+    (* jitter in [0, capped/2), quantized to thousandths so it stays an
+       exact rational derived from the keyed hash *)
+    let frac = roll t (Printf.sprintf "jit|%s|%d" agent attempt) in
+    let thousandths = int_of_float (frac *. 1000.0) in
+    Q.add capped (Q.mul capped (Q.make thousandths 2000))

@@ -1,0 +1,45 @@
+(** The injector: a {!Plan} plus a seed, queried by the world at each
+    fault point.
+
+    Every probabilistic decision is an {e order-independent} coin: the
+    outcome is a keyed hash of [(seed, decision key)], where the key
+    names the event (agent, target, attempt number, simulated time).
+    Two consequences:
+
+    - the same [(plan, seed)] pair always produces the same injection
+      schedule, byte for byte — the determinism the {!Invariant}
+      checker and the CI chaos smoke test enforce;
+    - asking the injector about event A never perturbs the answer for
+      event B, so refactoring the world's evaluation order cannot
+      silently change a chaos run. *)
+
+type t
+
+val create : seed:int -> Plan.t -> t
+val plan : t -> Plan.t
+val seed : t -> int
+
+val server_down : t -> server:string -> time:Temporal.Q.t -> bool
+(** Schedule-driven (no coin): is the server inside a crash window? *)
+
+val recovery : t -> server:string -> time:Temporal.Q.t -> Temporal.Q.t option
+(** End of the crash window containing [time], if any. *)
+
+val migration_fails :
+  t -> agent:string -> dest:string -> attempt:int -> time:Temporal.Q.t -> bool
+(** Transient migration failure.  Keyed per attempt, so retries of the
+    same hop are independent coins. *)
+
+type fate = Deliver | Drop | Delay of Temporal.Q.t | Duplicate
+
+val channel_fate :
+  t -> agent:string -> chan:string -> time:Temporal.Q.t -> fate
+(** What happens to one channel send. *)
+
+val signal_lost :
+  t -> agent:string -> signal:string -> time:Temporal.Q.t -> bool
+
+val backoff : t -> Resilience.t -> agent:string -> attempt:int -> Temporal.Q.t
+(** Delay before retry number [attempt]: capped exponential backoff
+    plus (when the policy asks for it) deterministic jitter of up to
+    half the backoff, keyed by agent and attempt. *)

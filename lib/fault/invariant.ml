@@ -1,0 +1,73 @@
+module Q = Temporal.Q
+
+type violation = { time : Q.t; subject : string; what : string }
+
+let fail_closed ~plan events =
+  List.filter_map
+    (fun ev ->
+      match ev with
+      | Obs.Trace.Decision
+          { time; object_id; access; verdict = Obs.Verdict.Granted } ->
+          let server = access.Sral.Access.server in
+          if Plan.server_down plan ~server ~time then
+            Some
+              {
+                time;
+                subject = object_id;
+                what =
+                  Printf.sprintf
+                    "access granted on %s inside its crash window" server;
+              }
+          else None
+      | _ -> None)
+    events
+
+(* One forward pass keeping, per agent, the last fault-protocol event:
+   a retry still pending at the end of the trace never ran. *)
+let retries_resolve events =
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Obs.Trace.Retry_scheduled { time; agent; _ } ->
+          Hashtbl.replace last agent (`Pending time)
+      | Obs.Trace.Migrated { agent; _ }
+      | Obs.Trace.Gave_up { agent; _ }
+      | Obs.Trace.Completed { agent; _ }
+      | Obs.Trace.Aborted { agent; _ }
+      | Obs.Trace.Deadlocked { agent; _ } ->
+          if Hashtbl.mem last agent then Hashtbl.replace last agent `Resolved
+      | _ -> ())
+    events;
+  Hashtbl.fold
+    (fun agent state acc ->
+      match state with
+      | `Resolved -> acc
+      | `Pending time ->
+          { time; subject = agent; what = "scheduled retry never resolved" }
+          :: acc)
+    last []
+  |> List.sort (fun v1 v2 ->
+         match Q.compare v1.time v2.time with
+         | 0 -> String.compare v1.subject v2.subject
+         | c -> c)
+
+let check ~plan events = fail_closed ~plan events @ retries_resolve events
+
+let determinism a b =
+  if String.equal a b then Ok ()
+  else begin
+    let la = String.split_on_char '\n' a
+    and lb = String.split_on_char '\n' b in
+    let rec first_diff n = function
+      | x :: xs, y :: ys ->
+          if String.equal x y then first_diff (n + 1) (xs, ys) else n
+      | [], [] -> n (* unreachable: strings differ *)
+      | _ -> n
+    in
+    Error
+      (Printf.sprintf "exports differ at line %d" (first_diff 1 (la, lb)))
+  end
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%a] %s: %s" Q.pp v.time v.subject v.what

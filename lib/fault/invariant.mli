@@ -1,0 +1,41 @@
+(** Trace-level safety checker for chaos runs.
+
+    Consumes the {!Obs.Trace} event list a run produced (e.g. captured
+    by [Obs.Sink.memory]) and checks the two properties the fault
+    subsystem promises:
+
+    - {b fail-closed}: no access is ever {e granted} against a server
+      inside one of its crash windows — a down server yields an
+      auditable denial ([Server_unavailable]), a retry, or nothing,
+      never a grant;
+    - {b retries resolve}: an agent whose last fault-protocol event is
+      [Retry_scheduled] — a retry that never ran — indicates a lost
+      wakeup (or an exhausted event budget), which would silently
+      strand an agent.
+
+    Determinism (same seed ⇒ byte-identical export) is checked
+    separately on serialized traces by {!determinism}. *)
+
+type violation = {
+  time : Temporal.Q.t;
+  subject : string;  (** agent / object id, or server for plan checks *)
+  what : string;
+}
+
+val fail_closed : plan:Plan.t -> Obs.Trace.event list -> violation list
+(** Granted decisions targeting a server inside a crash window of
+    [plan], in trace order. *)
+
+val retries_resolve : Obs.Trace.event list -> violation list
+(** Agents left with a scheduled retry that never resolved (no
+    subsequent migration, grant, give-up or termination), sorted by
+    (time, agent). *)
+
+val check : plan:Plan.t -> Obs.Trace.event list -> violation list
+(** Both checks, concatenated. *)
+
+val determinism : string -> string -> (unit, string) result
+(** Byte-compare two serialized exports ({!Obs.Export.to_string}); on
+    mismatch the error names the first differing line. *)
+
+val pp_violation : Format.formatter -> violation -> unit

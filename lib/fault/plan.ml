@@ -1,0 +1,162 @@
+module Q = Temporal.Q
+
+type window = { from_ : Q.t; until : Q.t }
+
+type t = {
+  name : string;
+  crashes : (string * window list) list;
+  migration_failure : float;
+  channel_drop : float;
+  channel_delay : float;
+  delay_by : Q.t;
+  channel_duplicate : float;
+  signal_loss : float;
+}
+
+let none =
+  {
+    name = "none";
+    crashes = [];
+    migration_failure = 0.0;
+    channel_drop = 0.0;
+    channel_delay = 0.0;
+    delay_by = Q.of_int 3;
+    channel_duplicate = 0.0;
+    signal_loss = 0.0;
+  }
+
+let check_probability what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Plan.make: %s = %g not in [0,1]" what p)
+
+let normalize_windows server ws =
+  let ws =
+    List.sort (fun w1 w2 -> Q.compare w1.from_ w2.from_) ws
+  in
+  List.iteri
+    (fun i w ->
+      if Q.ge w.from_ w.until then
+        invalid_arg
+          (Printf.sprintf "Plan.make: empty crash window for %s" server);
+      if i > 0 && Q.lt w.from_ (List.nth ws (i - 1)).until then
+        invalid_arg
+          (Printf.sprintf "Plan.make: overlapping crash windows for %s" server))
+    ws;
+  ws
+
+let make ?(name = "custom") ?(crashes = []) ?(migration_failure = 0.0)
+    ?(channel_drop = 0.0) ?(channel_delay = 0.0) ?(delay_by = Q.of_int 3)
+    ?(channel_duplicate = 0.0) ?(signal_loss = 0.0) () =
+  check_probability "migration_failure" migration_failure;
+  check_probability "channel_drop" channel_drop;
+  check_probability "channel_delay" channel_delay;
+  check_probability "channel_duplicate" channel_duplicate;
+  check_probability "signal_loss" signal_loss;
+  if channel_drop +. channel_delay +. channel_duplicate > 1.0 then
+    invalid_arg "Plan.make: drop + delay + duplicate > 1";
+  if Q.sign delay_by < 0 then invalid_arg "Plan.make: negative delay_by";
+  let crashes =
+    List.map (fun (s, ws) -> (s, normalize_windows s ws)) crashes
+  in
+  {
+    name;
+    crashes;
+    migration_failure;
+    channel_drop;
+    channel_delay;
+    delay_by;
+    channel_duplicate;
+    signal_loss;
+  }
+
+let intensity_names = [ "none"; "light"; "moderate"; "heavy" ]
+
+let intensity_of_name = function
+  | "none" -> Some 0.0
+  | "light" -> Some 0.05
+  | "moderate" -> Some 0.15
+  | "heavy" -> Some 0.35
+  | _ -> None
+
+(* Crash windows for one server: an independent keyed substream walks
+   the horizon alternating up-time and down-time, so the windows depend
+   only on (seed, server, horizon, intensity). *)
+let windows_for ~seed ~horizon ~intensity server =
+  if intensity <= 0.0 then []
+  else begin
+    let rng = Prng.of_key ~seed ("plan|" ^ server) in
+    let crash_chance = min 0.9 (intensity *. 2.5) in
+    if Prng.float rng >= crash_chance then []
+    else begin
+      let third = max 1 (horizon / 3) in
+      let quarter = max 1 (horizon / 4) in
+      let rec build cursor acc =
+        let up = 1 + Prng.int rng ~bound:third in
+        let start = cursor + up in
+        if start >= horizon then List.rev acc
+        else
+          let down = 1 + Prng.int rng ~bound:quarter in
+          let w = { from_ = Q.of_int start; until = Q.of_int (start + down) } in
+          build (start + down) (w :: acc)
+      in
+      build 0 []
+    end
+  end
+
+let of_name name ~seed ~servers ~horizon =
+  match intensity_of_name name with
+  | None ->
+      invalid_arg
+        ("Plan.of_name: unknown intensity " ^ name ^ " (expected "
+        ^ String.concat "/" intensity_names ^ ")")
+  | Some intensity ->
+      let crashes =
+        List.filter_map
+          (fun s ->
+            match windows_for ~seed ~horizon ~intensity s with
+            | [] -> None
+            | ws -> Some (s, ws))
+          (List.sort_uniq String.compare servers)
+      in
+      make ~name ~crashes
+        ~migration_failure:(intensity *. 0.5)
+        ~channel_drop:(intensity *. 0.4)
+        ~channel_delay:(intensity *. 0.4)
+        ~channel_duplicate:(intensity *. 0.2)
+        ~signal_loss:(intensity *. 0.3)
+        ()
+
+let in_window w time = Q.le w.from_ time && Q.lt time w.until
+
+let server_down t ~server ~time =
+  match List.assoc_opt server t.crashes with
+  | None -> false
+  | Some ws -> List.exists (fun w -> in_window w time) ws
+
+let recovery t ~server ~time =
+  match List.assoc_opt server t.crashes with
+  | None -> None
+  | Some ws ->
+      List.find_map
+        (fun w -> if in_window w time then Some w.until else None)
+        ws
+
+let pp_window ppf w =
+  Format.fprintf ppf "[%a, %a)" Q.pp w.from_ Q.pp w.until
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>plan %s: migration failure %.2f; channel drop %.2f, delay %.2f \
+     (+%a), duplicate %.2f; signal loss %.2f%a@]"
+    t.name t.migration_failure t.channel_drop t.channel_delay Q.pp t.delay_by
+    t.channel_duplicate t.signal_loss
+    (fun ppf crashes ->
+      List.iter
+        (fun (s, ws) ->
+          Format.fprintf ppf "@,%s down: %a" s
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               pp_window)
+            ws)
+        crashes)
+    t.crashes

@@ -1,0 +1,68 @@
+(** A fault schedule as data.
+
+    A plan fixes, before the run starts, everything that can go wrong:
+    per-server crash windows (half-open ℚ intervals during which the
+    server is down) and per-event fault probabilities (migration
+    failure, channel drop/delay/duplicate, signal loss).  Because the
+    plan is plain data and the per-event coins are keyed hashes of the
+    injector seed (see {!Injector}), a [(plan, seed)] pair determines
+    the whole injection schedule — two runs with the same pair are
+    bit-identical.
+
+    Named intensities ({!of_name}) derive complete plans
+    deterministically from a seed: ["none"], ["light"], ["moderate"]
+    and ["heavy"]. *)
+
+type window = { from_ : Temporal.Q.t; until : Temporal.Q.t }
+(** A server is down on the half-open interval [[from_, until)]. *)
+
+type t = private {
+  name : string;
+  crashes : (string * window list) list;
+      (** per server, disjoint windows sorted by start *)
+  migration_failure : float;  (** transient migration-failure rate *)
+  channel_drop : float;
+  channel_delay : float;
+  delay_by : Temporal.Q.t;  (** latency added to a delayed delivery *)
+  channel_duplicate : float;
+  signal_loss : float;
+}
+
+val none : t
+(** The empty plan: no crashes, all probabilities zero. *)
+
+val make :
+  ?name:string ->
+  ?crashes:(string * window list) list ->
+  ?migration_failure:float ->
+  ?channel_drop:float ->
+  ?channel_delay:float ->
+  ?delay_by:Temporal.Q.t ->
+  ?channel_duplicate:float ->
+  ?signal_loss:float ->
+  unit ->
+  t
+(** Build a plan by hand.  Windows are sorted; overlapping or empty
+    windows, probabilities outside [[0, 1]], or drop+delay+duplicate
+    exceeding 1 raise.
+    @raise Invalid_argument on an ill-formed plan. *)
+
+val intensity_names : string list
+(** [["none"; "light"; "moderate"; "heavy"]]. *)
+
+val of_name :
+  string -> seed:int -> servers:string list -> horizon:int -> t
+(** A complete plan at a named intensity.  Crash windows are generated
+    per server from an independent keyed PRNG substream over
+    [[0, horizon]], so the same [(name, seed, servers, horizon)]
+    quadruple always yields the same plan and adding a server never
+    moves another server's windows.
+    @raise Invalid_argument on an unknown name. *)
+
+val server_down : t -> server:string -> time:Temporal.Q.t -> bool
+(** Is the server inside one of its crash windows at [time]? *)
+
+val recovery : t -> server:string -> time:Temporal.Q.t -> Temporal.Q.t option
+(** End of the crash window containing [time], if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer (Steele, Lea & Flood): full-avalanche mix of a
+   64-bit word. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+(* 53 high bits of the output, scaled to [0,1) — every float here is
+   exactly representable, so the mapping is platform-independent. *)
+let to_unit bits53 = Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+let float t = to_unit (Int64.shift_right_logical (next t) 11)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int
+    (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let hash ~seed key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    key;
+  mix64 (Int64.add !h (Int64.mul golden (Int64.of_int seed)))
+
+let uniform ~seed key = to_unit (Int64.shift_right_logical (hash ~seed key) 11)
+let of_key ~seed key = { state = hash ~seed key }

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-randomness for fault injection.
+
+    A splitmix64 generator: one 64-bit state, advanced by a fixed odd
+    constant and finalized by an avalanche mixer.  Identical seeds
+    yield identical streams on every platform (the implementation uses
+    only [Int64] operations, never the OCaml [Random] module), which is
+    what makes whole chaos runs bit-reproducible.
+
+    Besides the sequential stream there is a {e stateless} keyed hash
+    ({!uniform}): a fault decision derived from [(seed, key)] alone
+    does not depend on how many other decisions were drawn before it,
+    so reordering unrelated queries cannot perturb an injection
+    schedule. *)
+
+type t
+
+val of_seed : int -> t
+(** A fresh generator from an integer seed. *)
+
+val of_key : seed:int -> string -> t
+(** An independent substream, keyed by a string — e.g. one stream per
+    server when generating crash windows, so adding a server never
+    shifts another server's windows. *)
+
+val next : t -> int64
+(** The next 64-bit output. *)
+
+val float : t -> float
+(** The next draw as a float in [[0, 1)] (53 bits of the output). *)
+
+val int : t -> bound:int -> int
+(** The next draw in [[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val hash : seed:int -> string -> int64
+(** Stateless keyed hash (FNV-1a folded through the splitmix mixer). *)
+
+val uniform : seed:int -> string -> float
+(** [hash] mapped to [[0, 1)] — the order-independent coin used for
+    per-event fault decisions. *)

@@ -1,0 +1,38 @@
+module Q = Temporal.Q
+
+type t = {
+  max_retries : int;
+  base_backoff : Q.t;
+  backoff_factor : int;
+  max_backoff : Q.t;
+  jitter : bool;
+  recv_timeout : Q.t option;
+}
+
+let default =
+  {
+    max_retries = 3;
+    base_backoff = Q.of_int 2;
+    backoff_factor = 2;
+    max_backoff = Q.of_int 16;
+    jitter = true;
+    recv_timeout = None;
+  }
+
+let make ?(max_retries = default.max_retries)
+    ?(base_backoff = default.base_backoff)
+    ?(backoff_factor = default.backoff_factor)
+    ?(max_backoff = default.max_backoff) ?(jitter = default.jitter)
+    ?recv_timeout () =
+  if max_retries < 0 then invalid_arg "Resilience.make: max_retries < 0";
+  if Q.sign base_backoff <= 0 then
+    invalid_arg "Resilience.make: base_backoff <= 0";
+  if backoff_factor < 1 then invalid_arg "Resilience.make: backoff_factor < 1";
+  if Q.sign max_backoff <= 0 then
+    invalid_arg "Resilience.make: max_backoff <= 0";
+  (match recv_timeout with
+  | Some d when Q.sign d <= 0 ->
+      invalid_arg "Resilience.make: recv_timeout <= 0"
+  | _ -> ());
+  { max_retries; base_backoff; backoff_factor; max_backoff; jitter;
+    recv_timeout }

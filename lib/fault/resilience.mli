@@ -1,0 +1,41 @@
+(** Resilience policy: how the world reacts to injected faults.
+
+    Consumed by [Naplet.World] when an injector is installed:
+
+    - a failed migration is retried up to [max_retries] times with
+      capped exponential backoff ([base_backoff · backoff_factorⁿ],
+      clamped to [max_backoff]) plus deterministic jitter (a keyed-hash
+      fraction of the backoff — see {!Injector.backoff});
+    - when the budget is exhausted the agent {e gives up}: the access
+      is denied {b fail-closed} through the security manager (an
+      auditable [Server_unavailable] decision), never skipped silently;
+    - a blocked receive is abandoned after [recv_timeout], if set, so a
+      consumer whose producer's messages were dropped does not hang the
+      run. *)
+
+type t = {
+  max_retries : int;  (** retries after the first failed attempt *)
+  base_backoff : Temporal.Q.t;
+  backoff_factor : int;
+  max_backoff : Temporal.Q.t;
+  jitter : bool;  (** add deterministic jitter to each backoff *)
+  recv_timeout : Temporal.Q.t option;
+      (** abandon a blocked receive after this long ([None]: wait
+          forever, the pre-fault behaviour) *)
+}
+
+val default : t
+(** 3 retries, backoff 2·2ⁿ capped at 16, jitter on, no receive
+    timeout. *)
+
+val make :
+  ?max_retries:int ->
+  ?base_backoff:Temporal.Q.t ->
+  ?backoff_factor:int ->
+  ?max_backoff:Temporal.Q.t ->
+  ?jitter:bool ->
+  ?recv_timeout:Temporal.Q.t ->
+  unit ->
+  t
+(** @raise Invalid_argument on a negative retry budget or non-positive
+    backoff parameters. *)

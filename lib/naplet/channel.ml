@@ -29,6 +29,22 @@ let park t ~chan waiter =
   let st = state t chan in
   st.waiters <- waiter :: st.waiters
 
+let cancel t ~chan waiter =
+  let st = state t chan in
+  let present = List.mem waiter st.waiters in
+  if present then
+    st.waiters <- List.filter (fun w -> w <> waiter) st.waiters;
+  present
+
+let cancel_agent t ~agent =
+  Hashtbl.fold
+    (fun _ st removed ->
+      let before = List.length st.waiters in
+      st.waiters <-
+        List.filter (fun w -> not (String.equal w.agent agent)) st.waiters;
+      removed + before - List.length st.waiters)
+    t 0
+
 let depth t ~chan = Queue.length (state t chan).values
 let waiting t ~chan = List.length (state t chan).waiters
 

@@ -19,6 +19,15 @@ val try_recv : t -> chan:string -> Sral.Value.t option
 val park : t -> chan:string -> waiter -> unit
 (** Register a blocked receiver. *)
 
+val cancel : t -> chan:string -> waiter -> bool
+(** Remove one parked waiter; [false] if it was no longer parked (it
+    was already woken by a send).  Used by receive timeouts. *)
+
+val cancel_agent : t -> agent:string -> int
+(** Remove every parked waiter of the agent across all channels,
+    returning how many were removed — the cleanup an aborted agent owes
+    the coalition. *)
+
 val depth : t -> chan:string -> int
 (** Queued values. *)
 

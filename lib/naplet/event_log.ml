@@ -9,6 +9,9 @@ type kind =
   | Completed
   | Aborted of string
   | Deadlocked
+  | Fault of { fault : string; target : string }
+  | Retry of { attempt : int; at : Temporal.Q.t }
+  | Gave_up of { attempts : int }
 
 type event = { time : Temporal.Q.t; agent : string; kind : kind }
 
@@ -66,6 +69,15 @@ let sink ?(relevant = fun _ -> true) t =
           record t ~time ~agent (Aborted reason)
       | Obs.Trace.Deadlocked { time; agent } when relevant agent ->
           record t ~time ~agent Deadlocked
+      | Obs.Trace.Fault_injected { time; agent; fault; target }
+        when relevant agent ->
+          record t ~time ~agent
+            (Fault { fault = Obs.Trace.fault_name fault; target })
+      | Obs.Trace.Retry_scheduled { time; agent; attempt; at }
+        when relevant agent ->
+          record t ~time ~agent (Retry { attempt; at })
+      | Obs.Trace.Gave_up { time; agent; attempts } when relevant agent ->
+          record t ~time ~agent (Gave_up { attempts })
       | _ -> ())
 
 let pp_kind ppf = function
@@ -80,6 +92,11 @@ let pp_kind ppf = function
   | Completed -> Format.pp_print_string ppf "completed"
   | Aborted why -> Format.fprintf ppf "aborted (%s)" why
   | Deadlocked -> Format.pp_print_string ppf "deadlocked"
+  | Fault { fault; target } -> Format.fprintf ppf "fault %s on %s" fault target
+  | Retry { attempt; at } ->
+      Format.fprintf ppf "retry %d scheduled for %a" attempt Temporal.Q.pp at
+  | Gave_up { attempts } ->
+      Format.fprintf ppf "gave up after %d attempts" attempts
 
 let pp_event ppf e =
   Format.fprintf ppf "[%a] %s: %a" Temporal.Q.pp e.time e.agent pp_kind e.kind

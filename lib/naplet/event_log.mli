@@ -21,6 +21,10 @@ type kind =
   | Completed
   | Aborted of string
   | Deadlocked
+  | Fault of { fault : string; target : string }
+      (** an injected fault ({!Obs.Trace.fault_name}) and what it hit *)
+  | Retry of { attempt : int; at : Temporal.Q.t }
+  | Gave_up of { attempts : int }
 
 type event = { time : Temporal.Q.t; agent : string; kind : kind }
 

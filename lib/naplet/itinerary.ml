@@ -24,6 +24,22 @@ let linearize ?(choose = fun _ -> 0) it =
   in
   walk it
 
+let linearize_avoiding ~down it =
+  let all_up part = List.for_all (fun s -> not (down s)) (servers part) in
+  let rec walk = function
+    | Visit s -> if down s then [] else [ s ]
+    | Seq parts | Par parts -> List.concat_map walk parts
+    | Alt [] -> []
+    | Alt parts -> (
+        match List.find_opt all_up parts with
+        | Some part -> walk part
+        | None ->
+            (* no live branch: keep the first as-is so the visit is
+               denied fail-closed rather than silently dropped *)
+            linearize (List.hd parts))
+  in
+  walk it
+
 let to_program ~task it =
   let rec build = function
     | Visit s -> task s

@@ -20,6 +20,14 @@ val linearize : ?choose:(int -> int) -> t -> string list
     index below [n], default 0); [Par] branches concatenated (a single
     agent walks them in order). *)
 
+val linearize_avoiding : down:(string -> bool) -> t -> string list
+(** Route around unavailable servers: each [Alt] resolves to its first
+    branch whose servers are all up (falling back to the first branch
+    when none qualifies — the visit will then be denied fail-closed
+    rather than silently dropped); a down [Visit] outside any [Alt] is
+    skipped.  With [down = fun _ -> false] this coincides with
+    {!linearize}'s default choice. *)
+
 val to_program : task:(string -> Sral.Ast.t) -> t -> Sral.Ast.t
 (** Compile the itinerary into an SRAL program, performing [task s] at
     each visited server — [Seq]→[;], [Alt]→[if], [Par]→[||].  This is

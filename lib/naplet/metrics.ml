@@ -4,12 +4,16 @@ type t = {
   mutable denied_rbac : int;
   mutable denied_spatial : int;
   mutable denied_temporal : int;
+  mutable denied_unavailable : int;
   mutable migrations : int;
   mutable messages : int;
   mutable signals : int;
   mutable completed_agents : int;
   mutable aborted_agents : int;
   mutable deadlocked_agents : int;
+  mutable faults_injected : int;
+  mutable retries : int;
+  mutable gave_up : int;
   mutable end_time : Temporal.Q.t;
   per_server : (string, int) Hashtbl.t;
 }
@@ -21,12 +25,16 @@ let create () =
     denied_rbac = 0;
     denied_spatial = 0;
     denied_temporal = 0;
+    denied_unavailable = 0;
     migrations = 0;
     messages = 0;
     signals = 0;
     completed_agents = 0;
     aborted_agents = 0;
     deadlocked_agents = 0;
+    faults_injected = 0;
+    retries = 0;
+    gave_up = 0;
     end_time = Temporal.Q.zero;
     per_server = Hashtbl.create 8;
   }
@@ -65,7 +73,9 @@ let sink ?(relevant = fun _ -> true) m =
                   m.denied_spatial <- m.denied_spatial + 1
               | Obs.Verdict.Temporal_expired _ | Obs.Verdict.Not_active _
               | Obs.Verdict.Not_arrived ->
-                  m.denied_temporal <- m.denied_temporal + 1))
+                  m.denied_temporal <- m.denied_temporal + 1
+              | Obs.Verdict.Server_unavailable _ ->
+                  m.denied_unavailable <- m.denied_unavailable + 1))
       | Obs.Trace.Migrated { agent; _ } when relevant agent ->
           m.migrations <- m.migrations + 1
       | Obs.Trace.Message_sent { agent; _ } when relevant agent ->
@@ -78,6 +88,12 @@ let sink ?(relevant = fun _ -> true) m =
           m.aborted_agents <- m.aborted_agents + 1
       | Obs.Trace.Deadlocked { agent; _ } when relevant agent ->
           m.deadlocked_agents <- m.deadlocked_agents + 1
+      | Obs.Trace.Fault_injected { agent; _ } when relevant agent ->
+          m.faults_injected <- m.faults_injected + 1
+      | Obs.Trace.Retry_scheduled { agent; _ } when relevant agent ->
+          m.retries <- m.retries + 1
+      | Obs.Trace.Gave_up { agent; _ } when relevant agent ->
+          m.gave_up <- m.gave_up + 1
       | Obs.Trace.Run_finished { time } -> m.end_time <- time
       | _ -> ())
 
@@ -89,11 +105,12 @@ let pp_rate ppf m =
 let pp ppf m =
   Format.fprintf ppf
     "@[<v>accesses: %d granted, %d denied (rate %a; rbac %d, spatial %d, \
-     temporal %d)@,\
+     temporal %d, unavailable %d)@,\
      migrations: %d, messages: %d, signals: %d@,\
      agents: %d completed, %d aborted, %d deadlocked@,\
+     faults: %d injected, %d retries, %d gave up@,\
      simulated time: %a@]"
     m.granted m.denied pp_rate m m.denied_rbac m.denied_spatial
-    m.denied_temporal m.migrations m.messages m.signals
-    m.completed_agents m.aborted_agents m.deadlocked_agents Temporal.Q.pp
-    m.end_time
+    m.denied_temporal m.denied_unavailable m.migrations m.messages m.signals
+    m.completed_agents m.aborted_agents m.deadlocked_agents m.faults_injected
+    m.retries m.gave_up Temporal.Q.pp m.end_time

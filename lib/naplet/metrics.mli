@@ -11,12 +11,17 @@ type t = {
   mutable denied_rbac : int;
   mutable denied_spatial : int;
   mutable denied_temporal : int;
+  mutable denied_unavailable : int;
+      (** fail-closed denials against crashed/stale servers *)
   mutable migrations : int;
   mutable messages : int;  (** channel sends *)
   mutable signals : int;
   mutable completed_agents : int;
   mutable aborted_agents : int;
   mutable deadlocked_agents : int;
+  mutable faults_injected : int;
+  mutable retries : int;  (** migration retries scheduled *)
+  mutable gave_up : int;  (** retry budgets exhausted *)
   mutable end_time : Temporal.Q.t;
   per_server : (string, int) Hashtbl.t;  (** granted accesses by server *)
 }

@@ -1,12 +1,34 @@
 type t = {
   control : Coordinated.System.t;
   sessions : (string, Rbac.Session.t) Hashtbl.t;
+  mutable availability : (server:string -> time:Temporal.Q.t -> bool) option;
 }
 
 type rejected_role = { role : string; reason : string }
 
-let create control = { control; sessions = Hashtbl.create 8 }
+let create control =
+  { control; sessions = Hashtbl.create 8; availability = None }
+
 let control t = t.control
+let set_availability t down = t.availability <- Some down
+
+let unavailable t ~server ~time =
+  match t.availability with
+  | None -> false
+  | Some down -> down ~server ~time
+
+(* Fail-closed denial: the refusal is published as a Decision event so
+   it reaches the audit log, the event log and the metrics exactly like
+   any other verdict — a crashed server leaves a record, never a gap. *)
+let refuse t ~object_id ~time access =
+  let verdict =
+    Obs.Verdict.Denied
+      (Obs.Verdict.Server_unavailable access.Sral.Access.server)
+  in
+  Obs.Bus.emit
+    (Coordinated.System.bus t.control)
+    (Obs.Trace.Decision { time; object_id; access; verdict });
+  verdict
 
 let on_arrival t ~object_id ~owner ~roles ~server ~time ~program =
   let session =
@@ -45,6 +67,10 @@ let check t ~object_id ~program ~time access =
   match Hashtbl.find_opt t.sessions object_id with
   | None -> invalid_arg ("Security_manager.check: unknown object " ^ object_id)
   | Some session ->
-      Coordinated.System.check t.control ~session ~object_id ~program ~time access
+      if unavailable t ~server:access.Sral.Access.server ~time then
+        refuse t ~object_id ~time access
+      else
+        Coordinated.System.check t.control ~session ~object_id ~program ~time
+          access
 
 let session t ~object_id = Hashtbl.find_opt t.sessions object_id

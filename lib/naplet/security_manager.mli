@@ -17,6 +17,26 @@ type rejected_role = { role : string; reason : string }
 val create : Coordinated.System.t -> t
 val control : t -> Coordinated.System.t
 
+val set_availability :
+  t -> (server:string -> time:Temporal.Q.t -> bool) -> unit
+(** Install a server-availability oracle (normally the fault injector's
+    crash schedule; tests can model policy-stale replicas the same
+    way).  Once installed, {!check} fails {b closed}: an access
+    targeting a server the oracle reports down is denied with
+    [Server_unavailable] — published as a normal [Decision] event, so
+    the denial is on the audit record — instead of reaching the
+    decision procedure. *)
+
+val refuse :
+  t ->
+  object_id:string ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  Coordinated.Decision.verdict
+(** Mint and publish a fail-closed [Server_unavailable] denial for the
+    access (used by the world when a migration retry budget is
+    exhausted).  Always returns [Denied (Server_unavailable _)]. *)
+
 val on_arrival :
   t ->
   object_id:string ->

@@ -23,6 +23,14 @@ let park t x waiter =
   | Some r -> r := waiter :: !r
   | None -> Hashtbl.add t.waiters x (ref [ waiter ])
 
+let cancel_agent t ~agent =
+  Hashtbl.fold
+    (fun _ r removed ->
+      let before = List.length !r in
+      r := List.filter (fun w -> not (String.equal w.agent agent)) !r;
+      removed + before - List.length !r)
+    t.waiters 0
+
 let raised t = List.sort String.compare t.raised
 
 let waiting t x =

@@ -14,6 +14,11 @@ val raise_signal : t -> string -> waiter list
 
 val is_raised : t -> string -> bool
 val park : t -> string -> waiter -> unit
+
+val cancel_agent : t -> agent:string -> int
+(** Remove every parked waiter of the agent across all signals,
+    returning how many were removed. *)
+
 val raised : t -> string list
 (** Sorted. *)
 

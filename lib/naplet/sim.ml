@@ -70,3 +70,14 @@ let pop q =
 let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
 let is_empty q = q.size = 0
 let size q = q.size
+
+let drain q =
+  let rec go acc =
+    match pop q with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+(* Keeps the backing array (it will be reused) but forgets every
+   pending entry; next_seq is preserved so FIFO tie-breaking stays
+   monotone across a clear. *)
+let clear q = q.size <- 0

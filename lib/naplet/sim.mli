@@ -13,3 +13,13 @@ val pop : 'a t -> (Temporal.Q.t * 'a) option
 val peek_time : 'a t -> Temporal.Q.t option
 val is_empty : 'a t -> bool
 val size : 'a t -> int
+
+val drain : 'a t -> (Temporal.Q.t * 'a) list
+(** Pop everything, in order; [size] is [0] afterwards.  Used to tear a
+    world down early (e.g. a chaos kill-switch) while still observing
+    what was pending. *)
+
+val clear : 'a t -> unit
+(** Discard all pending events; [size] returns to [0].  Sequence
+    numbers keep increasing, so later schedules still tie-break FIFO
+    against nothing stale. *)

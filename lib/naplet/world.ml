@@ -21,6 +21,15 @@ let default_config =
 
 type event = Step of string | Admin of (unit -> unit)
 
+(* Installed fault machinery: the injector answers "does this fault
+   fire?", the resilience policy says how to react, and [retries]
+   tracks each agent's consecutive failed migration attempts. *)
+type fault_state = {
+  injector : Fault.Injector.t;
+  resilience : Fault.Resilience.t;
+  retries : (string, int) Hashtbl.t;
+}
+
 type t = {
   config : config;
   manager : Security_manager.t;
@@ -32,6 +41,7 @@ type t = {
   events : event Sim.t;
   mutable clock : Q.t;
   mutable appraisal : Appraisal.t option;
+  mutable faults : fault_state option;
   event_log : Event_log.t;
   metrics : Metrics.t;
 }
@@ -49,6 +59,7 @@ let create ?(config = default_config) control =
       events = Sim.create ();
       clock = Q.zero;
       appraisal = None;
+      faults = None;
       event_log = Event_log.create ();
       metrics = Metrics.create ();
     }
@@ -97,6 +108,30 @@ let schedule_step t id ~time = Sim.schedule t.events ~time (Step id)
 
 let at t ~time action = Sim.schedule t.events ~time (Admin action)
 
+let pending_events t = Sim.size t.events
+
+(* Kill switch: forget every pending event; [run]'s next pop sees an
+   empty queue and winds the world down. *)
+let halt t = Sim.clear t.events
+
+let set_faults ?(resilience = Fault.Resilience.default) t injector =
+  t.faults <- Some { injector; resilience; retries = Hashtbl.create 8 };
+  (* the security manager fails closed against the crash schedule *)
+  Security_manager.set_availability t.manager (fun ~server ~time ->
+      Fault.Injector.server_down injector ~server ~time);
+  (* crash-window boundaries become observable bus events *)
+  let plan = Fault.Injector.plan injector in
+  List.iter
+    (fun (server, windows) ->
+      List.iter
+        (fun (w : Fault.Plan.window) ->
+          at t ~time:w.Fault.Plan.from_ (fun () ->
+              emit t (Obs.Trace.Server_down { time = t.clock; server }));
+          at t ~time:w.Fault.Plan.until (fun () ->
+              emit t (Obs.Trace.Server_up { time = t.clock; server })))
+        windows)
+    plan.Fault.Plan.crashes
+
 let arrive t (agent : Agent.t) ~server ~time =
   agent.Agent.location <- Some server;
   ignore
@@ -110,6 +145,13 @@ let finish_agent t (agent : Agent.t) status =
   | Agent.Completed time ->
       emit t (Obs.Trace.Completed { time; agent = agent.Agent.id })
   | Agent.Aborted why ->
+      (* a killed agent releases whatever it still held: parked channel
+         receivers, signal waiters, and its retry bookkeeping *)
+      ignore (Channel.cancel_agent t.channels ~agent:agent.Agent.id);
+      ignore (Signal_table.cancel_agent t.signals ~agent:agent.Agent.id);
+      (match t.faults with
+      | Some f -> Hashtbl.remove f.retries agent.Agent.id
+      | None -> ());
       emit t
         (Obs.Trace.Aborted { time = t.clock; agent = agent.Agent.id; reason = why })
   | Agent.Running | Agent.Waiting -> ()
@@ -155,29 +197,90 @@ let wake t ~agent:agent_id ~thread ~time =
 let rec handle_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
   (* migrate first when the access targets another server *)
   let migrated = agent.Agent.location <> Some a.Sral.Access.server in
+  match t.faults with
+  | Some f when migrated -> (
+      (* the transport can fail: the destination may be crashed at
+         departure, or the hop itself may fault.  Either way the
+         migration did not happen; the pending Access stays queued in
+         the machine and a later step retries it. *)
+      let dest = a.Sral.Access.server in
+      let id = agent.Agent.id in
+      let attempt =
+        1 + Option.value ~default:0 (Hashtbl.find_opt f.retries id)
+      in
+      let unreachable = Fault.Injector.server_down f.injector ~server:dest ~time in
+      let flaky =
+        (not unreachable)
+        && Fault.Injector.migration_fails f.injector ~agent:id ~dest ~attempt
+             ~time
+      in
+      if unreachable || flaky then begin
+        emit t
+          (Obs.Trace.Fault_injected
+             {
+               time;
+               agent = id;
+               fault =
+                 (if unreachable then Obs.Trace.Server_unreachable
+                  else Obs.Trace.Migration_failure);
+               target = dest;
+             });
+        if attempt > f.resilience.Fault.Resilience.max_retries then begin
+          (* budget exhausted: give up, and fail *closed* — the refusal
+             is minted through the security manager so it lands on the
+             audit record like any other denial *)
+          Hashtbl.remove f.retries id;
+          emit t (Obs.Trace.Gave_up { time; agent = id; attempts = attempt });
+          (match
+             Security_manager.refuse t.manager ~object_id:id ~time a
+           with
+          | Coordinated.Decision.Granted -> assert false
+          | Coordinated.Decision.Denied reason -> (
+              match t.config.deny_policy with
+              | Skip_access ->
+                  Machine.skip_request agent.Agent.machine ~thread;
+                  `Continue_at time
+              | Abort_agent ->
+                  `Abort
+                    (Format.asprintf "%a" Coordinated.Decision.pp_reason reason)))
+        end
+        else begin
+          Hashtbl.replace f.retries id attempt;
+          let backoff =
+            Fault.Injector.backoff f.injector f.resilience ~agent:id ~attempt
+          in
+          let retry_at = Q.add time backoff in
+          emit t
+            (Obs.Trace.Retry_scheduled { time; agent = id; attempt; at = retry_at });
+          `Continue_at retry_at
+        end
+      end
+      else begin
+        Hashtbl.remove f.retries id;
+        perform_migration t agent ~thread ~time a
+      end)
+  | _ ->
+      if migrated then perform_migration t agent ~thread ~time a
+      else decide_access t agent ~thread ~time a
+
+and perform_migration t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
   let origin =
     match agent.Agent.location with Some s -> s | None -> agent.Agent.home
   in
-  let time =
-    if not migrated then time
-    else begin
-      let arrival = Q.add time t.config.migration_latency in
-      arrive t agent ~server:a.Sral.Access.server ~time:arrival;
-      emit t
-        (Obs.Trace.Migrated
-           {
-             time = arrival;
-             agent = agent.Agent.id;
-             from_ = origin;
-             to_ = a.Sral.Access.server;
-           });
-      arrival
-    end
-  in
-  match if migrated then appraise t agent else Appraisal.Sound with
+  let arrival = Q.add time t.config.migration_latency in
+  arrive t agent ~server:a.Sral.Access.server ~time:arrival;
+  emit t
+    (Obs.Trace.Migrated
+       {
+         time = arrival;
+         agent = agent.Agent.id;
+         from_ = origin;
+         to_ = a.Sral.Access.server;
+       });
+  match appraise t agent with
   | Appraisal.Corrupted invariant ->
       `Abort (Printf.sprintf "state appraisal failed: %s" invariant)
-  | Appraisal.Sound -> decide_access t agent ~thread ~time a
+  | Appraisal.Sound -> decide_access t agent ~thread ~time:arrival a
 
 and decide_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
   (* the verdict reaches the event log and the metrics through the
@@ -206,17 +309,60 @@ and decide_access t (agent : Agent.t) ~thread ~time (a : Sral.Access.t) =
       | Abort_agent ->
           `Abort (Format.asprintf "%a" Coordinated.Decision.pp_reason reason))
 
+(* Abandon a parked request (receive timeout): the thread resumes but
+   the request is skipped rather than fulfilled. *)
+let abandon t ~agent:agent_id ~thread ~time =
+  match Hashtbl.find_opt t.agents agent_id with
+  | None -> ()
+  | Some agent ->
+      if Agent.is_live agent then begin
+        Machine.unblock agent.Agent.machine ~thread;
+        Machine.skip_request agent.Agent.machine ~thread;
+        match agent.Agent.status with
+        | Agent.Waiting ->
+            agent.Agent.status <- Agent.Running;
+            schedule_step t agent_id ~time
+        | Agent.Running | Agent.Completed _ | Agent.Aborted _ -> ()
+      end
+
+let deliver t ~chan v ~time =
+  let waiters = Channel.send t.channels ~chan v in
+  List.iter
+    (fun (w : Channel.waiter) ->
+      wake t ~agent:w.Channel.agent ~thread:w.Channel.thread ~time)
+    waiters
+
 let handle_request t (agent : Agent.t) ~thread ~time request =
   match request with
   | Machine.Access a -> handle_access t agent ~thread ~time a
   | Machine.Send (chan, v) ->
+      (* the send itself always happens; the network decides what the
+         coalition sees of it *)
       emit t
         (Obs.Trace.Message_sent { time; agent = agent.Agent.id; channel = chan });
-      let waiters = Channel.send t.channels ~chan v in
-      List.iter
-        (fun (w : Channel.waiter) ->
-          wake t ~agent:w.Channel.agent ~thread:w.Channel.thread ~time)
-        waiters;
+      (let fate =
+         match t.faults with
+         | None -> Fault.Injector.Deliver
+         | Some f ->
+             Fault.Injector.channel_fate f.injector ~agent:agent.Agent.id
+               ~chan ~time
+       in
+       let fault kind =
+         emit t
+           (Obs.Trace.Fault_injected
+              { time; agent = agent.Agent.id; fault = kind; target = chan })
+       in
+       match fate with
+       | Fault.Injector.Deliver -> deliver t ~chan v ~time
+       | Fault.Injector.Drop -> fault Obs.Trace.Channel_drop
+       | Fault.Injector.Delay d ->
+           fault Obs.Trace.Channel_delay;
+           at t ~time:(Q.add time d) (fun () ->
+               deliver t ~chan v ~time:t.clock)
+       | Fault.Injector.Duplicate ->
+           fault Obs.Trace.Channel_duplicate;
+           deliver t ~chan v ~time;
+           deliver t ~chan v ~time);
       Machine.complete agent.Agent.machine ~thread;
       `Continue_at time
   | Machine.Recv (chan, var) -> (
@@ -229,17 +375,49 @@ let handle_request t (agent : Agent.t) ~thread ~time request =
           `Continue_at time
       | None ->
           Machine.block agent.Agent.machine ~thread;
-          Channel.park t.channels ~chan
-            { Channel.agent = agent.Agent.id; thread };
+          let waiter = { Channel.agent = agent.Agent.id; thread } in
+          Channel.park t.channels ~chan waiter;
+          (match t.faults with
+          | Some { resilience = { Fault.Resilience.recv_timeout = Some d; _ };
+                   _ } ->
+              (* if still parked at the deadline, give up on the message *)
+              at t ~time:(Q.add time d) (fun () ->
+                  if Channel.cancel t.channels ~chan waiter then begin
+                    emit t
+                      (Obs.Trace.Fault_injected
+                         {
+                           time = t.clock;
+                           agent = agent.Agent.id;
+                           fault = Obs.Trace.Recv_timeout;
+                           target = chan;
+                         });
+                    abandon t ~agent:agent.Agent.id ~thread ~time:t.clock
+                  end)
+          | _ -> ());
           `Continue_at time)
   | Machine.Signal x ->
-      emit t (Obs.Trace.Signal_raised { time; agent = agent.Agent.id; signal = x });
-      let waiters = Signal_table.raise_signal t.signals x in
-      List.iter
-        (fun (w : Signal_table.waiter) ->
-          wake t ~agent:w.Signal_table.agent ~thread:w.Signal_table.thread
-            ~time)
-        waiters;
+      let lost =
+        match t.faults with
+        | None -> false
+        | Some f ->
+            Fault.Injector.signal_lost f.injector ~agent:agent.Agent.id
+              ~signal:x ~time
+      in
+      if lost then
+        emit t
+          (Obs.Trace.Fault_injected
+             { time; agent = agent.Agent.id; fault = Obs.Trace.Signal_loss;
+               target = x })
+      else begin
+        emit t
+          (Obs.Trace.Signal_raised { time; agent = agent.Agent.id; signal = x });
+        let waiters = Signal_table.raise_signal t.signals x in
+        List.iter
+          (fun (w : Signal_table.waiter) ->
+            wake t ~agent:w.Signal_table.agent ~thread:w.Signal_table.thread
+              ~time)
+          waiters
+      end;
       Machine.complete agent.Agent.machine ~thread;
       `Continue_at time
   | Machine.Wait x ->
@@ -254,11 +432,23 @@ let handle_request t (agent : Agent.t) ~thread ~time request =
         `Continue_at time
       end
 
+(* While an agent sits on a crashed server its execution is suspended:
+   the step is deferred to the end of the crash window.  (The security
+   manager would deny anything it tried anyway — this models the host
+   being down, not just unreachable.) *)
+let frozen_until t (agent : Agent.t) ~time =
+  match (t.faults, agent.Agent.location) with
+  | Some f, Some server -> Fault.Injector.recovery f.injector ~server ~time
+  | _ -> None
+
 let process_step t id ~time =
   match Hashtbl.find_opt t.agents id with
   | None -> ()
   | Some agent -> (
       if agent.Agent.status = Agent.Running then
+        match frozen_until t agent ~time with
+        | Some recovery -> schedule_step t id ~time:recovery
+        | None -> (
         match Machine.step agent.Agent.machine with
         | Machine.Finished -> finish_agent t agent (Agent.Completed time)
         | Machine.Fault msg -> finish_agent t agent (Agent.Aborted msg)
@@ -269,7 +459,7 @@ let process_step t id ~time =
             in
             match handle_request t agent ~thread ~time request with
             | `Continue_at next -> schedule_step t id ~time:next
-            | `Abort why -> finish_agent t agent (Agent.Aborted why)))
+            | `Abort why -> finish_agent t agent (Agent.Aborted why))))
 
 let run t =
   let budget = ref t.config.max_events in

@@ -33,6 +33,26 @@ val create : ?config:config -> Coordinated.System.t -> t
 
 val manager : t -> Security_manager.t
 
+val set_faults : ?resilience:Fault.Resilience.t -> t -> Fault.Injector.t -> unit
+(** Install deterministic chaos (call before {!run}):
+
+    - the {!Security_manager} fails {e closed} against the injector's
+      crash schedule — an access targeting a down server is denied with
+      [Server_unavailable], on the audit record, never skipped;
+    - crash-window boundaries are published as
+      [Server_down]/[Server_up] bus events;
+    - a migration to a crashed server, or one the injector faults, is
+      retried under [resilience] (capped exponential backoff with
+      deterministic jitter), emitting [Fault_injected] and
+      [Retry_scheduled]; an exhausted budget emits [Gave_up] and the
+      fail-closed denial;
+    - agents located on a crashed server are suspended until recovery;
+    - channel sends can be dropped, delayed or duplicated and signals
+      lost, per the plan's probabilities; a blocked receive is
+      abandoned after [resilience.recv_timeout] (if set).
+
+    Identical [(plan, seed, world)] inputs replay bit-identically. *)
+
 val set_appraisal : t -> Appraisal.t -> unit
 (** Install a state appraisal (related work's Farmer et al. mechanism):
     every agent is appraised at dispatch and at each migration arrival;
@@ -66,6 +86,16 @@ val at : t -> time:Temporal.Q.t -> (unit -> unit) -> unit
 val run : t -> Metrics.t
 (** Drive the event loop to quiescence.  Agents still [Waiting] at the
     end are counted as deadlocked. *)
+
+val halt : t -> unit
+(** Tear the world down early: every pending event is discarded, so
+    {!run} winds down at the current clock.  Usable from an {!at}
+    action as a kill switch (e.g. when a chaos run decides the
+    coalition is lost). *)
+
+val pending_events : t -> int
+(** Events still queued in the simulator ([0] after {!halt} or a
+    completed {!run}). *)
 
 val clock : t -> Temporal.Q.t
 val agent : t -> string -> Agent.t option

@@ -38,6 +38,7 @@ let obj buf fields =
 let jstr s buf = quoted buf s
 let jbool b buf = Buffer.add_string buf (if b then "true" else "false")
 let jint64 n buf = Buffer.add_string buf (Int64.to_string n)
+let jint n buf = Buffer.add_string buf (string_of_int n)
 let jq q buf = quoted buf (Q.to_string q)
 let jobj fields buf = obj buf fields
 
@@ -70,6 +71,8 @@ let verdict_fields = function
         | Verdict.Not_active binding ->
             [ ("kind", jstr "not_active"); ("binding", jstr binding) ]
         | Verdict.Not_arrived -> [ ("kind", jstr "not_arrived") ]
+        | Verdict.Server_unavailable server ->
+            [ ("kind", jstr "server_unavailable"); ("server", jstr server) ]
       in
       [ ("v", jstr "denied"); ("reason", jobj reason_fields) ]
 
@@ -150,6 +153,28 @@ let fields_of_event ev =
       [ tag "aborted"; t time; ("agent", jstr agent); ("reason", jstr reason) ]
   | Trace.Deadlocked { time; agent } ->
       [ tag "deadlocked"; t time; ("agent", jstr agent) ]
+  | Trace.Fault_injected { time; agent; fault; target } ->
+      [
+        tag "fault_injected";
+        t time;
+        ("agent", jstr agent);
+        ("fault", jstr (Trace.fault_name fault));
+        ("target", jstr target);
+      ]
+  | Trace.Server_down { time; server } ->
+      [ tag "server_down"; t time; ("server", jstr server) ]
+  | Trace.Server_up { time; server } ->
+      [ tag "server_up"; t time; ("server", jstr server) ]
+  | Trace.Retry_scheduled { time; agent; attempt; at } ->
+      [
+        tag "retry_scheduled";
+        t time;
+        ("agent", jstr agent);
+        ("attempt", jint attempt);
+        ("at", jq at);
+      ]
+  | Trace.Gave_up { time; agent; attempts } ->
+      [ tag "gave_up"; t time; ("agent", jstr agent); ("attempts", jint attempts) ]
   | Trace.Run_finished { time } -> [ tag "run_finished"; t time ]
 
 let to_line ev =
@@ -377,6 +402,13 @@ let get_obj fields k =
   | Jobj o -> o
   | _ -> fail ("field " ^ k ^ " must be an object")
 
+let get_int fields k =
+  match get fields k with
+  | Jnum raw -> (
+      try int_of_string raw
+      with _ -> fail ("field " ^ k ^ " must be an integer"))
+  | _ -> fail ("field " ^ k ^ " must be a number")
+
 let get_int64 fields k =
   match get fields k with
   | Jnum raw -> (
@@ -415,6 +447,8 @@ let verdict_of fields =
               { binding = get_str r "binding"; spent = get_q r "spent" }
         | "not_active" -> Verdict.Not_active (get_str r "binding")
         | "not_arrived" -> Verdict.Not_arrived
+        | "server_unavailable" ->
+            Verdict.Server_unavailable (get_str r "server")
         | k -> fail ("unknown denial kind " ^ k)
       in
       Verdict.Denied reason
@@ -506,6 +540,32 @@ let event_of_fields fields =
           reason = get_str fields "reason";
         }
   | "deadlocked" -> Trace.Deadlocked { time; agent = get_str fields "agent" }
+  | "fault_injected" ->
+      let name = get_str fields "fault" in
+      let fault =
+        match Trace.fault_of_name name with
+        | Some f -> f
+        | None -> fail ("unknown fault kind " ^ name)
+      in
+      Trace.Fault_injected
+        { time; agent = get_str fields "agent"; fault; target = get_str fields "target" }
+  | "server_down" -> Trace.Server_down { time; server = get_str fields "server" }
+  | "server_up" -> Trace.Server_up { time; server = get_str fields "server" }
+  | "retry_scheduled" ->
+      Trace.Retry_scheduled
+        {
+          time;
+          agent = get_str fields "agent";
+          attempt = get_int fields "attempt";
+          at = get_q fields "at";
+        }
+  | "gave_up" ->
+      Trace.Gave_up
+        {
+          time;
+          agent = get_str fields "agent";
+          attempts = get_int fields "attempts";
+        }
   | "run_finished" -> Trace.Run_finished { time }
   | ev -> fail ("unknown event tag " ^ ev)
 
@@ -529,3 +589,19 @@ let of_string s =
         | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
   in
   go 1 [] lines
+
+(* Streaming variant of [of_string]: events are parsed line by line as
+   they are read, so a malformed (e.g. truncated) line is reported with
+   its 1-based line number instead of surfacing as a bare exception
+   from the parser. *)
+let read ic =
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | "" -> go (lineno + 1) acc
+    | line -> (
+        match of_line line with
+        | Ok ev -> go (lineno + 1) (ev :: acc)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 []

@@ -26,3 +26,9 @@ val of_string : string -> (Trace.event list, string) result
     the offending line. *)
 
 val to_channel : out_channel -> Trace.event list -> unit
+
+val read : in_channel -> (Trace.event list, string) result
+(** Streaming counterpart of {!of_string}: parses JSONL from a channel
+    until end of file.  A malformed line — truncated JSON, an unknown
+    tag, a missing field — yields [Error "line N: …"] with the 1-based
+    line number instead of raising; blank lines are skipped. *)

@@ -64,6 +64,9 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable stage_failures : int;
+  mutable faults : int;
+  mutable retries : int;
+  mutable gave_up : int;
   rbac : histogram;
   spatial : histogram;
   temporal : histogram;
@@ -77,6 +80,9 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     stage_failures = 0;
+    faults = 0;
+    retries = 0;
+    gave_up = 0;
     rbac = make_histogram ();
     spatial = make_histogram ();
     temporal = make_histogram ();
@@ -93,6 +99,9 @@ let denied t = t.denied
 let cache_hits t = t.cache_hits
 let cache_misses t = t.cache_misses
 let stage_failures t = t.stage_failures
+let faults t = t.faults
+let retries t = t.retries
+let gave_up t = t.gave_up
 let stage_count t stage = (stage_histogram t stage).count
 
 let sink t =
@@ -107,6 +116,9 @@ let sink t =
         t.decisions <- t.decisions + 1;
         if Verdict.is_granted verdict then t.granted <- t.granted + 1
         else t.denied <- t.denied + 1
+    | Trace.Fault_injected _ -> t.faults <- t.faults + 1
+    | Trace.Retry_scheduled _ -> t.retries <- t.retries + 1
+    | Trace.Gave_up _ -> t.gave_up <- t.gave_up + 1
     | _ -> ())
 
 let pp_stage ppf (name, h) =
@@ -124,7 +136,9 @@ let pp_stage ppf (name, h) =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>decisions: %d (%d granted, %d denied); cache: %d hit / %d miss; \
-     stage failures: %d@,%a@,%a@,%a@]"
+     stage failures: %d@,\
+     faults: %d injected, %d retries, %d gave up@,\
+     %a@,%a@,%a@]"
     t.decisions t.granted t.denied t.cache_hits t.cache_misses
-    t.stage_failures pp_stage ("rbac", t.rbac) pp_stage ("spatial", t.spatial)
-    pp_stage ("temporal", t.temporal)
+    t.stage_failures t.faults t.retries t.gave_up pp_stage ("rbac", t.rbac)
+    pp_stage ("spatial", t.spatial) pp_stage ("temporal", t.temporal)

@@ -30,6 +30,15 @@ val cache_misses : t -> int
 val stage_failures : t -> int
 (** Stages that reported [ok = false]. *)
 
+val faults : t -> int
+(** [Fault_injected] events observed. *)
+
+val retries : t -> int
+(** [Retry_scheduled] events observed. *)
+
+val gave_up : t -> int
+(** [Gave_up] events observed (retry budgets exhausted). *)
+
 val stage_count : t -> Trace.stage -> int
 (** Spans observed for the stage. *)
 

@@ -2,6 +2,15 @@ module Q = Temporal.Q
 
 type stage = Rbac | Spatial | Temporal
 
+type fault =
+  | Server_unreachable
+  | Migration_failure
+  | Channel_drop
+  | Channel_delay
+  | Channel_duplicate
+  | Signal_loss
+  | Recv_timeout
+
 type event =
   | Stage_start of { time : Q.t; object_id : string; stage : stage }
   | Stage_end of {
@@ -33,6 +42,16 @@ type event =
   | Completed of { time : Q.t; agent : string }
   | Aborted of { time : Q.t; agent : string; reason : string }
   | Deadlocked of { time : Q.t; agent : string }
+  | Fault_injected of {
+      time : Q.t;
+      agent : string;
+      fault : fault;
+      target : string;
+    }
+  | Server_down of { time : Q.t; server : string }
+  | Server_up of { time : Q.t; server : string }
+  | Retry_scheduled of { time : Q.t; agent : string; attempt : int; at : Q.t }
+  | Gave_up of { time : Q.t; agent : string; attempts : int }
   | Run_finished of { time : Q.t }
 
 let time = function
@@ -50,6 +69,11 @@ let time = function
   | Completed { time; _ }
   | Aborted { time; _ }
   | Deadlocked { time; _ }
+  | Fault_injected { time; _ }
+  | Server_down { time; _ }
+  | Server_up { time; _ }
+  | Retry_scheduled { time; _ }
+  | Gave_up { time; _ }
   | Run_finished { time } ->
       time
 
@@ -68,9 +92,12 @@ let subject = function
   | Signal_raised { agent; _ }
   | Completed { agent; _ }
   | Aborted { agent; _ }
-  | Deadlocked { agent; _ } ->
+  | Deadlocked { agent; _ }
+  | Fault_injected { agent; _ }
+  | Retry_scheduled { agent; _ }
+  | Gave_up { agent; _ } ->
       Some agent
-  | Run_finished _ -> None
+  | Server_down _ | Server_up _ | Run_finished _ -> None
 
 let stage_name = function
   | Rbac -> "rbac"
@@ -81,6 +108,25 @@ let stage_of_name = function
   | "rbac" -> Some Rbac
   | "spatial" -> Some Spatial
   | "temporal" -> Some Temporal
+  | _ -> None
+
+let fault_name = function
+  | Server_unreachable -> "server_unreachable"
+  | Migration_failure -> "migration_failure"
+  | Channel_drop -> "channel_drop"
+  | Channel_delay -> "channel_delay"
+  | Channel_duplicate -> "channel_duplicate"
+  | Signal_loss -> "signal_loss"
+  | Recv_timeout -> "recv_timeout"
+
+let fault_of_name = function
+  | "server_unreachable" -> Some Server_unreachable
+  | "migration_failure" -> Some Migration_failure
+  | "channel_drop" -> Some Channel_drop
+  | "channel_delay" -> Some Channel_delay
+  | "channel_duplicate" -> Some Channel_duplicate
+  | "signal_loss" -> Some Signal_loss
+  | "recv_timeout" -> Some Recv_timeout
   | _ -> None
 
 (* Every payload is immutable structural data (strings, ints, ℚ values,
@@ -125,4 +171,17 @@ let pp ppf ev =
       Format.fprintf ppf "[%a] %s: aborted (%s)" Q.pp t agent reason
   | Deadlocked { agent; _ } ->
       Format.fprintf ppf "[%a] %s: deadlocked" Q.pp t agent
+  | Fault_injected { agent; fault; target; _ } ->
+      Format.fprintf ppf "[%a] %s: fault %s on %s" Q.pp t agent
+        (fault_name fault) target
+  | Server_down { server; _ } ->
+      Format.fprintf ppf "[%a] server %s down" Q.pp t server
+  | Server_up { server; _ } ->
+      Format.fprintf ppf "[%a] server %s up" Q.pp t server
+  | Retry_scheduled { agent; attempt; at; _ } ->
+      Format.fprintf ppf "[%a] %s: retry %d scheduled for %a" Q.pp t agent
+        attempt Q.pp at
+  | Gave_up { agent; attempts; _ } ->
+      Format.fprintf ppf "[%a] %s: gave up after %d attempts" Q.pp t agent
+        attempts
   | Run_finished _ -> Format.fprintf ppf "[%a] run finished" Q.pp t

@@ -16,6 +16,13 @@
       authentication);
     - {b coordination traffic}: [Message_sent]/[Message_received] on
       channels, [Signal_raised];
+    - {b faults and resilience}: [Fault_injected] (a fault-plan event
+      fired by {e Fault.Injector} — migration failure, channel
+      drop/delay/duplicate, signal loss, receive timeout),
+      [Server_down]/[Server_up] (crash-window boundaries),
+      [Retry_scheduled] (a failed migration rescheduled with backoff)
+      and [Gave_up] (retry budget exhausted; the access is then denied
+      fail-closed);
     - {b run bookkeeping}: [Run_finished] closes a simulation run.
 
     All events are timestamped with the simulator's exact ℚ clock, so a
@@ -25,6 +32,15 @@
     deterministic. *)
 
 type stage = Rbac | Spatial | Temporal
+
+type fault =
+  | Server_unreachable  (** migration targeted a crashed server *)
+  | Migration_failure  (** transient transport failure (retryable) *)
+  | Channel_drop
+  | Channel_delay
+  | Channel_duplicate
+  | Signal_loss
+  | Recv_timeout  (** a blocked receive abandoned by the timeout policy *)
 
 type event =
   | Stage_start of { time : Temporal.Q.t; object_id : string; stage : stage }
@@ -68,6 +84,22 @@ type event =
   | Completed of { time : Temporal.Q.t; agent : string }
   | Aborted of { time : Temporal.Q.t; agent : string; reason : string }
   | Deadlocked of { time : Temporal.Q.t; agent : string }
+  | Fault_injected of {
+      time : Temporal.Q.t;
+      agent : string;
+      fault : fault;
+      target : string;
+          (** what the fault hit: a server, channel or signal name *)
+    }
+  | Server_down of { time : Temporal.Q.t; server : string }
+  | Server_up of { time : Temporal.Q.t; server : string }
+  | Retry_scheduled of {
+      time : Temporal.Q.t;
+      agent : string;
+      attempt : int;  (** 1-based failed-attempt counter *)
+      at : Temporal.Q.t;  (** when the retry will run (backoff applied) *)
+    }
+  | Gave_up of { time : Temporal.Q.t; agent : string; attempts : int }
   | Run_finished of { time : Temporal.Q.t }
 
 val time : event -> Temporal.Q.t
@@ -75,13 +107,19 @@ val time : event -> Temporal.Q.t
 
 val subject : event -> string option
 (** The mobile object / agent the event concerns ([None] for
-    [Run_finished]). *)
+    [Server_down], [Server_up] and [Run_finished]). *)
 
 val stage_name : stage -> string
 (** ["rbac"], ["spatial"] or ["temporal"]. *)
 
 val stage_of_name : string -> stage option
 (** Inverse of {!stage_name}. *)
+
+val fault_name : fault -> string
+(** ["server_unreachable"], ["channel_drop"], … *)
+
+val fault_of_name : string -> fault option
+(** Inverse of {!fault_name}. *)
 
 val equal : event -> event -> bool
 

@@ -6,6 +6,7 @@ type reason =
   | Temporal_expired of { binding : string; spent : Temporal.Q.t }
   | Not_active of string
   | Not_arrived
+  | Server_unavailable of string
 
 type t = Granted | Denied of reason
 
@@ -21,6 +22,8 @@ let pp_reason ppf = function
   | Not_active binding ->
       Format.fprintf ppf "permission %s is not active" binding
   | Not_arrived -> Format.pp_print_string ppf "object has not arrived anywhere"
+  | Server_unavailable server ->
+      Format.fprintf ppf "server %s unavailable (fail-closed)" server
 
 let pp ppf = function
   | Granted -> Format.pp_print_string ppf "granted"

@@ -15,6 +15,10 @@ type reason =
       (** the permission is not in the active state at decision time
           (Eq. 3.1's conjunction failed earlier on this timeline) *)
   | Not_arrived  (** no arrival recorded — object not on any server *)
+  | Server_unavailable of string
+      (** the target server is crashed (or its policy replica is
+          stale): the coalition fails {e closed} — the access is
+          denied on the record rather than silently skipped *)
 
 type t = Granted | Denied of reason
 

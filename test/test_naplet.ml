@@ -368,6 +368,128 @@ let test_world_migration_time () =
   Alcotest.(check bool) "time < 7" true
     (Q.lt metrics.Naplet.Metrics.end_time (q 7))
 
+(* --- early teardown and abort cleanup --- *)
+
+let test_sim_drain_clear () =
+  let queue = Sim.create () in
+  List.iter (fun i -> Sim.schedule queue ~time:(q i) i) [ 4; 1; 3; 2 ];
+  Alcotest.(check int) "size" 4 (Sim.size queue);
+  let drained = Sim.drain queue in
+  Alcotest.(check (list int)) "drain pops in time order" [ 1; 2; 3; 4 ]
+    (List.map snd drained);
+  Alcotest.(check int) "size after drain" 0 (Sim.size queue);
+  List.iter (fun i -> Sim.schedule queue ~time:(q i) i) [ 9; 8 ];
+  Sim.clear queue;
+  Alcotest.(check int) "size after clear" 0 (Sim.size queue);
+  Alcotest.(check bool) "empty after clear" true (Sim.is_empty queue);
+  (* still usable afterwards *)
+  Sim.schedule queue ~time:(q 5) 5;
+  Alcotest.(check (option string)) "usable after clear" (Some "5")
+    (Option.map Q.to_string (Sim.peek_time queue))
+
+let test_channel_cancel () =
+  let channels = Naplet.Channel.create () in
+  let w1 = { Naplet.Channel.agent = "a1"; thread = 0 } in
+  let w2 = { Naplet.Channel.agent = "a2"; thread = 0 } in
+  Naplet.Channel.park channels ~chan:"c" w1;
+  Naplet.Channel.park channels ~chan:"c" w2;
+  Naplet.Channel.park channels ~chan:"d" { Naplet.Channel.agent = "a1"; thread = 1 };
+  Alcotest.(check bool) "cancel parked" true
+    (Naplet.Channel.cancel channels ~chan:"c" w1);
+  Alcotest.(check bool) "second cancel is a no-op" false
+    (Naplet.Channel.cancel channels ~chan:"c" w1);
+  Alcotest.(check int) "other waiter kept" 1
+    (Naplet.Channel.waiting channels ~chan:"c");
+  Alcotest.(check int) "cancel_agent sweeps all channels" 1
+    (Naplet.Channel.cancel_agent channels ~agent:"a1");
+  Alcotest.(check int) "d emptied" 0 (Naplet.Channel.waiting channels ~chan:"d")
+
+let test_signal_cancel_agent () =
+  let signals = Naplet.Signal_table.create () in
+  Naplet.Signal_table.park signals "x" { Naplet.Signal_table.agent = "a1"; thread = 0 };
+  Naplet.Signal_table.park signals "y" { Naplet.Signal_table.agent = "a1"; thread = 1 };
+  Naplet.Signal_table.park signals "x" { Naplet.Signal_table.agent = "a2"; thread = 0 };
+  Alcotest.(check int) "two waiters removed" 2
+    (Naplet.Signal_table.cancel_agent signals ~agent:"a1");
+  Alcotest.(check int) "a2 still waiting" 1
+    (Naplet.Signal_table.waiting signals "x");
+  Alcotest.(check int) "y emptied" 0 (Naplet.Signal_table.waiting signals "y")
+
+(* Abort_agent mid-itinerary: the dead agent's parked channel and
+   signal waiters are released, and later sends/signals from live
+   agents do not try to wake it. *)
+let test_world_abort_releases_waiters () =
+  let policy = Rbac.Policy.create () in
+  Rbac.Policy.add_user policy "owner";
+  Rbac.Policy.add_role policy "mute";
+  Rbac.Policy.assign_user policy "owner" "mute";
+  let config =
+    {
+      Naplet.World.default_config with
+      Naplet.World.deny_policy = Naplet.World.Abort_agent;
+    }
+  in
+  let world = Naplet.World.create ~config (Coordinated.System.create policy) in
+  Naplet.World.add_server world (Naplet.Server.create "s1");
+  (* two threads park on a channel and a signal; the third is denied,
+     killing the whole agent *)
+  Naplet.World.spawn world ~id:"victim" ~owner:"owner" ~roles:[ "mute" ]
+    ~home:"s1"
+    (prog "{ c ? x } || { wait(go) } || { read secret @ s1 }");
+  (* a second agent whose send/signal must not resurrect the victim *)
+  Naplet.World.at world ~time:(q 10) (fun () ->
+      Naplet.World.spawn world ~id:"bystander" ~owner:"owner" ~roles:[ "mute" ]
+        ~home:"s1" (prog "c ! 1; signal(go)"));
+  let metrics = Naplet.World.run world in
+  Alcotest.(check int) "victim aborted" 1 metrics.Naplet.Metrics.aborted_agents;
+  Alcotest.(check int) "bystander completed" 1
+    metrics.Naplet.Metrics.completed_agents;
+  Alcotest.(check int) "nobody deadlocked" 0
+    metrics.Naplet.Metrics.deadlocked_agents;
+  Alcotest.(check int) "one denial" 1 metrics.Naplet.Metrics.denied;
+  Alcotest.(check int) "no waiter left on c" 0
+    (Naplet.Channel.waiting (Naplet.World.channels world) ~chan:"c");
+  match Naplet.World.agent world "victim" with
+  | Some agent ->
+      Alcotest.(check bool) "status is Aborted" true
+        (match agent.Naplet.Agent.status with
+        | Naplet.Agent.Aborted _ -> true
+        | _ -> false)
+  | None -> Alcotest.fail "victim lost"
+
+let test_world_halt_tears_down () =
+  let world = world_with_servers [ "s1"; "s2" ] in
+  Naplet.World.spawn world ~id:"wanderer" ~owner:"owner" ~roles:[ "worker" ]
+    ~home:"s1" (prog "read a @ s2; read b @ s1; read c @ s2");
+  (* kill the world after the first migration is under way *)
+  Naplet.World.at world ~time:(q 6) (fun () -> Naplet.World.halt world);
+  let metrics = Naplet.World.run world in
+  Alcotest.(check int) "queue empty after halt" 0
+    (Naplet.World.pending_events world);
+  Alcotest.(check bool) "run wound down early" true
+    (Q.le metrics.Naplet.Metrics.end_time (q 6));
+  Alcotest.(check bool) "work was cut short" true
+    (metrics.Naplet.Metrics.granted < 3)
+
+let test_itinerary_linearize_avoiding () =
+  let open Naplet.Itinerary in
+  let it =
+    Seq [ Visit "s1"; Alt [ Visit "s2"; Visit "s3" ]; Par [ Visit "s4" ] ]
+  in
+  let route ~down = linearize_avoiding ~down it in
+  Alcotest.(check (list string)) "no faults: first alternative"
+    [ "s1"; "s2"; "s4" ]
+    (route ~down:(fun _ -> false));
+  Alcotest.(check (list string)) "down alternative is routed around"
+    [ "s1"; "s3"; "s4" ]
+    (route ~down:(fun s -> s = "s2"));
+  Alcotest.(check (list string)) "down mandatory stop is dropped"
+    [ "s2"; "s4" ]
+    (route ~down:(fun s -> s = "s1"));
+  Alcotest.(check (list string)) "all alternatives down: keep the first"
+    [ "s1"; "s2"; "s4" ]
+    (route ~down:(fun s -> s = "s2" || s = "s3"))
+
 (* --- event log --- *)
 
 let test_event_log_sequence () =
@@ -389,7 +511,10 @@ let test_event_log_sequence () =
         | Naplet.Event_log.Signal_raised _ -> "signal"
         | Naplet.Event_log.Completed -> "done"
         | Naplet.Event_log.Aborted _ -> "abort"
-        | Naplet.Event_log.Deadlocked -> "deadlock")
+        | Naplet.Event_log.Deadlocked -> "deadlock"
+        | Naplet.Event_log.Fault _ -> "fault"
+        | Naplet.Event_log.Retry _ -> "retry"
+        | Naplet.Event_log.Gave_up _ -> "gave-up")
       (Naplet.Event_log.events log)
   in
   Alcotest.(check (list string)) "lifecycle order"
@@ -732,16 +857,19 @@ let () =
           Alcotest.test_case "ordering" `Quick test_sim_ordering;
           Alcotest.test_case "fifo ties" `Quick test_sim_fifo_at_equal_times;
           Alcotest.test_case "many events" `Quick test_sim_interleaved_ops;
+          Alcotest.test_case "drain and clear" `Quick test_sim_drain_clear;
         ] );
       ( "channel",
         [
           Alcotest.test_case "fifo" `Quick test_channel_fifo;
           Alcotest.test_case "waiters" `Quick test_channel_waiters;
+          Alcotest.test_case "cancel" `Quick test_channel_cancel;
         ] );
       ( "signal",
         [
           Alcotest.test_case "sticky" `Quick test_signals_sticky;
           Alcotest.test_case "waiters" `Quick test_signal_waiters;
+          Alcotest.test_case "cancel agent" `Quick test_signal_cancel_agent;
         ] );
       ( "machine",
         [
@@ -761,6 +889,8 @@ let () =
             test_itinerary_servers_linearize;
           Alcotest.test_case "to_program" `Quick test_itinerary_to_program;
           Alcotest.test_case "shard" `Quick test_itinerary_shard;
+          Alcotest.test_case "linearize avoiding" `Quick
+            test_itinerary_linearize_avoiding;
         ] );
       ( "event-log",
         [
@@ -824,5 +954,9 @@ let () =
           Alcotest.test_case "spawn validation" `Quick
             test_world_spawn_validation;
           Alcotest.test_case "migration time" `Quick test_world_migration_time;
+          Alcotest.test_case "abort releases waiters" `Quick
+            test_world_abort_releases_waiters;
+          Alcotest.test_case "halt tears down" `Quick
+            test_world_halt_tears_down;
         ] );
     ]

@@ -261,6 +261,32 @@ let test_roundtrip_all_variants () =
       Obs.Trace.Completed { time = t; agent = "a1" };
       Obs.Trace.Aborted { time = t; agent = "a2"; reason = "why" };
       Obs.Trace.Deadlocked { time = t; agent = "a3" };
+      Obs.Trace.Decision
+        {
+          time = t;
+          object_id = "o1";
+          access;
+          verdict = Obs.Verdict.Denied (Obs.Verdict.Server_unavailable "s1");
+        };
+      Obs.Trace.Fault_injected
+        {
+          time = t;
+          agent = "a1";
+          fault = Obs.Trace.Migration_failure;
+          target = "s2";
+        };
+      Obs.Trace.Fault_injected
+        {
+          time = t;
+          agent = "a2";
+          fault = Obs.Trace.Channel_drop;
+          target = "c";
+        };
+      Obs.Trace.Server_down { time = t; server = "s1" };
+      Obs.Trace.Server_up { time = t; server = "s1" };
+      Obs.Trace.Retry_scheduled
+        { time = t; agent = "a1"; attempt = 2; at = Q.make 11 2 };
+      Obs.Trace.Gave_up { time = t; agent = "a1"; attempts = 4 };
       Obs.Trace.Run_finished { time = Q.of_int 9 };
     ]
   in
@@ -291,6 +317,38 @@ let test_export_errors () =
   | Ok _ -> Alcotest.fail "blank input should parse to no events"
   | Error msg -> Alcotest.failf "blank input rejected: %s" msg
 
+(* [Export.read]: a malformed (here: truncated) line is rejected with
+   its line number, not a bare exception. *)
+let test_read_truncated_line () =
+  let good = Obs.Export.to_line (Obs.Trace.Run_finished { time = Q.of_int 3 }) in
+  let truncated = String.sub good 0 (String.length good - 5) in
+  let path = Filename.temp_file "stacc_read" ".jsonl" in
+  let oc = open_out path in
+  output_string oc (good ^ "\n" ^ good ^ "\n" ^ truncated ^ "\n");
+  close_out oc;
+  let ic = open_in path in
+  let result = Obs.Export.read ic in
+  close_in ic;
+  Sys.remove path;
+  (match result with
+  | Ok _ -> Alcotest.fail "truncated line should be rejected"
+  | Error msg ->
+      Alcotest.(check bool)
+        "error names the offending line" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 3:"));
+  let path = Filename.temp_file "stacc_read" ".jsonl" in
+  let oc = open_out path in
+  output_string oc (good ^ "\n\n" ^ good ^ "\n");
+  close_out oc;
+  let ic = open_in path in
+  let result = Obs.Export.read ic in
+  close_in ic;
+  Sys.remove path;
+  match result with
+  | Ok [ Obs.Trace.Run_finished _; Obs.Trace.Run_finished _ ] -> ()
+  | Ok evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+  | Error msg -> Alcotest.failf "well-formed file rejected: %s" msg
+
 (* ------------------------------------------------------------------ *)
 (* Sink equivalence: bus-fed stores = reference fold over the trace    *)
 
@@ -300,6 +358,7 @@ let reason_bucket = function
   | Obs.Verdict.Temporal_expired _ | Obs.Verdict.Not_active _
   | Obs.Verdict.Not_arrived ->
       `Temporal
+  | Obs.Verdict.Server_unavailable _ -> `Unavailable
 
 let test_sink_equivalence () =
   each_seed (fun seed rng ->
@@ -566,6 +625,8 @@ let () =
             test_roundtrip_all_variants;
           Alcotest.test_case "malformed input rejected" `Quick
             test_export_errors;
+          Alcotest.test_case "read reports the offending line" `Quick
+            test_read_truncated_line;
         ] );
       ( "sinks",
         [
