@@ -452,6 +452,87 @@ let e13_tests =
        [ 16; 64; 256; 1024 ])
 
 (* ------------------------------------------------------------------ *)
+(* E16 — static analyzer cost, phase by phase.  One synthetic policy
+   per size [k]: k bindings whose constraints chain k distinct
+   resources over two servers, so the closure alphabet grows linearly
+   with k.  The phases are measured separately — formula-to-DFA
+   compilation, per-binding emptiness, the O(k²) pairwise inclusion
+   stage — plus the whole [Analyzer.analyze] pass, and the paper's
+   Fig. 1 audit policy as a fixed reference point.                     *)
+
+let e16_tests =
+  let synth k =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r" (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+    let res i = Printf.sprintf "r%d" i in
+    let bindings =
+      List.init k (fun i ->
+          let dep = Sral.Access.read (res ((i + 1) mod k)) ~at:"s2" in
+          let own = Sral.Access.read (res i) ~at:"s1" in
+          Coordinated.Perm_binding.make
+            ~spatial:
+              (Srac.Formula.And
+                 ( Srac.Formula.Ordered (dep, own),
+                   Srac.Formula.at_most 3 (Srac.Selector.Resource (res i)) ))
+            ~spatial_scope:Coordinated.Perm_binding.Performed
+            (Rbac.Perm.make ~operation:"read" ~target:(res i ^ "@s1")))
+    in
+    { Coordinated.Policy_lang.policy; bindings }
+  in
+  let phase_tests k =
+    let parsed = synth k in
+    let world = Analysis.World.of_policy parsed in
+    let formulas =
+      List.filter_map
+        (fun b -> b.Coordinated.Perm_binding.spatial)
+        parsed.Coordinated.Policy_lang.bindings
+    in
+    let accs =
+      List.sort_uniq Sral.Access.compare
+        (Srac.Decide.closure_alphabet formulas @ world.Analysis.World.universe)
+    in
+    let table = Automata.Symbol.of_accesses accs in
+    let compile () =
+      List.map (Srac.Compile.dfa ~table ~proofs:Srac.Proof.always) formulas
+    in
+    let dfas = compile () in
+    [
+      Test.make
+        ~name:(Printf.sprintf "k=%02d 1-compile" k)
+        (Staged.stage (fun () -> compile ()));
+      Test.make
+        ~name:(Printf.sprintf "k=%02d 2-emptiness" k)
+        (Staged.stage (fun () -> List.map Automata.Dfa.is_empty dfas));
+      Test.make
+        ~name:(Printf.sprintf "k=%02d 3-inclusion" k)
+        (Staged.stage (fun () ->
+             List.fold_left
+               (fun n d1 ->
+                 List.fold_left
+                   (fun n d2 ->
+                     if d1 != d2 && Automata.Dfa.subset d1 d2 then n + 1
+                     else n)
+                   n dfas)
+               0 dfas));
+      Test.make
+        ~name:(Printf.sprintf "k=%02d 4-analyze" k)
+        (Staged.stage (fun () -> Analysis.Analyzer.analyze ~world parsed));
+    ]
+  in
+  let fig1 = Scenarios.Policy_review.fig1 () in
+  let fig1_world = Scenarios.Policy_review.fig1_world () in
+  Test.make_grouped ~name:"E16-analyzer"
+    (List.concat_map phase_tests [ 4; 8; 16 ]
+    @ [
+        Test.make ~name:"fig1 4-analyze"
+          (Staged.stage (fun () ->
+               Analysis.Analyzer.analyze ~world:fig1_world fig1));
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* E14 — per-stage decision latency through the observability spine.
    The E13 workload (16 bindings, one relevant; coalition in teams of
    8) re-run with a real-clock trace bus and an [Obs.Stats] sink
@@ -610,6 +691,7 @@ let all_groups =
     ("E9", e9_tests);
     ("E11", e11_tests);
     ("E13", e13_tests);
+    ("E16", e16_tests);
     ("E1", scenario_tests);
   ]
 

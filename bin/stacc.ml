@@ -7,9 +7,12 @@
      stacc audit                       run the Figure 1 integrity audit
      stacc trace [-o FILE] [--stats]   audit + export the JSONL trace
      stacc chaos [--plan P] [--seed N] audit under a deterministic fault plan
+     stacc lint    <file|-> [--strict] syntactic & per-binding policy checks
+     stacc analyze <file|-> [--strict] semantic whole-policy analysis
      stacc simulate -p POLICY -a PROG  run one agent under a policy file *)
 
 open Cmdliner
+module World = Analysis.World
 
 let read_input = function
   | "-" ->
@@ -376,8 +379,15 @@ let policy_cmd =
 
 (* --- lint --- *)
 
+let strict_arg =
+  let doc =
+    "Exit with status 1 when any finding is reported (default: findings are \
+     informational and the exit status is 0)."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let lint_cmd =
-  let run input =
+  let run input strict =
     match Coordinated.Policy_lang.parse (read_input input) with
     | exception Coordinated.Policy_lang.Error (line, msg) ->
         Format.eprintf "%s:%d: %s@." input line msg;
@@ -394,12 +404,183 @@ let lint_cmd =
             List.iter
               (fun f -> Format.printf "%a@." Coordinated.Lint.pp_finding f)
               findings;
-            2)
+            if strict then 1 else 0)
   in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Statically analyse a policy file for dead or unsatisfiable              rules.")
-    Term.(const run $ input_arg)
+       ~doc:
+         "Statically analyse a policy file for dead or unsatisfiable rules. \
+          Reports findings on stdout; exits 0 unless $(b,--strict) is given, \
+          in which case any finding exits 1 (parse errors always exit 1)."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on success (including reported findings without \
+              $(b,--strict)); 1 on parse errors, or on findings under \
+              $(b,--strict).";
+         ])
+    Term.(const run $ input_arg $ strict_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let link_arg =
+    let doc =
+      "Allowed migration link SRC:DST (repeatable). Default: complete \
+       topology over the policy's servers."
+    in
+    Arg.(value & opt_all string [] & info [ "link" ] ~docv:"SRC:DST" ~doc)
+  in
+  let entry_arg =
+    let doc = "Entry server (repeatable). Default: every server." in
+    Arg.(value & opt_all string [] & info [ "entry" ] ~docv:"SERVER" ~doc)
+  in
+  let step_arg =
+    let doc = "Time units per action (rational, e.g. 1 or 3/2)." in
+    Arg.(value & opt string "1" & info [ "step" ] ~docv:"Q" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the report as JSONL to this file ('-' for stdout)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let witness_arg =
+    let doc =
+      "Print, for each exercisable binding, a shortest performable walk \
+       that exercises it (a replayable certificate)."
+    in
+    Arg.(value & flag & info [ "witness" ] ~doc)
+  in
+  let query_arg =
+    let doc =
+      "Safety query 'USER OPERATION:RESOURCE@SERVER' (repeatable): can the \
+       user ever be granted the permission at the server?  Answered with a \
+       replayed witness walk or a proof of impossibility."
+    in
+    Arg.(value & opt_all string [] & info [ "query" ] ~docv:"QUERY" ~doc)
+  in
+  let parse_link s =
+    match String.index_opt s ':' with
+    | Some i ->
+        Ok
+          ( String.sub s 0 i,
+            String.sub s (i + 1) (String.length s - i - 1) )
+    | None -> Error (Printf.sprintf "link %S: expected SRC:DST" s)
+  in
+  let parse_query s =
+    match String.index_opt s ' ' with
+    | None -> Error (Printf.sprintf "query %S: expected 'USER OP:RES@SRV'" s)
+    | Some i -> (
+        let user = String.sub s 0 i in
+        let rest =
+          String.trim (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        match Rbac.Perm.of_string rest with
+        | exception Invalid_argument msg -> Error msg
+        | perm -> (
+            match Rbac.Perm.split_target perm.Rbac.Perm.target with
+            | _, Some server when server <> "*" -> Ok (user, perm, server)
+            | _ ->
+                Error
+                  (Printf.sprintf "query %S: target needs a concrete @server"
+                     s)))
+  in
+  let run input links entries step json witness strict queries =
+    match Coordinated.Policy_lang.parse (read_input input) with
+    | exception Coordinated.Policy_lang.Error (line, msg) ->
+        Format.eprintf "%s:%d: %s@." input line msg;
+        1
+    | exception Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | parsed -> (
+        let links_parsed =
+          List.fold_left
+            (fun acc s ->
+              match (acc, parse_link s) with
+              | Error _, _ -> acc
+              | _, Error msg -> Error msg
+              | Ok ls, Ok l -> Ok (l :: ls))
+            (Ok []) links
+        in
+        match
+          ( links_parsed,
+            (try Ok (Temporal.Q.of_string step)
+             with Invalid_argument msg -> Error msg) )
+        with
+        | Error msg, _ | _, Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok links, Ok step -> (
+            let links = if links = [] then None else Some (List.rev links) in
+            let entries = if entries = [] then None else Some entries in
+            match
+              World.of_policy ?links ?entries ~step parsed
+            with
+            | exception Invalid_argument msg ->
+                Format.eprintf "error: %s@." msg;
+                1
+            | world -> (
+                let report = Analysis.Analyzer.analyze ~world parsed in
+                let quiet = json = Some "-" in
+                if not quiet then (
+                  Format.printf "%a@." World.pp world;
+                  Format.printf "%a@." Analysis.Report.pp report);
+                (match json with
+                | None -> ()
+                | Some "-" -> print_string (Analysis.Report.to_jsonl report)
+                | Some path ->
+                    let oc = open_out path in
+                    output_string oc (Analysis.Report.to_jsonl report);
+                    close_out oc);
+                if witness && not quiet then
+                  List.iter
+                    (fun (i, key, walk) ->
+                      Format.printf "witness: binding #%d (%s): %a@." i key
+                        Sral.Trace.pp walk)
+                    (Analysis.Analyzer.witnesses ~world parsed);
+                let query_failures = ref 0 in
+                List.iter
+                  (fun q ->
+                    match parse_query q with
+                    | Error msg ->
+                        incr query_failures;
+                        Format.eprintf "error: %s@." msg
+                    | Ok (user, perm, server) ->
+                        let verdict =
+                          Analysis.Safety.can_acquire ~world ~policy:parsed
+                            ~user ~perm ~server
+                        in
+                        if not quiet then
+                          Format.printf "query %s %a -> %a@." user
+                            Rbac.Perm.pp perm Analysis.Safety.pp_verdict
+                            verdict)
+                  queries;
+                if !query_failures > 0 then 1
+                else if strict && report.Analysis.Analyzer.findings <> []
+                then 1
+                else 0)))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Semantically analyse a policy file against its deployment world: \
+          DFA-backed satisfiability, vacuity, shadowing, unexercisable \
+          bindings, empty temporal overlap, and safety queries with \
+          replayable witnesses. All findings are sound for the world's \
+          execution model (agents enter at t=0, one action per step, roles \
+          held throughout); exits 0 unless $(b,--strict) is given."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on success (including reported findings without \
+              $(b,--strict)); 1 on parse/usage errors, or on findings under \
+              $(b,--strict).";
+         ])
+    Term.(
+      const run $ input_arg $ link_arg $ entry_arg $ step_arg $ json_arg
+      $ witness_arg $ strict_arg $ query_arg)
 
 (* --- simulate --- *)
 
@@ -479,5 +660,6 @@ let () =
             chaos_cmd;
             policy_cmd;
             lint_cmd;
+            analyze_cmd;
             simulate_cmd;
           ]))

@@ -1,0 +1,88 @@
+module Q = Temporal.Q
+
+let pp_finding ppf (f : Analyzer.finding) =
+  match f with
+  | Analyzer.Unsatisfiable { index; binding } ->
+      Format.fprintf ppf
+        "binding #%d (%s): spatial constraint is semantically \
+         unsatisfiable — the permission can never be granted"
+        index binding
+  | Analyzer.Vacuous { index; binding } ->
+      Format.fprintf ppf
+        "binding #%d (%s): spatial constraint is universally true — it \
+         restricts nothing"
+        index binding
+  | Analyzer.Shadowed { index; binding; by_index; by } ->
+      Format.fprintf ppf
+        "binding #%d (%s): shadowed by binding #%d (%s) — removing it \
+         changes no decision"
+        index binding by_index by
+  | Analyzer.Unexercisable { index; binding } ->
+      Format.fprintf ppf
+        "binding #%d (%s): unexercisable — no performable itinerary \
+         reaches a covered access under the constraint"
+        index binding
+  | Analyzer.Temporal_excluded { index; binding; needed; budget } ->
+      Format.fprintf ppf
+        "binding #%d (%s): temporally excluded — earliest possible grant \
+         at t=%a, but the whole-journey budget %a is already spent"
+        index binding Q.pp needed Q.pp budget
+
+let pp ppf (r : Analyzer.report) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_finding f) r.findings;
+  Format.fprintf ppf "%d binding(s), alphabet %d%s: %d finding(s)@]"
+    r.bindings r.alphabet
+    (if r.truncated then " (truncated: semantic pass skipped)" else "")
+    (List.length r.findings)
+
+(* JSON string escaping, Obs.Export-compatible subset. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json (f : Analyzer.finding) =
+  match f with
+  | Analyzer.Unsatisfiable { index; binding } ->
+      Printf.sprintf {|{"kind":"unsatisfiable","index":%d,"binding":"%s"}|}
+        index (escape binding)
+  | Analyzer.Vacuous { index; binding } ->
+      Printf.sprintf {|{"kind":"vacuous","index":%d,"binding":"%s"}|} index
+        (escape binding)
+  | Analyzer.Shadowed { index; binding; by_index; by } ->
+      Printf.sprintf
+        {|{"kind":"shadowed","index":%d,"binding":"%s","by_index":%d,"by":"%s"}|}
+        index (escape binding) by_index (escape by)
+  | Analyzer.Unexercisable { index; binding } ->
+      Printf.sprintf {|{"kind":"unexercisable","index":%d,"binding":"%s"}|}
+        index (escape binding)
+  | Analyzer.Temporal_excluded { index; binding; needed; budget } ->
+      Printf.sprintf
+        {|{"kind":"temporal-excluded","index":%d,"binding":"%s","needed":"%s","budget":"%s"}|}
+        index (escape binding)
+        (escape (Q.to_string needed))
+        (escape (Q.to_string budget))
+
+let to_jsonl (r : Analyzer.report) =
+  let header =
+    Printf.sprintf
+      {|{"kind":"report","bindings":%d,"alphabet":%d,"truncated":%b,"findings":%d}|}
+      r.bindings r.alphabet r.truncated
+      (List.length r.findings)
+  in
+  String.concat ""
+    (List.map
+       (fun line -> line ^ "\n")
+       (header :: List.map finding_to_json r.findings))

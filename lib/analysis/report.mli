@@ -1,0 +1,23 @@
+(** Rendering of analyzer reports: human-readable text and
+    deterministic JSONL.
+
+    The JSONL convention follows {!Obs.Export}: one object per line,
+    keys in a fixed order, rationals written exactly with
+    {!Temporal.Q.to_string} — identical analyses export byte-identical
+    documents, so CI can compare them verbatim.  The first line is a
+    summary object ([kind = "report"]); each following line is one
+    finding in report order. *)
+
+val pp_finding : Format.formatter -> Analyzer.finding -> unit
+(** One line, e.g.
+    ["binding #2 (read:cfg@s1): shadowed by binding #0 (read:*@s1)"]. *)
+
+val pp : Format.formatter -> Analyzer.report -> unit
+(** Human-readable multi-line report, findings in order, ending with a
+    one-line summary. *)
+
+val to_jsonl : Analyzer.report -> string
+(** Newline-terminated JSONL document. *)
+
+val finding_to_json : Analyzer.finding -> string
+(** One JSON object, no trailing newline. *)

@@ -1,0 +1,262 @@
+module Q = Temporal.Q
+module Dfa = Automata.Dfa
+module Symbol = Automata.Symbol
+module Pb = Coordinated.Perm_binding
+module System = Coordinated.System
+
+type witness = {
+  entry : string;
+  steps : (Sral.Access.t * Q.t) list;
+}
+
+type impossibility =
+  | Not_authorized of { user : string }
+  | Unreachable of { binding : string option }
+  | Expired of { binding : string; needed : Q.t; budget : Q.t }
+
+type verdict =
+  | Acquirable of witness
+  | Impossible of impossibility
+  | Undetermined of string
+
+let activate_all session policy user =
+  List.iter
+    (fun role ->
+      try Rbac.Session.activate session role with
+      | Rbac.Session.Not_authorized _ | Rbac.Session.Dsd_violation _ -> ())
+    (Rbac.Policy.authorized_roles policy user)
+
+let replay ?mode ?bindings ~world ~policy:(parsed : Coordinated.Policy_lang.t)
+    ~user ~trace () =
+  if trace = [] then invalid_arg "Safety.replay: empty trace";
+  let bindings =
+    Option.value bindings ~default:parsed.Coordinated.Policy_lang.bindings
+  in
+  let sys =
+    System.create ?mode ~bindings parsed.Coordinated.Policy_lang.policy
+  in
+  let session = System.new_session sys ~user in
+  activate_all session (System.policy sys) user;
+  let program = Sral.Ast.seq (List.map Sral.Ast.access trace) in
+  let oid = "analysis" in
+  let first = List.hd trace in
+  let entry =
+    match World.entry_for world first.Sral.Access.server with
+    | Some e -> e
+    | None -> first.Sral.Access.server
+  in
+  System.arrive sys ~object_id:oid ~server:entry ~time:Q.zero;
+  System.refresh sys ~session ~object_id:oid ~program ~time:Q.zero;
+  let monitor = System.monitor sys ~object_id:oid in
+  let n = List.length trace in
+  let verdict = ref Coordinated.Decision.Granted in
+  List.iteri
+    (fun i0 (a : Sral.Access.t) ->
+      let i = i0 + 1 in
+      let time = Q.mul (Q.of_int i) world.World.step in
+      if Coordinated.Monitor.current_server monitor <> Some a.server then
+        System.arrive sys ~object_id:oid ~server:a.server ~time;
+      if i < n then (
+        (* the walked prefix is history by fiat — the oracle quantifies
+           over performed traces, not over granted ones *)
+        Coordinated.Monitor.record_access monitor a ~time;
+        System.refresh sys ~session ~object_id:oid ~program ~time)
+      else
+        verdict := System.check sys ~session ~object_id:oid ~program ~time a)
+    trace;
+  !verdict
+
+(* Accepted words of [d] with length in [min_len, max_len], shortest
+   first, capped; symbols in table order within one length. *)
+let words (d : Dfa.t) ~min_len ~max_len ~cap =
+  let k = Array.length d.Dfa.alphabet in
+  let found = ref [] in
+  let count = ref 0 in
+  for len = min_len to max_len do
+    let rec go q word remaining =
+      if !count < cap then
+        if remaining = 0 then (
+          if d.Dfa.finals.(q) then (
+            found := List.rev word :: !found;
+            incr count))
+        else
+          for s = 0 to k - 1 do
+            let q' = d.Dfa.next.(q).(s) in
+            if Dfa.final_reachable_from d q' then go q' (s :: word) (remaining - 1)
+          done
+    in
+    go d.Dfa.start [] len
+  done;
+  List.rev !found
+
+let ends_with_dfa ~table access =
+  let syms = Symbol.alphabet table in
+  let k = List.length syms in
+  let next = Array.make_matrix 2 k 0 in
+  List.iter
+    (fun sym ->
+      let target =
+        if Sral.Access.equal (Symbol.access table sym) access then 1 else 0
+      in
+      next.(0).(sym) <- target;
+      next.(1).(sym) <- target)
+    syms;
+  Dfa.of_tables ~alphabet:syms ~start:0 ~finals:[| false; true |] ~next
+
+let can_acquire ~world ~policy:(parsed : Coordinated.Policy_lang.t) ~user ~perm
+    ~server =
+  let resource = fst (Rbac.Perm.split_target perm.Rbac.Perm.target) in
+  if perm.Rbac.Perm.operation = "*" || resource = "*" then
+    invalid_arg "Safety.can_acquire: operation and resource must be concrete";
+  let access =
+    Sral.Access.make
+      ~op:(Sral.Access.operation_of_name perm.Rbac.Perm.operation)
+      ~resource ~server
+  in
+  let rbac_policy = parsed.Coordinated.Policy_lang.policy in
+  let authorized =
+    List.exists
+      (fun p ->
+        Rbac.Perm.matches p
+          ~operation:(Sral.Access.operation_name access.Sral.Access.op)
+          ~target:(resource ^ "@" ^ server))
+      (try Rbac.Policy.user_permissions rbac_policy user with _ -> [])
+  in
+  if not authorized then Impossible (Not_authorized { user })
+  else if not (List.exists (Sral.Access.equal access) world.World.universe)
+  then Impossible (Unreachable { binding = None })
+  else
+    let applicable =
+      List.filter
+        (fun b -> Pb.applies_to b access)
+        parsed.Coordinated.Policy_lang.bindings
+    in
+    let formulas = List.filter_map (fun b -> b.Pb.spatial) applicable in
+    let alphabet_accs =
+      List.sort_uniq Sral.Access.compare
+        ((access :: world.World.universe)
+        @ Srac.Decide.closure_alphabet formulas)
+    in
+    if List.length alphabet_accs > Srac.Decide.max_closure then
+      Undetermined "constraint alphabet exceeds the analysis bound"
+    else
+      let table = Symbol.of_accesses alphabet_accs in
+      let itin = World.itinerary_dfa ~table world in
+      let ends = ends_with_dfa ~table access in
+      let base = Dfa.inter itin ends in
+      let constraint_dfa b =
+        match b.Pb.spatial with
+        | None -> None
+        | Some c -> Some (Srac.Compile.dfa ~table ~proofs:Srac.Proof.always c)
+      in
+      let with_dfas = List.map (fun b -> (b, constraint_dfa b)) applicable in
+      let joint =
+        List.fold_left
+          (fun acc (_, d) ->
+            match d with None -> acc | Some d -> Dfa.inter acc d)
+          base with_dfas
+      in
+      if Dfa.is_empty joint then
+        let culprit =
+          List.find_map
+            (fun (b, d) ->
+              match d with
+              | Some d when Dfa.is_empty (Dfa.inter base d) ->
+                  Some (Pb.key b)
+              | _ -> None)
+            with_dfas
+        in
+        Impossible (Unreachable { binding = culprit })
+      else
+        let shortest =
+          match Dfa.shortest_witness joint with
+          | Some w -> List.length w
+          | None -> assert false
+        in
+        let needed = Q.mul (Q.of_int shortest) world.World.step in
+        let expired =
+          (* every granting walk passes all applicable bindings at once,
+             so the joint shortest length bounds any grant instant from
+             below; a whole-journey budget not reaching it is spent
+             before the first possible grant (same activation caveats as
+             the analyzer: static for Program/Both scopes, exact for
+             Performed only under selector coverage) *)
+          List.find_map
+            (fun (b : Pb.t) ->
+              match (b.Pb.dur, b.Pb.scheme) with
+              | Some budget, Temporal.Validity.Whole_journey
+                when Q.ge needed budget ->
+                  let exact =
+                    match (b.Pb.spatial_scope, b.Pb.spatial) with
+                    | (Pb.Program | Pb.Both), _ -> true
+                    | Pb.Performed, None -> true
+                    | Pb.Performed, Some c ->
+                        Analyzer.selectors_covered
+                          ~universe:world.World.universe c
+                  in
+                  if exact then
+                    Some
+                      (Expired { binding = Pb.key b; needed; budget })
+                  else None
+              | _ -> None)
+            applicable
+        in
+        match expired with
+        | Some imp -> Impossible imp
+        | None -> (
+            let candidates =
+              words joint ~min_len:shortest ~max_len:(shortest + 2) ~cap:24
+            in
+            let to_trace w = List.map (Symbol.access table) w in
+            let granted =
+              List.find_opt
+                (fun w ->
+                  Coordinated.Decision.is_granted
+                    (replay ~world ~policy:parsed ~user ~trace:(to_trace w) ()))
+                candidates
+            in
+            match granted with
+            | Some w ->
+                let trace = to_trace w in
+                let entry =
+                  match
+                    World.entry_for world (List.hd trace).Sral.Access.server
+                  with
+                  | Some e -> e
+                  | None -> (List.hd trace).Sral.Access.server
+                in
+                let steps =
+                  List.mapi
+                    (fun i a ->
+                      (a, Q.mul (Q.of_int (i + 1)) world.World.step))
+                    trace
+                in
+                Acquirable { entry; steps }
+            | None ->
+                Undetermined
+                  "spatially reachable, but no bounded walk was granted \
+                   (activation may lag behind feasibility)")
+
+let pp_verdict ppf = function
+  | Acquirable { entry; steps } ->
+      Format.fprintf ppf "@[<v>acquirable: enter at %s (t=0)" entry;
+      List.iter
+        (fun (a, t) ->
+          Format.fprintf ppf "@,  t=%a  %a" Q.pp t Sral.Access.pp a)
+        steps;
+      Format.fprintf ppf "@,  last access is granted@]"
+  | Impossible (Not_authorized { user }) ->
+      Format.fprintf ppf "impossible: no role of %s grants the permission"
+        user
+  | Impossible (Unreachable { binding = Some b }) ->
+      Format.fprintf ppf
+        "impossible: no performable walk satisfies binding %s" b
+  | Impossible (Unreachable { binding = None }) ->
+      Format.fprintf ppf
+        "impossible: no performable walk reaches the access under the \
+         bindings' conjunction"
+  | Impossible (Expired { binding; needed; budget }) ->
+      Format.fprintf ppf
+        "impossible: earliest grant needs %a but binding %s expires at %a"
+        Q.pp needed binding Q.pp budget
+  | Undetermined why -> Format.fprintf ppf "undetermined: %s" why

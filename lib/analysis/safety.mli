@@ -1,0 +1,73 @@
+(** Safety queries: can this user ever exercise this permission at
+    this server, in this world?
+
+    The query is answered constructively.  A positive answer carries a
+    {b witness}: a concrete entry server and step-timed walk whose last
+    access is the queried one, found by intersecting every applicable
+    binding's constraint DFA with the world's reachable-itinerary
+    language and an "ends with the queried access" language, and then
+    {e replayed through the real decision pipeline}
+    ({!Coordinated.System.check}) before being returned — a witness is
+    never reported unless the runtime actually grants it.  A negative
+    answer carries the reason the product analysis proves no walk can
+    ever be granted.
+
+    The corner the automata cannot settle — the product is non-empty
+    but every bounded-length candidate is denied, which can happen when
+    a [Performed]-scope binding's restricted-alphabet activation lags
+    behind true feasibility — is reported honestly as
+    {!verdict.Undetermined} rather than guessed. *)
+
+type witness = {
+  entry : string;  (** server the object enters the coalition at, time 0 *)
+  steps : (Sral.Access.t * Temporal.Q.t) list;
+      (** the walk, one access per world step; the last access is the
+          queried one and its time is the decision instant *)
+}
+
+type impossibility =
+  | Not_authorized of { user : string }
+      (** no authorized role holds a matching permission *)
+  | Unreachable of { binding : string option }
+      (** no performable walk ends with the access while satisfying the
+          constraints — of the named binding alone, or (with [None])
+          only of the conjunction *)
+  | Expired of { binding : string; needed : Temporal.Q.t; budget : Temporal.Q.t }
+      (** every candidate walk takes [needed ≥ budget] time, so the
+          binding's whole-journey validity is spent before the first
+          possible grant *)
+
+type verdict =
+  | Acquirable of witness
+  | Impossible of impossibility
+  | Undetermined of string
+
+val can_acquire :
+  world:World.t ->
+  policy:Coordinated.Policy_lang.t ->
+  user:string ->
+  perm:Rbac.Perm.t ->
+  server:string ->
+  verdict
+(** [perm]'s operation and target resource must be concrete (no ["*"]).
+    @raise Invalid_argument otherwise. *)
+
+val replay :
+  ?mode:Coordinated.System.decision_mode ->
+  ?bindings:Coordinated.Perm_binding.t list ->
+  world:World.t ->
+  policy:Coordinated.Policy_lang.t ->
+  user:string ->
+  trace:Sral.Trace.t ->
+  unit ->
+  Coordinated.Decision.verdict
+(** Replay a walk under the world's timing model and adjudicate its
+    last access: enter at the first entry server reaching the walk's
+    start (time 0), migrate and perform one access per [step] (the
+    [i]-th at [i·step]), record intermediate accesses as history, and
+    decide the final one through the full pipeline with a straight-line
+    program of the walk.  [bindings] overrides the policy's bindings
+    (the oracle tests use it to isolate one binding).
+    @raise Invalid_argument on an empty trace. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,176 @@
+module Q = Temporal.Q
+
+type t = {
+  servers : string list;
+  links : Digraph.t;
+  entries : string list;
+  universe : Sral.Access.t list;
+  step : Q.t;
+}
+
+(* Reflexive-transitive closure, precomputed per world creation would
+   need a cache; worlds are small, so we just query the digraph. *)
+let reaches t s s' =
+  String.equal s s' || List.mem s' (Digraph.reachable_from t.links s)
+
+let make ?links ?entries ?(step = Q.of_int 1) ~servers ~universe () =
+  let servers = List.sort_uniq String.compare servers in
+  if servers = [] then invalid_arg "World.make: no servers";
+  if Q.sign step <= 0 then invalid_arg "World.make: step must be positive";
+  let known s = List.mem s servers in
+  let g = Digraph.create () in
+  List.iter (Digraph.add_vertex g) servers;
+  (match links with
+  | None ->
+      (* complete topology: every migration allowed *)
+      List.iter
+        (fun s -> List.iter (fun s' -> Digraph.add_edge g s s') servers)
+        servers
+  | Some edges ->
+      List.iter
+        (fun (s, s') ->
+          if not (known s && known s') then
+            invalid_arg
+              (Printf.sprintf "World.make: link %s->%s outside servers" s s');
+          Digraph.add_edge g s s')
+        edges);
+  let entries =
+    match entries with
+    | None -> servers
+    | Some es ->
+        List.iter
+          (fun e ->
+            if not (known e) then
+              invalid_arg (Printf.sprintf "World.make: entry %s unknown" e))
+          es;
+        List.sort_uniq String.compare es
+  in
+  if entries = [] then invalid_arg "World.make: no entries";
+  let universe = List.sort_uniq Sral.Access.compare universe in
+  { servers; links = g; entries; universe; step }
+
+let of_policy ?links ?entries ?step (parsed : Coordinated.Policy_lang.t) =
+  let policy = parsed.Coordinated.Policy_lang.policy in
+  let bindings = parsed.Coordinated.Policy_lang.bindings in
+  let grants =
+    List.concat_map (Rbac.Policy.role_permissions policy) (Rbac.Policy.roles policy)
+  in
+  let patterns =
+    List.map (fun b -> b.Coordinated.Perm_binding.perm) bindings
+  in
+  let concrete_server (p : Rbac.Perm.t) =
+    match Rbac.Perm.split_target p.target with
+    | _, Some s when s <> "*" -> Some s
+    | _ -> None
+  in
+  let servers = List.filter_map concrete_server (grants @ patterns) in
+  let servers = List.sort_uniq String.compare servers in
+  if servers = [] then
+    invalid_arg "World.of_policy: no concrete server in any grant or binding";
+  let concrete_access (p : Rbac.Perm.t) =
+    match Rbac.Perm.split_target p.target with
+    | r, Some s when p.operation <> "*" && r <> "*" && s <> "*" ->
+        Some
+          (Sral.Access.make
+             ~op:(Sral.Access.operation_of_name p.operation)
+             ~resource:r ~server:s)
+    | _ -> None
+  in
+  let spelled = List.filter_map concrete_access (grants @ patterns) in
+  let mentioned =
+    List.concat_map
+      (fun (b : Coordinated.Perm_binding.t) ->
+        match b.spatial with
+        | None -> []
+        | Some c ->
+            List.filter
+              (fun (a : Sral.Access.t) -> List.mem a.server servers)
+              (Srac.Formula.accesses c))
+      bindings
+  in
+  make ?links ?entries ?step ~servers ~universe:(spelled @ mentioned) ()
+
+let entry_for t s = List.find_opt (fun e -> reaches t e s) t.entries
+
+let performable t trace =
+  let rec go current = function
+    | [] -> true
+    | (a : Sral.Access.t) :: rest ->
+        (match current with
+        | None -> entry_for t a.server <> None
+        | Some s -> reaches t s a.server)
+        && go (Some a.server) rest
+  in
+  go None trace
+
+let itinerary_dfa ~table t =
+  let module Symbol = Automata.Symbol in
+  let n = List.length t.servers in
+  let idx_of s =
+    let rec go i = function
+      | [] -> None
+      | s' :: rest -> if String.equal s s' then Some i else go (i + 1) rest
+    in
+    go 0 t.servers
+  in
+  (* state 0 = not yet arrived; 1..n = standing at server i-1; n+1 = sink *)
+  let sink = n + 1 in
+  let alphabet = Symbol.alphabet table in
+  let k = List.length alphabet in
+  let next = Array.make_matrix (n + 2) k sink in
+  (* only universe accesses are performable: anything else dead-ends,
+     keeping product languages exact over the world's real traces *)
+  let target sym =
+    let a = Symbol.access table sym in
+    if List.exists (Sral.Access.equal a) t.universe then
+      idx_of a.Sral.Access.server
+    else None
+  in
+  List.iter
+    (fun sym ->
+      (match target sym with
+      | Some j when entry_for t (List.nth t.servers j) <> None ->
+          next.(0).(sym) <- j + 1
+      | _ -> ());
+      for i = 0 to n - 1 do
+        match target sym with
+        | Some j when reaches t (List.nth t.servers i) (List.nth t.servers j)
+          ->
+            next.(i + 1).(sym) <- j + 1
+        | _ -> ()
+      done)
+    alphabet;
+  let finals = Array.make (n + 2) true in
+  finals.(sink) <- false;
+  Automata.Dfa.of_tables ~alphabet ~start:0 ~finals ~next
+
+let walks t ~max_len =
+  let step_ok current (a : Sral.Access.t) =
+    match current with
+    | None -> entry_for t a.server <> None
+    | Some s -> reaches t s a.server
+  in
+  let rec extend len current prefix acc =
+    if len = 0 then acc
+    else
+      List.fold_left
+        (fun acc a ->
+          if step_ok current a then
+            let w = prefix @ [ a ] in
+            extend (len - 1) (Some a.Sral.Access.server) w (w :: acc)
+          else acc)
+        acc t.universe
+  in
+  let by_len w1 w2 =
+    let c = compare (List.length w1) (List.length w2) in
+    if c <> 0 then c else compare w1 w2
+  in
+  List.sort by_len (extend max_len None [] [])
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>world: %d server(s), %d link(s), %d entr%s, %d access(es), step %a@]"
+    (List.length t.servers) (Digraph.edge_count t.links)
+    (List.length t.entries)
+    (if List.length t.entries = 1 then "y" else "ies")
+    (List.length t.universe) Q.pp t.step

@@ -1,0 +1,82 @@
+(** The deployment world a policy is analyzed against: which coalition
+    servers exist, which migrations the itinerary topology allows,
+    where mobile objects may enter, which concrete accesses are
+    performable, and how fast anything can happen.
+
+    The world induces the {b reachable-itinerary language}: a trace
+    [a₁…aₙ] is {e performable} iff some entry server reaches
+    [server(a₁)] and each [server(aᵢ)] reaches [server(aᵢ₊₁)] along the
+    link digraph (reachability, not adjacency — objects may migrate
+    through servers without accessing anything).  This language is
+    regular — {!itinerary_dfa} is its automaton over a symbol table —
+    and intersecting it with a binding's constraint language is how the
+    analyzer decides that a permission is grantable nowhere any agent
+    can actually stand.
+
+    Time: one action (an access, with any migration preceding it) takes
+    [step] time units, so the [i]-th access of a trace happens at
+    [i·step] with the first arrival at time 0.  This is the timing
+    model the analyzer's temporal-overlap findings, the safety-query
+    witnesses and the oracle replay all share. *)
+
+type t = private {
+  servers : string list;  (** sorted, distinct *)
+  links : Digraph.t;  (** allowed migration edges over [servers] *)
+  entries : string list;  (** servers where objects may start *)
+  universe : Sral.Access.t list;
+      (** the concrete accesses performable in this coalition; sorted *)
+  step : Temporal.Q.t;  (** time per action; strictly positive *)
+}
+
+val make :
+  ?links:(string * string) list ->
+  ?entries:string list ->
+  ?step:Temporal.Q.t ->
+  servers:string list ->
+  universe:Sral.Access.t list ->
+  unit ->
+  t
+(** Defaults: complete link graph over [servers], every server an
+    entry, [step = 1].  Accesses of [universe] at unknown servers are
+    kept (they are simply never performable).
+    @raise Invalid_argument on an empty server list, an entry or link
+    endpoint outside [servers], or a non-positive [step]. *)
+
+val of_policy :
+  ?links:(string * string) list ->
+  ?entries:string list ->
+  ?step:Temporal.Q.t ->
+  Coordinated.Policy_lang.t ->
+  t
+(** Derive the world a policy file implies: servers are the concrete
+    (non-wildcard) server components of granted permissions and
+    binding patterns — the places the coalition actually protects;
+    the universe is every concrete access spelled out by a grant or a
+    binding pattern, plus each constraint-mentioned access hosted on a
+    known server.  Constraint-only servers are deliberately {e not}
+    deployment servers: a constraint referring to a server no grant
+    lives on is exactly what the unexercisable analysis should catch.
+    @raise Invalid_argument when no concrete server is derivable (pass
+    {!make} an explicit world instead). *)
+
+val reaches : t -> string -> string -> bool
+(** Reflexive-transitive reachability along the links. *)
+
+val entry_for : t -> string -> string option
+(** The first entry server (in [entries] order) reaching the given
+    server. *)
+
+val performable : t -> Sral.Trace.t -> bool
+(** Is the trace a walk of the world?  The empty trace is. *)
+
+val itinerary_dfa : table:Automata.Symbol.table -> t -> Automata.Dfa.t
+(** The reachable-itinerary language over the table's full alphabet:
+    prefix-closed, complete; accesses at unknown servers dead-end. *)
+
+val walks : t -> max_len:int -> Sral.Trace.t list
+(** Every performable trace of length 1..[max_len] over the universe,
+    in length-then-lexicographic order — the exhaustive replay grid of
+    the analyzer's oracle tests.  Exponential; meant for small
+    worlds. *)
+
+val pp : Format.formatter -> t -> unit

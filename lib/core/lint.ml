@@ -1,19 +1,23 @@
 type finding =
-  | Unsatisfiable_spatial of string
-  | Vacuous_spatial of string
-  | Dead_binding of string
+  | Unsatisfiable_spatial of { index : int; binding : string }
+  | Vacuous_spatial of { index : int; binding : string }
+  | Dead_binding of { index : int; binding : string }
   | Role_without_permissions of string
   | Role_unassigned of string
-  | Zero_duration of string
+  | Zero_duration of { index : int; binding : string }
 
-let binding_findings policy (b : Perm_binding.t) =
-  let key = Perm_binding.key b in
+let binding_findings policy index (b : Perm_binding.t) =
+  let binding = Perm_binding.key b in
   let spatial =
     match b.Perm_binding.spatial with
     | None -> []
     | Some c ->
-        if Srac.Simplify.is_trivially_false c then [ Unsatisfiable_spatial key ]
-        else if Srac.Simplify.is_trivially_true c then [ Vacuous_spatial key ]
+        (* semantic, not syntactic: decided on the constraint's closure
+           alphabet (Srac.Decide), so e.g. [#(2,1,σ)] or
+           [done(a) && !done(a)] is caught, not just a literal [false] *)
+        if not (Srac.Decide.satisfiable c) then
+          [ Unsatisfiable_spatial { index; binding } ]
+        else if Srac.Decide.valid c then [ Vacuous_spatial { index; binding } ]
         else []
   in
   let dead =
@@ -25,11 +29,12 @@ let binding_findings policy (b : Perm_binding.t) =
             (Rbac.Policy.role_permissions policy role))
         (Rbac.Policy.roles policy)
     in
-    if granted_somewhere then [] else [ Dead_binding key ]
+    if granted_somewhere then [] else [ Dead_binding { index; binding } ]
   in
   let zero =
     match b.Perm_binding.dur with
-    | Some d when Temporal.Q.sign d = 0 -> [ Zero_duration key ]
+    | Some d when Temporal.Q.sign d = 0 ->
+        [ Zero_duration { index; binding } ]
     | _ -> []
   in
   spatial @ dead @ zero
@@ -57,31 +62,34 @@ let role_findings policy =
     roles
 
 let check (parsed : Policy_lang.t) =
-  List.concat_map
-    (binding_findings parsed.Policy_lang.policy)
-    parsed.Policy_lang.bindings
+  List.concat
+    (List.mapi
+       (binding_findings parsed.Policy_lang.policy)
+       parsed.Policy_lang.bindings)
   @ role_findings parsed.Policy_lang.policy
 
 let pp_finding ppf = function
-  | Unsatisfiable_spatial b ->
+  | Unsatisfiable_spatial { index; binding } ->
       Format.fprintf ppf
-        "binding %s: spatial constraint is unsatisfiable — the permission \
-         can never be granted"
-        b
-  | Vacuous_spatial b ->
+        "binding #%d (%s): spatial constraint is unsatisfiable — the \
+         permission can never be granted"
+        index binding
+  | Vacuous_spatial { index; binding } ->
       Format.fprintf ppf
-        "binding %s: spatial constraint is trivially true — dead weight" b
-  | Dead_binding b ->
+        "binding #%d (%s): spatial constraint is trivially true — dead weight"
+        index binding
+  | Dead_binding { index; binding } ->
       Format.fprintf ppf
-        "binding %s: no role grants a matching permission — binding never \
-         applies"
-        b
+        "binding #%d (%s): no role grants a matching permission — binding \
+         never applies"
+        index binding
   | Role_without_permissions r ->
       Format.fprintf ppf "role %s: grants no permissions" r
   | Role_unassigned r -> Format.fprintf ppf "role %s: assigned to no user" r
-  | Zero_duration b ->
-      Format.fprintf ppf "binding %s: validity duration is zero — permanently \
-                          expired" b
+  | Zero_duration { index; binding } ->
+      Format.fprintf ppf
+        "binding #%d (%s): validity duration is zero — permanently expired"
+        index binding
 
 let to_string findings =
   String.concat "\n"

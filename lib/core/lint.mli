@@ -2,23 +2,32 @@
     know about a policy file before deploying it to the coalition.
 
     All checks are conservative: a reported finding is a real defect
-    or dead weight; silence is not a proof of health. *)
+    or dead weight; silence is not a proof of health.  Binding-level
+    findings carry the binding's 0-based declaration [index] in the
+    policy file alongside its permission key, so two bindings on the
+    same permission stay distinguishable.
+
+    Spatial satisfiability and vacuity are decided {e semantically}
+    through {!Srac.Decide} (DFA emptiness/universality on the closure
+    alphabet), not by syntactic simplification; the whole-policy
+    analyzer ([stacc analyze], [lib/analysis]) builds its
+    cross-binding and world-dependent findings on the same engine. *)
 
 type finding =
-  | Unsatisfiable_spatial of string
-      (** the binding's constraint simplifies to [false]: the
-          permission can never be granted *)
-  | Vacuous_spatial of string
-      (** the constraint simplifies to [true]: the binding's spatial
+  | Unsatisfiable_spatial of { index : int; binding : string }
+      (** the binding's constraint language is empty: the permission
+          can never be granted *)
+  | Vacuous_spatial of { index : int; binding : string }
+      (** the constraint language is universal: the binding's spatial
           clause is dead weight (its temporal clause may still matter) *)
-  | Dead_binding of string
+  | Dead_binding of { index : int; binding : string }
       (** no role is granted any permission overlapping the binding's
           pattern: the binding can never apply *)
   | Role_without_permissions of string
       (** the role grants nothing, directly or by inheritance *)
   | Role_unassigned of string
       (** no user is assigned the role (directly or via a senior) *)
-  | Zero_duration of string
+  | Zero_duration of { index : int; binding : string }
       (** the binding's validity duration is 0: permanently expired *)
 
 val check : Policy_lang.t -> finding list

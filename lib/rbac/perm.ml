@@ -36,6 +36,20 @@ let overlaps p1 p2 =
       (* an unstructured target only covers structured ones via "*" *)
       r2 = "*" || (fields_overlap r1 r2 && s1 = "*")
 
+let field_subsumes f1 f2 = f1 = "*" || String.equal f1 f2
+
+let subsumes p1 p2 =
+  field_subsumes p1.operation p2.operation
+  &&
+  match (split_target p1.target, split_target p2.target) with
+  | (r1, Some s1), (r2, Some s2) ->
+      field_subsumes r1 r2 && field_subsumes s1 s2
+  | (r1, None), (r2, None) -> field_subsumes r1 r2
+  | (r1, Some s1), (r2, None) ->
+      (* a structured pattern only covers an unstructured one wholesale *)
+      r1 = "*" && s1 = "*" && (r2 = "*" || field_subsumes r1 r2)
+  | (r1, None), (_, Some _) -> r1 = "*"
+
 let compare p1 p2 =
   let c = String.compare p1.operation p2.operation in
   if c <> 0 then c else String.compare p1.target p2.target

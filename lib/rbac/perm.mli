@@ -28,6 +28,14 @@ val overlaps : t -> t -> bool
     permission?  Used by policy linting: a binding whose pattern
     overlaps no granted permission is dead. *)
 
+val subsumes : t -> t -> bool
+(** [subsumes p1 p2]: does pattern [p1] cover every concrete permission
+    [p2] covers?  Field-wise: a ["*"] field of [p1] covers anything, a
+    concrete field only its equal.  Whenever [subsumes p1 p2], any
+    access {!matches}-covered by [p2] is covered by [p1], and a held
+    permission matching the query [p1] also matches the query [p2] —
+    the two facts the policy analyzer's shadowing check relies on. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+module Q = Temporal.Q
+
+let fig1 () =
+  let policy = Rbac.Policy.create () in
+  Rbac.Policy.add_user policy "auditor";
+  Rbac.Policy.add_role policy "system_auditor";
+  Rbac.Policy.assign_user policy "auditor" "system_auditor";
+  Rbac.Policy.grant policy "system_auditor"
+    (Rbac.Perm.make ~operation:"hash" ~target:"*@*");
+  let bindings =
+    List.map
+      (fun (m, formula) ->
+        Coordinated.Perm_binding.make ~spatial:formula
+          ~spatial_scope:Coordinated.Perm_binding.Performed
+          (Rbac.Perm.make ~operation:"hash"
+             ~target:
+               (m ^ "@" ^ List.assoc m Integrity_audit.placement)))
+      (Integrity_audit.dependency_constraints ())
+  in
+  { Coordinated.Policy_lang.policy; bindings }
+
+let fig1_text () = Coordinated.Policy_lang.render (fig1 ())
+let fig1_world () = Analysis.World.of_policy (fig1 ())
+
+let defective_text () =
+  String.concat "\n"
+    [
+      "# Deliberately defective policy: one specimen of every analyzer";
+      "# finding.  Binding indexes are load-bearing — the expected report";
+      "# names them — so append, don't reorder.";
+      "user   carol";
+      "role   operator";
+      "assign carol operator";
+      "grant  operator read:*@*";
+      "grant  operator write:log@s2";
+      "# 0: healthy control (and the shadow winner for #3)";
+      "bind   read:cfg@s1 spatial \"done(read cfg @ s1)\" scope performed";
+      "# 1: semantically unsatisfiable (no syntactic 'false' anywhere)";
+      "bind   read:db@s1 spatial \"done(read db @ s1) && !done(read db @ \
+       s1)\" scope performed";
+      "# 2: vacuous — the constraint is a tautology";
+      "bind   write:log@s2 spatial \"done(write log @ s2) or !done(write \
+       log @ s2)\"";
+      "# 3: shadowed by #0 — same pattern and scope, strictly weaker \
+       constraint";
+      "bind   read:cfg@s1 spatial \"done(read cfg @ s1) or done(read db @ \
+       s1)\" scope performed";
+      "# 4: unexercisable — s9 exists in no grant or pattern, so the world";
+      "# cannot perform the access the constraint demands";
+      "bind   read:db@s1 spatial \"done(read vault @ s9)\" scope performed";
+      "# 5: temporally excluded — the shortest satisfying walk takes 2 time";
+      "# units, the whole-journey budget is 3/2";
+      "bind   read:db@s1 spatial \"seq(read cfg @ s1, read db @ s1)\" scope \
+       performed dur 3/2 scheme journey";
+      "";
+    ]
+
+let defective () = Coordinated.Policy_lang.parse (defective_text ())
+let defective_world () = Analysis.World.of_policy (defective ())
+
+let defective_expected () =
+  [
+    Analysis.Analyzer.Unsatisfiable { index = 1; binding = "read:db@s1" };
+    Analysis.Analyzer.Vacuous { index = 2; binding = "write:log@s2" };
+    Analysis.Analyzer.Shadowed
+      { index = 3; binding = "read:cfg@s1"; by_index = 0; by = "read:cfg@s1" };
+    Analysis.Analyzer.Unexercisable { index = 4; binding = "read:db@s1" };
+    Analysis.Analyzer.Temporal_excluded
+      {
+        index = 5;
+        binding = "read:db@s1";
+        needed = Q.of_int 2;
+        budget = Q.make 3 2;
+      };
+  ]

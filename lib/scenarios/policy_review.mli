@@ -1,0 +1,37 @@
+(** Policy review scenario: the static analyzer pointed at the
+    Figure 1 coalition.
+
+    Two policies, both also committed verbatim as fixtures under
+    [examples/policies/] (tests assert the fixture files match these
+    generators, CI runs [stacc analyze] over them):
+
+    - {b fig1}: the integrity-audit policy of Section 6 as a policy
+      file — one [Performed]-scope binding per module with
+      dependencies, requiring every dependency hashed first.  Healthy:
+      the analyzer must report {e zero} findings on it.
+    - {b defective}: six bindings seeding one specimen of every
+      analyzer finding — a clean control, a semantically unsatisfiable
+      constraint, a vacuous one, a shadowed binding, a binding whose
+      constraint mentions a server the coalition does not deploy
+      (unexercisable), and a duration too short for the shortest
+      satisfying walk (temporally excluded). *)
+
+val fig1 : unit -> Coordinated.Policy_lang.t
+(** Same RBAC store and bindings as
+    {!Integrity_audit.build_control} (no deadline). *)
+
+val fig1_text : unit -> string
+(** {!fig1} rendered as a parseable policy file. *)
+
+val fig1_world : unit -> Analysis.World.t
+(** The world {!fig1} implies: servers s1–s3, complete topology, the
+    eleven hash accesses. *)
+
+val defective : unit -> Coordinated.Policy_lang.t
+val defective_text : unit -> string
+val defective_world : unit -> Analysis.World.t
+
+val defective_expected : unit -> Analysis.Analyzer.finding list
+(** The exact findings the analyzer must produce on {!defective}, in
+    report order: unsatisfiable #1, vacuous #2, shadowed #3 (by #0),
+    unexercisable #4, temporally excluded #5. *)

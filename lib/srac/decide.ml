@@ -1,0 +1,113 @@
+module Symbol = Automata.Symbol
+module Dfa = Automata.Dfa
+
+let max_closure = 4096
+
+(* --- mentioned field names ---------------------------------------- *)
+
+type names = {
+  ops : Sral.Access.operation list;
+  resources : string list;
+  servers : string list;
+}
+
+let empty_names = { ops = []; resources = []; servers = [] }
+
+let add_op n op = if List.mem op n.ops then n else { n with ops = op :: n.ops }
+
+let add_resource n r =
+  if List.mem r n.resources then n else { n with resources = r :: n.resources }
+
+let add_server n s =
+  if List.mem s n.servers then n else { n with servers = s :: n.servers }
+
+let add_access n (a : Sral.Access.t) =
+  add_server (add_resource (add_op n a.op) a.resource) a.server
+
+let rec add_selector n = function
+  | Selector.Any -> n
+  | Selector.Op op -> add_op n op
+  | Selector.Resource r -> add_resource n r
+  | Selector.Server s -> add_server n s
+  | Selector.Exactly a -> add_access n a
+  | Selector.And (s1, s2) | Selector.Or (s1, s2) ->
+      add_selector (add_selector n s1) s2
+  | Selector.Not s -> add_selector n s
+
+let rec add_formula n = function
+  | Formula.True | Formula.False -> n
+  | Formula.Atom a -> add_access n a
+  | Formula.Ordered (a1, a2) -> add_access (add_access n a1) a2
+  | Formula.Card { sel; _ } -> add_selector n sel
+  | Formula.And (c1, c2) | Formula.Or (c1, c2) ->
+      add_formula (add_formula n c1) c2
+  | Formula.Not c -> add_formula n c
+
+(* A name different from every string in [used] — the representative of
+   "any other name" in its field.  Deterministic. *)
+let fresh used =
+  let rec go candidate =
+    if List.mem candidate used then go (candidate ^ "_") else candidate
+  in
+  go "other"
+
+let closure_alphabet formulas =
+  let n = List.fold_left add_formula empty_names formulas in
+  let op_names =
+    List.map Sral.Access.operation_name n.ops
+  in
+  let ops = Sral.Access.Custom (fresh op_names) :: n.ops in
+  let resources = fresh n.resources :: n.resources in
+  let servers = fresh n.servers :: n.servers in
+  let grid =
+    List.concat_map
+      (fun op ->
+        List.concat_map
+          (fun resource ->
+            List.map
+              (fun server -> Sral.Access.make ~op ~resource ~server)
+              servers)
+          resources)
+      ops
+  in
+  List.sort_uniq Sral.Access.compare grid
+
+(* --- exact procedures with syntactic fallback --------------------- *)
+
+let compiled formulas =
+  let alphabet = closure_alphabet formulas in
+  if List.length alphabet > max_closure then None
+  else
+    let table = Symbol.of_accesses alphabet in
+    Some
+      ( table,
+        List.map (fun c -> Compile.dfa ~table ~proofs:Proof.always c) formulas
+      )
+
+let satisfiable c =
+  match compiled [ c ] with
+  | Some (_, [ d ]) -> not (Dfa.is_empty d)
+  | _ -> not (Simplify.is_trivially_false c)
+
+let valid c =
+  match compiled [ Formula.Not c ] with
+  | Some (_, [ d ]) -> Dfa.is_empty d
+  | _ -> Simplify.is_trivially_true c
+
+let witness c =
+  match compiled [ c ] with
+  | Some (table, [ d ]) ->
+      Option.map
+        (List.map (fun s -> Symbol.access table s))
+        (Dfa.shortest_witness d)
+  | _ -> None
+
+let included c1 c2 =
+  match compiled [ c1; c2 ] with
+  | Some (_, [ d1; d2 ]) -> Dfa.subset d1 d2
+  | _ -> false
+
+let equivalent c1 c2 =
+  match compiled [ c1; c2 ] with
+  | Some (_, [ d1; d2 ]) -> Dfa.equiv d1 d2
+  | _ -> false

@@ -1,0 +1,62 @@
+(** Semantic decision procedures for SRAC constraints — satisfiability,
+    universality and language inclusion over {e every} possible access
+    alphabet, not just the accesses a formula happens to mention.
+
+    The subtlety is the alphabet.  A constraint denotes a regular trace
+    language {e relative to an alphabet}, and a formula that is
+    unsatisfiable over its own mentioned accesses may be satisfiable
+    once other accesses exist: [count(1, inf, srv=s9)] mentions no
+    access at all, yet any access at [s9] satisfies it.  Deciding a
+    property "for all alphabets" is still finite because SRAC selectors
+    only test field names: partition the (infinite) access space into
+    the regions the formula can distinguish — one per combination of a
+    {e mentioned} operation/resource/server name or a fresh
+    representative standing for "any other" — and any trace maps
+    region-wise onto this {b closure alphabet} preserving satisfaction
+    of the formula (atoms are their own singleton regions; selectors
+    are unions of regions; counts are preserved pointwise).  Hence:
+
+    - [C] is satisfiable by {e some} trace over {e some} alphabet iff
+      its DFA over the closure alphabet is non-empty;
+    - [C] is valid (every trace over every alphabet satisfies it) iff
+      [¬C] is unsatisfiable;
+    - [L(C₁) ⊆ L(C₂)] over every alphabet iff the inclusion holds over
+      their joint closure alphabet (decided as a product-DFA subset
+      test).
+
+    The closure alphabet has [(o+1)·(r+1)·(s+1)] accesses for [o]
+    mentioned operations, [r] resources and [s] servers; formulas whose
+    grid would exceed {!max_closure} fall back to the syntactic
+    {!Simplify} checks, which only err on the side of reporting
+    nothing.  [Core.Lint] delegates its satisfiability findings here so
+    the syntactic lint and the semantic analyzer can never disagree. *)
+
+val max_closure : int
+(** Largest closure-alphabet size the exact procedures will build
+    (4096); beyond it the syntactic fallback is used. *)
+
+val closure_alphabet : Formula.t list -> Sral.Access.t list
+(** The joint closure alphabet of the formulas: every combination of a
+    mentioned (or one fresh) operation, resource and server name,
+    sorted and distinct.  Always non-empty (the all-fresh access). *)
+
+val satisfiable : Formula.t -> bool
+(** Is there any trace, over any alphabet, satisfying the constraint?
+    (Static semantics: every access carries an execution proof.) *)
+
+val valid : Formula.t -> bool
+(** Does every trace over every alphabet satisfy the constraint?  A
+    binding whose constraint is valid is spatial dead weight. *)
+
+val witness : Formula.t -> Sral.Trace.t option
+(** A shortest satisfying trace over the closure alphabet, when
+    satisfiable ([None] when unsatisfiable or over {!max_closure}). *)
+
+val included : Formula.t -> Formula.t -> bool
+(** [included c1 c2]: does every trace satisfying [c1] satisfy [c2],
+    over every alphabet?  Decided as a product-DFA language-inclusion
+    test over the joint closure alphabet; [false] (no claim) on
+    fallback. *)
+
+val equivalent : Formula.t -> Formula.t -> bool
+(** Inclusion both ways. *)

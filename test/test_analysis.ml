@@ -1,0 +1,686 @@
+(* Tests for the semantic policy analyzer (lib/analysis) and the
+   Srac.Decide decision procedures it is built on.
+
+   The heart of this file is the replay oracle: randomized coalitions
+   where every analyzer claim is checked against the *runtime* — a
+   finding that says "this binding can never grant" is refuted by
+   replaying every performable walk of the world through the real
+   decision pipeline and watching for a grant.  The analyzer is allowed
+   to miss defects; it is never allowed to invent one. *)
+
+module Q = Temporal.Q
+module A = Sral.Access
+module F = Srac.Formula
+module PB = Coordinated.Perm_binding
+module PL = Coordinated.Policy_lang
+module W = Analysis.World
+module An = Analysis.Analyzer
+module Sf = Analysis.Safety
+module PR = Scenarios.Policy_review
+
+let granted = function
+  | Coordinated.Decision.Granted -> true
+  | Coordinated.Decision.Denied _ -> false
+
+let last tr = List.nth tr (List.length tr - 1)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* cwd is test/ under `dune runtest` but the workspace root under
+   `dune exec test/...` — accept either *)
+let fixture name =
+  let candidates =
+    [ "../examples/policies/" ^ name; "examples/policies/" ^ name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> read_file p
+  | None -> Alcotest.failf "fixture %s not found" name
+
+(* ------------------------------------------------------------------ *)
+(* Srac.Decide: the closure-alphabet decision procedures               *)
+(* ------------------------------------------------------------------ *)
+
+let c s = F.of_string s
+
+let test_decide_satisfiability () =
+  Alcotest.(check bool)
+    "semantic contradiction caught" false
+    (Srac.Decide.satisfiable (c "done(read db @ s1) && !done(read db @ s1)"));
+  Alcotest.(check bool)
+    "empty cardinality window caught" false
+    (Srac.Decide.satisfiable (c "count(2, 1, any)"));
+  (* mentions no access at all, yet satisfiable over a larger
+     alphabet — the reason the closure alphabet exists *)
+  Alcotest.(check bool)
+    "selector-only constraint satisfiable" true
+    (Srac.Decide.satisfiable (c "count(1, inf, srv=s9)"));
+  Alcotest.(check bool)
+    "tautology valid" true
+    (Srac.Decide.valid (c "done(read db @ s1) or !done(read db @ s1)"));
+  Alcotest.(check bool)
+    "atom not valid" false
+    (Srac.Decide.valid (c "done(read db @ s1)"))
+
+let test_decide_inclusion () =
+  Alcotest.(check bool)
+    "atom implies its count" true
+    (Srac.Decide.included (c "done(read db @ s1)") (c "count(1, inf, res=db)"));
+  Alcotest.(check bool)
+    "count does not imply the atom" false
+    (Srac.Decide.included (c "count(1, inf, res=db)") (c "done(read db @ s1)"));
+  Alcotest.(check bool)
+    "ordering implies both atoms" true
+    (Srac.Decide.included
+       (c "seq(read a @ s1, read b @ s1)")
+       (c "done(read a @ s1) && done(read b @ s1)"));
+  Alcotest.(check bool)
+    "conjunction order matters" false
+    (Srac.Decide.included
+       (c "done(read a @ s1) && done(read b @ s1)")
+       (c "seq(read a @ s1, read b @ s1)"))
+
+let test_decide_witness () =
+  (* every satisfiable formula's witness must actually satisfy it *)
+  List.iter
+    (fun text ->
+      let f = c text in
+      match Srac.Decide.witness f with
+      | None -> Alcotest.failf "no witness for satisfiable %s" text
+      | Some tr ->
+          Alcotest.(check bool)
+            (Printf.sprintf "witness satisfies %s" text)
+            true
+            (Srac.Trace_sat.sat ~proofs:Srac.Proof.always tr f))
+    [
+      "done(read db @ s1)";
+      "seq(read a @ s1, read b @ s2)";
+      "count(2, inf, res=db) && !done(read db @ s1)";
+      "count(1, 1, srv=s9) or done(write log @ s2)";
+    ];
+  Alcotest.(check bool)
+    "unsatisfiable has no witness" true
+    (Srac.Decide.witness (c "count(3, 2, any)") = None)
+
+(* ------------------------------------------------------------------ *)
+(* World: itineraries, walks, performability                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_world_walks_are_performable () =
+  let universe =
+    [ A.read "x" ~at:"s1"; A.read "y" ~at:"s2"; A.write "x" ~at:"s1" ]
+  in
+  (* one-way topology: s1 -> s2, enter only at s1 *)
+  let w =
+    W.make
+      ~links:[ ("s1", "s2") ]
+      ~entries:[ "s1" ] ~servers:[ "s1"; "s2" ] ~universe ()
+  in
+  let walks = W.walks w ~max_len:2 in
+  List.iter
+    (fun tr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "walk performable: %s" (Sral.Trace.to_string tr))
+        true (W.performable w tr))
+    walks;
+  (* exhaustive agreement: every universe trace of length <= 2 is in
+     the walk list iff it is performable *)
+  let mem tr = List.exists (Sral.Trace.equal tr) walks in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "len-1 agreement" (W.performable w [ a ]) (mem [ a ]);
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "len-2 agreement"
+            (W.performable w [ a; b ])
+            (mem [ a; b ]))
+        universe)
+    universe;
+  (* the one-way link forbids coming back *)
+  Alcotest.(check bool)
+    "s2 cannot reach s1" false
+    (W.performable w [ A.read "y" ~at:"s2"; A.read "x" ~at:"s1" ])
+
+let test_world_of_policy_defective () =
+  let w = PR.defective_world () in
+  Alcotest.(check (list string)) "servers" [ "s1"; "s2" ] w.W.servers;
+  (* the constraint-only server s9 must NOT be deployed, and the
+     access it hosts must not be performable *)
+  Alcotest.(check bool)
+    "vault@s9 not performable" false
+    (W.performable w [ A.read "vault" ~at:"s9" ]);
+  Alcotest.(check bool)
+    "cfg@s1 performable" true
+    (W.performable w [ A.read "cfg" ~at:"s1" ])
+
+(* ------------------------------------------------------------------ *)
+(* The committed fixtures: exact findings, exact bytes                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_defective_findings () =
+  let report = An.analyze ~world:(PR.defective_world ()) (PR.defective ()) in
+  Alcotest.(check int) "bindings" 6 report.An.bindings;
+  Alcotest.(check bool) "not truncated" false report.An.truncated;
+  Alcotest.(check bool)
+    "findings are exactly the expected five" true
+    (report.An.findings = PR.defective_expected ())
+
+let test_defective_jsonl_matches_committed () =
+  let report = An.analyze ~world:(PR.defective_world ()) (PR.defective ()) in
+  Alcotest.(check string) "defective.expected is the analyzer's output"
+    (fixture "defective.expected")
+    (Analysis.Report.to_jsonl report)
+
+let test_fixture_files_match_generators () =
+  (* the committed policy files are generated; drift between the file
+     and the generator silently invalidates the CI smoke test *)
+  Alcotest.(check string) "fig1.policy"
+    (PR.fig1_text ())
+    (fixture "fig1.policy");
+  Alcotest.(check string) "defective.policy"
+    (PR.defective_text ())
+    (fixture "defective.policy")
+
+let test_fig1_clean () =
+  let report = An.analyze ~world:(PR.fig1_world ()) (PR.fig1 ()) in
+  Alcotest.(check int) "bindings" 10 report.An.bindings;
+  Alcotest.(check bool) "no findings" true (report.An.findings = [])
+
+let test_fig1_witnesses_replay () =
+  let parsed = PR.fig1 () in
+  let world = PR.fig1_world () in
+  let ws = An.witnesses ~world parsed in
+  Alcotest.(check int) "every binding is exercisable" 10 (List.length ws);
+  List.iter
+    (fun (index, key, tr) ->
+      let b = List.nth parsed.PL.bindings index in
+      Alcotest.(check bool)
+        (Printf.sprintf "witness %d ends with a covered access" index)
+        true
+        (PB.applies_to b (last tr));
+      let v = Sf.replay ~world ~policy:parsed ~user:"auditor" ~trace:tr () in
+      if not (granted v) then
+        Alcotest.failf "witness for #%d (%s) denied: %s" index key
+          (Sral.Trace.to_string tr))
+    ws
+
+(* ------------------------------------------------------------------ *)
+(* Safety queries on the fixtures                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_can_acquire_defective () =
+  let world = PR.defective_world () in
+  let policy = PR.defective () in
+  (* read:cfg@s1 is guarded by the healthy binding #0 (and the shadowed
+     #3): acquirable, and the witness replays to a grant *)
+  (match
+     Sf.can_acquire ~world ~policy ~user:"carol"
+       ~perm:(Rbac.Perm.make ~operation:"read" ~target:"cfg@s1")
+       ~server:"s1"
+   with
+  | Sf.Acquirable w ->
+      let tr = List.map fst w.Sf.steps in
+      Alcotest.(check bool)
+        "witness ends with the queried access" true
+        (A.equal (last tr) (A.read "cfg" ~at:"s1"));
+      Alcotest.(check bool)
+        "witness replays to a grant" true
+        (granted (Sf.replay ~world ~policy ~user:"carol" ~trace:tr ()))
+  | v -> Alcotest.failf "read:cfg@s1: %a" Sf.pp_verdict v);
+  (* read:db@s1 is guarded by the unsatisfiable binding #1: impossible,
+     and the proof names the culprit *)
+  (match
+     Sf.can_acquire ~world ~policy ~user:"carol"
+       ~perm:(Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+       ~server:"s1"
+   with
+  | Sf.Impossible (Sf.Unreachable { binding = Some b }) ->
+      Alcotest.(check string) "culprit binding" "read:db@s1" b
+  | v -> Alcotest.failf "read:db@s1: %a" Sf.pp_verdict v);
+  (* an unknown principal is impossible before any automaton runs *)
+  (match
+     Sf.can_acquire ~world ~policy ~user:"mallory"
+       ~perm:(Rbac.Perm.make ~operation:"read" ~target:"cfg@s1")
+       ~server:"s1"
+   with
+  | Sf.Impossible (Sf.Not_authorized { user }) ->
+      Alcotest.(check string) "names the user" "mallory" user
+  | _ -> Alcotest.fail "mallory should be Not_authorized");
+  (* wildcard queries are a caller bug *)
+  Alcotest.check_raises "wildcard perm rejected"
+    (Invalid_argument "Safety.can_acquire: operation and resource must be concrete")
+    (fun () ->
+      ignore
+        (Sf.can_acquire ~world ~policy ~user:"carol"
+           ~perm:(Rbac.Perm.make ~operation:"read" ~target:"*@s1")
+           ~server:"s1"))
+
+(* ------------------------------------------------------------------ *)
+(* Lint: declaration indexes and stable finding order                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_indexed_stable_order () =
+  let parsed =
+    PL.parse
+      (String.concat "\n"
+         [
+           "user u";
+           "role maker";
+           "role lonely";
+           "assign u maker";
+           "grant maker read:db@s1";
+           (* #0: semantically unsatisfiable (no literal 'false'), and
+              no role grants write — two findings on one binding *)
+           "bind write:db@s1 spatial \"done(read db @ s1) && count(0,0,res=db)\"";
+           "bind read:db@s1 dur 0";
+           "bind read:db@s1 spatial \"count(0,inf,any)\"";
+         ])
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "binding #0 (write:db@s1): spatial constraint is unsatisfiable — \
+         the permission can never be granted";
+        "binding #0 (write:db@s1): no role grants a matching permission — \
+         binding never applies";
+        "binding #1 (read:db@s1): validity duration is zero — permanently \
+         expired";
+        "binding #2 (read:db@s1): spatial constraint is trivially true — \
+         dead weight";
+        "role lonely: grants no permissions";
+        "role lonely: assigned to no user";
+      ]
+  in
+  Alcotest.(check string) "exact lint output, stable order" expected
+    (Coordinated.Lint.to_string (Coordinated.Lint.check parsed))
+
+(* ------------------------------------------------------------------ *)
+(* The replay oracle: randomized coalitions                            *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_servers = [ "s1"; "s2"; "s3" ]
+
+let oracle_pool =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun r ->
+          [
+            A.make ~op:A.Read ~resource:r ~server:s;
+            A.make ~op:A.Write ~resource:r ~server:s;
+          ])
+        [ "r1"; "r2" ])
+    oracle_servers
+
+(* an access no world of ours can perform — feeds the unexercisable
+   findings *)
+let foreign = A.read "vault" ~at:"s9"
+
+let pick rng l = List.nth l (List.length l |> Random.State.int rng)
+
+let random_universe rng =
+  let n = 3 + Random.State.int rng 2 in
+  let tagged =
+    List.map (fun a -> (Random.State.bits rng, a)) oracle_pool
+  in
+  let shuffled = List.sort compare tagged |> List.map snd in
+  List.sort_uniq A.compare (List.filteri (fun i _ -> i < n) shuffled)
+
+let random_world rng universe =
+  let links =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if (not (String.equal a b)) && Random.State.bool rng then
+              Some (a, b)
+            else None)
+          oracle_servers)
+      oracle_servers
+  in
+  let entries = List.filter (fun _ -> Random.State.bool rng) oracle_servers in
+  let entries =
+    if entries = [] then [ pick rng oracle_servers ] else entries
+  in
+  W.make ~links ~entries ~servers:oracle_servers ~universe ()
+
+let random_access rng universe =
+  if Random.State.int rng 8 = 0 then foreign else pick rng universe
+
+let random_selector rng universe =
+  match Random.State.int rng 5 with
+  | 0 -> Srac.Selector.Any
+  | 1 ->
+      Srac.Selector.Op
+        (if Random.State.bool rng then A.Read else A.Write)
+  | 2 -> Srac.Selector.Resource (pick rng [ "r1"; "r2" ])
+  | 3 -> Srac.Selector.Server (pick rng ("s9" :: oracle_servers))
+  | _ -> Srac.Selector.Exactly (random_access rng universe)
+
+let rec random_formula rng universe depth =
+  if depth = 0 || Random.State.int rng 3 = 0 then
+    match Random.State.int rng 3 with
+    | 0 -> F.Atom (random_access rng universe)
+    | 1 -> F.Ordered (random_access rng universe, random_access rng universe)
+    | _ ->
+        let lo = Random.State.int rng 3 in
+        let hi =
+          if Random.State.bool rng then None
+          else Some (Random.State.int rng 3)
+        in
+        F.Card { lo; hi; sel = random_selector rng universe }
+  else
+    match Random.State.int rng 3 with
+    | 0 ->
+        F.And
+          ( random_formula rng universe (depth - 1),
+            random_formula rng universe (depth - 1) )
+    | 1 ->
+        F.Or
+          ( random_formula rng universe (depth - 1),
+            random_formula rng universe (depth - 1) )
+    | _ -> F.Not (random_formula rng universe (depth - 1))
+
+let random_binding rng universe =
+  let concrete () =
+    let a = pick rng universe in
+    (A.operation_name a.A.op, a.A.resource ^ "@" ^ a.A.server)
+  in
+  let operation, target =
+    match Random.State.int rng 4 with
+    | 0 -> ("*", "*@*")
+    | 1 -> concrete ()
+    | 2 -> ((if Random.State.bool rng then "read" else "write"), "*@*")
+    | _ ->
+        let a = pick rng universe in
+        (A.operation_name a.A.op, "*@" ^ a.A.server)
+  in
+  let spatial =
+    if Random.State.int rng 6 = 0 then None
+    else Some (random_formula rng universe 2)
+  in
+  let spatial_scope =
+    match Random.State.int rng 4 with
+    | 0 | 1 -> PB.Performed
+    | 2 -> PB.Both
+    | _ -> PB.Program
+  in
+  let spatial_modality =
+    if Random.State.int rng 4 = 0 then Srac.Program_sat.Forall
+    else Srac.Program_sat.Exists
+  in
+  let dur =
+    match Random.State.int rng 3 with
+    | 0 -> None
+    | 1 -> Some (Q.of_int (1 + Random.State.int rng 3))
+    | _ -> Some (Q.make 3 2)
+  in
+  let scheme =
+    if Random.State.int rng 4 = 0 then Temporal.Validity.Per_server
+    else Temporal.Validity.Whole_journey
+  in
+  PB.make ?spatial ~spatial_modality ~spatial_scope ?dur ~scheme
+    (Rbac.Perm.make ~operation ~target)
+
+(* user [u] holds *:*@* so RBAC never interferes: the oracle isolates
+   the spatial/temporal layers the analyzer reasons about *)
+let oracle_policy () =
+  let p = Rbac.Policy.create () in
+  Rbac.Policy.add_user p "u";
+  Rbac.Policy.add_role p "worker";
+  Rbac.Policy.assign_user p "u" "worker";
+  Rbac.Policy.grant p "worker" (Rbac.Perm.make ~operation:"*" ~target:"*@*");
+  p
+
+let oracle_runs = 300
+
+(* Soundness of the per-binding findings: a binding flagged
+   Unsatisfiable / Unexercisable / Temporal_excluded must never grant
+   on any performable walk; a Vacuous flag means deleting the spatial
+   clause changes no outcome. *)
+let test_oracle_soundness () =
+  let negatives = ref 0 and vacuous = ref 0 in
+  for seed = 0 to oracle_runs - 1 do
+    let rng = Random.State.make [| 9001; seed |] in
+    let universe = random_universe rng in
+    let world = random_world rng universe in
+    let b = random_binding rng universe in
+    let parsed = { PL.policy = oracle_policy (); bindings = [ b ] } in
+    let report = An.analyze ~world parsed in
+    let grid = lazy (W.walks world ~max_len:3) in
+    let covered tr = PB.applies_to b (last tr) in
+    let replay bindings tr =
+      granted (Sf.replay ~bindings ~world ~policy:parsed ~user:"u" ~trace:tr ())
+    in
+    List.iter
+      (fun f ->
+        match f with
+        | An.Unsatisfiable _ | An.Unexercisable _ | An.Temporal_excluded _ ->
+            incr negatives;
+            List.iter
+              (fun tr ->
+                if covered tr && replay [ b ] tr then
+                  Alcotest.failf
+                    "seed %d: binding flagged dead yet granted on %s@.%a" seed
+                    (Sral.Trace.to_string tr) PB.pp b)
+              (Lazy.force grid)
+        | An.Vacuous _ ->
+            incr vacuous;
+            let stripped = { b with PB.spatial = None } in
+            List.iter
+              (fun tr ->
+                if
+                  covered tr
+                  && replay [ b ] tr <> replay [ stripped ] tr
+                then
+                  Alcotest.failf
+                    "seed %d: vacuous spatial clause changed the verdict on %s"
+                    seed
+                    (Sral.Trace.to_string tr))
+              (Lazy.force grid)
+        | An.Shadowed _ ->
+            Alcotest.failf "seed %d: shadow finding with a single binding" seed)
+      report.An.findings
+  done;
+  (* the oracle must actually have exercised the claims it guards *)
+  Alcotest.(check bool)
+    (Printf.sprintf "negative findings exercised (%d)" !negatives)
+    true (!negatives > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "vacuity findings exercised (%d)" !vacuous)
+    true (!vacuous > 5)
+
+let shadow_runs = 150
+
+(* Soundness of shadowing: removing the loser must not change any
+   verdict, on any performable walk. *)
+let test_oracle_shadowing () =
+  let shadows = ref 0 in
+  for seed = 0 to shadow_runs - 1 do
+    let rng = Random.State.make [| 9002; seed |] in
+    let universe = random_universe rng in
+    let world = random_world rng universe in
+    let b0, b1 =
+      if Random.State.bool rng then (
+        (* shadow bait: a winner mentioning the pattern access and a
+           strictly weaker loser on the same concrete pattern *)
+        let a = pick rng universe in
+        let base =
+          match Random.State.int rng 3 with
+          | 0 -> F.Atom a
+          | 1 -> F.And (F.Atom a, random_formula rng universe 1)
+          | _ -> F.Ordered (pick rng universe, a)
+        in
+        let concrete =
+          Rbac.Perm.make
+            ~operation:(A.operation_name a.A.op)
+            ~target:(a.A.resource ^ "@" ^ a.A.server)
+        in
+        let scope =
+          if Random.State.bool rng then PB.Performed else PB.Program
+        in
+        let same_key = Random.State.bool rng in
+        let wperm =
+          if same_key then concrete
+          else
+            Rbac.Perm.make ~operation:(A.operation_name a.A.op) ~target:"*@*"
+        in
+        let wdur =
+          (* a duration on a same-key winner couples the loser into its
+             activation slot — the analyzer must then stay silent *)
+          if Random.State.int rng 3 = 0 then Some (Q.of_int 2) else None
+        in
+        ( PB.make ~spatial:base ~spatial_scope:scope ?dur:wdur wperm,
+          PB.make
+            ~spatial:(F.Or (base, random_formula rng universe 1))
+            ~spatial_scope:scope concrete ))
+      else (random_binding rng universe, random_binding rng universe)
+    in
+    let bindings = [ b0; b1 ] in
+    let parsed = { PL.policy = oracle_policy (); bindings } in
+    let report = An.analyze ~world parsed in
+    List.iter
+      (fun f ->
+        match f with
+        | An.Shadowed { index; _ } ->
+            incr shadows;
+            let keep = List.filteri (fun i _ -> i <> index) bindings in
+            List.iter
+              (fun tr ->
+                let full =
+                  granted
+                    (Sf.replay ~bindings ~world ~policy:parsed ~user:"u"
+                       ~trace:tr ())
+                in
+                let reduced =
+                  granted
+                    (Sf.replay ~bindings:keep ~world ~policy:parsed ~user:"u"
+                       ~trace:tr ())
+                in
+                if full <> reduced then
+                  Alcotest.failf
+                    "seed %d: dropping shadowed binding #%d changed the \
+                     verdict on %s"
+                    seed index
+                    (Sral.Trace.to_string tr))
+              (W.walks world ~max_len:3)
+        | _ -> ())
+      report.An.findings
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "shadow findings exercised (%d)" !shadows)
+    true (!shadows > 10)
+
+let query_runs = 100
+
+(* Safety-query honesty: an Acquirable witness must replay to a grant;
+   an Impossible verdict must deny on every performable walk ending
+   with the queried access. *)
+let test_oracle_queries () =
+  let acquirable = ref 0 and impossible = ref 0 in
+  for seed = 0 to query_runs - 1 do
+    let rng = Random.State.make [| 9003; seed |] in
+    let universe = random_universe rng in
+    let world = random_world rng universe in
+    let bindings =
+      if Random.State.bool rng then [ random_binding rng universe ]
+      else [ random_binding rng universe; random_binding rng universe ]
+    in
+    let parsed = { PL.policy = oracle_policy (); bindings } in
+    let a = pick rng universe in
+    let user = if Random.State.int rng 10 = 0 then "ghost" else "u" in
+    let perm =
+      Rbac.Perm.make
+        ~operation:(A.operation_name a.A.op)
+        ~target:(a.A.resource ^ "@" ^ a.A.server)
+    in
+    match Sf.can_acquire ~world ~policy:parsed ~user ~perm ~server:a.A.server with
+    | Sf.Acquirable w ->
+        incr acquirable;
+        if String.equal user "ghost" then
+          Alcotest.failf "seed %d: unauthorized user acquired" seed;
+        let tr = List.map fst w.Sf.steps in
+        if not (A.equal (last tr) a) then
+          Alcotest.failf "seed %d: witness ends with the wrong access" seed;
+        if not (granted (Sf.replay ~world ~policy:parsed ~user ~trace:tr ()))
+        then
+          Alcotest.failf "seed %d: witness does not replay to a grant: %s"
+            seed
+            (Sral.Trace.to_string tr)
+    | Sf.Impossible (Sf.Not_authorized { user = u }) ->
+        if not (String.equal u "ghost" && String.equal user "ghost") then
+          Alcotest.failf "seed %d: spurious Not_authorized for %s" seed u
+    | Sf.Impossible _ ->
+        incr impossible;
+        List.iter
+          (fun tr ->
+            if
+              A.equal (last tr) a
+              && granted
+                   (Sf.replay ~world ~policy:parsed ~user ~trace:tr ())
+            then
+              Alcotest.failf
+                "seed %d: impossible verdict refuted by walk %s" seed
+                (Sral.Trace.to_string tr))
+          (W.walks world ~max_len:3)
+    | Sf.Undetermined _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "acquirable verdicts exercised (%d)" !acquirable)
+    true (!acquirable > 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "impossible verdicts exercised (%d)" !impossible)
+    true (!impossible > 10)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "decide",
+        [
+          Alcotest.test_case "satisfiability and validity" `Quick
+            test_decide_satisfiability;
+          Alcotest.test_case "inclusion" `Quick test_decide_inclusion;
+          Alcotest.test_case "witnesses satisfy" `Quick test_decide_witness;
+        ] );
+      ( "world",
+        [
+          Alcotest.test_case "walks are exactly the performable traces"
+            `Quick test_world_walks_are_performable;
+          Alcotest.test_case "of_policy excludes constraint-only servers"
+            `Quick test_world_of_policy_defective;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "defective findings exact" `Quick
+            test_defective_findings;
+          Alcotest.test_case "defective JSONL matches committed expectation"
+            `Quick test_defective_jsonl_matches_committed;
+          Alcotest.test_case "policy files match their generators" `Quick
+            test_fixture_files_match_generators;
+          Alcotest.test_case "fig1 is clean" `Quick test_fig1_clean;
+          Alcotest.test_case "fig1 witnesses replay to grants" `Quick
+            test_fig1_witnesses_replay;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "can_acquire on the defective fixture" `Quick
+            test_can_acquire_defective;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "indexed findings, stable order" `Quick
+            test_lint_indexed_stable_order;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "flagged bindings never grant" `Quick
+            test_oracle_soundness;
+          Alcotest.test_case "shadowed bindings are redundant" `Quick
+            test_oracle_shadowing;
+          Alcotest.test_case "safety verdicts are honest" `Quick
+            test_oracle_queries;
+        ] );
+    ]
