@@ -655,6 +655,57 @@ let e15_report () =
     [ Coordinated.System.Naive; Coordinated.System.Indexed ]
 
 (* ------------------------------------------------------------------ *)
+(* E17 — sharded parallel decision engine.  A workload of generated
+   coalitions interpreted by the sequential engine and by the sharded
+   engine at 1/2/4/8 shards; each cell reports wall-clock, requests per
+   second over the workload's Check events, and speedup relative to the
+   sequential run.  The table closes with the differential conformance
+   harness (parallel = sequential on verdicts, audit statistics and
+   merged trace bytes) — throughput numbers only count if that gate
+   passes.  Real scaling needs real cores: on a single-CPU host (or the
+   4.14 single-shard fallback) expect speedup ≈ 1.0 minus domain
+   overhead; the backend line states what the run actually had. *)
+
+let e17_report () =
+  let coalitions = 96 in
+  let scenarios =
+    Parallel.Workload.coalitions ~objects:4 ~events:60 ~salt:1717
+      ~count:coalitions 0
+  in
+  let checks =
+    Array.fold_left (fun acc sc -> acc + Parallel.Scenario.checks sc) 0 scenarios
+  in
+  let time f =
+    let t0 = Monotonic_clock.now () in
+    let r = f () in
+    (r, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0))
+  in
+  (* warm the minor heap and code paths before timing *)
+  ignore (Parallel.Engine.sequential (Array.sub scenarios 0 8));
+  let _, seq_ns = time (fun () -> Parallel.Engine.sequential scenarios) in
+  Printf.printf "  backend: %s, recommended shards: %d\n"
+    (if Parallel.Backend.domains then "ocaml5-domains" else "single-4.14")
+    (Parallel.Backend.recommended ());
+  Printf.printf "  workload: %d coalitions, %d checks\n" coalitions checks;
+  Printf.printf "  %-12s %7s %10s %12s %8s\n%!" "engine" "shards" "wall"
+    "req/s" "speedup";
+  let row name shards ns =
+    Printf.printf "  %-12s %7s %8.2f ms %12.0f %7.2fx\n%!" name shards
+      (ns /. 1e6)
+      (float_of_int checks /. (ns /. 1e9))
+      (seq_ns /. ns)
+  in
+  row "sequential" "-" seq_ns;
+  List.iter
+    (fun shards ->
+      let _, ns = time (fun () -> Parallel.Engine.sharded ~shards scenarios) in
+      row "sharded" (string_of_int shards) ns)
+    [ 1; 2; 4; 8 ];
+  let gate = Parallel.Engine.verify ~shards:4 (Array.sub scenarios 0 24) in
+  Format.printf "  %a@." Parallel.Engine.pp_report gate;
+  if gate.Parallel.Engine.divergences <> [] then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
 let scenario_tests =
@@ -728,7 +779,7 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups @ [ "E14"; "E15" ]
+    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17" ]
   in
   List.iter
     (fun id ->
@@ -740,12 +791,17 @@ let () =
         Printf.printf "== E15 ==\n%!";
         e15_report ()
       end
+      else if id = "E17" then begin
+        Printf.printf "== E17 ==\n%!";
+        e17_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
             Printf.printf "== %s ==\n%!" id;
             run_group test
         | None ->
-            Printf.printf "unknown experiment id %S (known: %s, E14, E15)\n" id
+            Printf.printf
+              "unknown experiment id %S (known: %s, E14, E15, E17)\n" id
               (String.concat ", " (List.map fst all_groups)))
     selected

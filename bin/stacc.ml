@@ -311,6 +311,118 @@ let chaos_cmd =
       const run $ plan_arg $ seed_arg $ mode_arg $ couriers_arg $ out_arg
       $ stats_arg)
 
+(* --- bench-parallel --- *)
+
+let bench_parallel_cmd =
+  let coalitions_arg =
+    let doc = "Number of generated coalitions in the workload." in
+    Arg.(value & opt int 64 & info [ "coalitions" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shard count to measure (repeatable; default 1 2 4 8)." in
+    Arg.(value & opt_all int [] & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Workload seed (same seed, same coalitions)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let events_arg =
+    let doc = "Events per coalition (before the initial arrivals)." in
+    Arg.(value & opt int 40 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let faults_arg =
+    let doc = "Attach random fault plans to the coalitions." in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Run the differential conformance harness (coalition- and \
+       object-sharded vs sequential) at each shard count; exit 1 on any \
+       divergence."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let mode_arg =
+    let doc = "Decision mode: indexed or naive." in
+    Arg.(value & opt string "indexed" & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
+  let run coalitions shards seed events faults verify mode =
+    match
+      match mode with
+      | "indexed" -> Ok Coordinated.System.Indexed
+      | "naive" -> Ok Coordinated.System.Naive
+      | m -> Error (Printf.sprintf "unknown mode %S (indexed|naive)" m)
+    with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok mode ->
+        let shards = if shards = [] then [ 1; 2; 4; 8 ] else shards in
+        let scenarios =
+          Parallel.Workload.coalitions ~events ~faults ~salt:1717
+            ~count:coalitions seed
+        in
+        let checks =
+          Array.fold_left
+            (fun acc sc -> acc + Parallel.Scenario.checks sc)
+            0 scenarios
+        in
+        Printf.printf "backend: %s, recommended shards: %d\n"
+          (if Parallel.Backend.domains then "ocaml5-domains" else "single-4.14")
+          (Parallel.Backend.recommended ());
+        Printf.printf "workload: %d coalitions, %d checks, seed %d\n%!"
+          coalitions checks seed;
+        ignore
+          (Parallel.Engine.sequential ~mode
+             (Array.sub scenarios 0 (min 8 coalitions)));
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let _, seq_s = time (fun () -> Parallel.Engine.sequential ~mode scenarios) in
+        let row name shards s =
+          Printf.printf "%-12s %7s %9.2f ms %12.0f req/s %7.2fx\n%!" name
+            shards (s *. 1e3)
+            (float_of_int checks /. s)
+            (seq_s /. s)
+        in
+        row "sequential" "-" seq_s;
+        List.iter
+          (fun n ->
+            let _, s =
+              time (fun () -> Parallel.Engine.sharded ~mode ~shards:n scenarios)
+            in
+            row "sharded" (string_of_int n) s)
+          shards;
+        if not verify then 0
+        else
+          List.fold_left
+            (fun rc n ->
+              let report = Parallel.Engine.verify ~mode ~shards:n scenarios in
+              Format.printf "%a@." Parallel.Engine.pp_report report;
+              if report.Parallel.Engine.divergences = [] then rc else 1)
+            0 shards
+  in
+  Cmd.v
+    (Cmd.info "bench-parallel"
+       ~doc:
+         "Measure the sharded decision engine on a generated coalition \
+          workload: requests per second at each shard count vs the \
+          sequential interpreter, with an optional differential conformance \
+          gate ($(b,--verify)) that exits non-zero if any sharded run is not \
+          observationally identical to the sequential one."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 on success; 1 on usage errors or, under $(b,--verify), when \
+              a sharded run diverges from the sequential oracle.";
+         ])
+    Term.(
+      const run $ coalitions_arg $ shards_arg $ seed_arg $ events_arg
+      $ faults_arg $ verify_arg $ mode_arg)
+
 (* --- dot --- *)
 
 let dot_cmd =
@@ -658,6 +770,7 @@ let () =
             audit_cmd;
             trace_cmd;
             chaos_cmd;
+            bench_parallel_cmd;
             policy_cmd;
             lint_cmd;
             analyze_cmd;

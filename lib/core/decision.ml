@@ -225,6 +225,22 @@ let decide ?obs ?(companions = []) ~session ~monitor ~bindings ~program ~time
 
 let decide_naive = decide
 
+type request = {
+  session : Rbac.Session.t;
+  monitor : Monitor.t;
+  companions : Monitor.t list;
+  program : Sral.Ast.t;
+  time : Temporal.Q.t;
+  access : Sral.Access.t;
+}
+
+let batch ?obs ~bindings requests =
+  List.map
+    (fun r ->
+      decide ?obs ~companions:r.companions ~session:r.session
+        ~monitor:r.monitor ~bindings ~program:r.program ~time:r.time r.access)
+    requests
+
 (* Which cache-stamp components can affect the RBAC ∧ spatial prefix
    for this applicable set?  Program-scope constraints never read
    execution proofs; Performed/Both-scope ones do, and additionally

@@ -65,6 +65,27 @@ val decide_naive :
     fast path is fuzz-tested against, and as the baseline Bechamel's
     E13 experiment measures. *)
 
+type request = {
+  session : Rbac.Session.t;
+  monitor : Monitor.t;
+  companions : Monitor.t list;
+  program : Sral.Ast.t;
+  time : Temporal.Q.t;
+  access : Sral.Access.t;
+}
+(** One pre-resolved decision input, as a shard's work queue holds it. *)
+
+val batch :
+  ?obs:Obs.Bus.t ->
+  bindings:Perm_binding.t list ->
+  request list ->
+  verdict list
+(** Decide a queue of requests against one binding store, in order —
+    the per-shard inner loop of the parallel engine.  Pure decisions:
+    nothing is recorded in the monitors (use
+    {!Coordinated.System.check_batch} for the stateful, proof-issuing
+    form).  Each request is decided exactly as {!decide} would. *)
+
 val decide_indexed :
   ?obs:Obs.Bus.t ->
   ?companions:Monitor.t list ->

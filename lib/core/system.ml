@@ -32,6 +32,9 @@ let create ?(mode = Indexed) ?(bindings = []) ?log_capacity ?bus policy =
     bus;
   }
 
+let clone t =
+  create ~mode:t.mode ~bindings:(Binding_index.to_list t.index) t.policy
+
 let of_policy_text ?mode text =
   let parsed = Policy_lang.parse text in
   create ?mode ~bindings:parsed.Policy_lang.bindings parsed.Policy_lang.policy
@@ -129,6 +132,11 @@ let check t ~session ~object_id ~program ~time access =
   | Decision.Granted -> Monitor.record_access m access ~time
   | Decision.Denied _ -> ());
   verdict
+
+let check_batch t ~session ~object_id ~program accesses =
+  List.map
+    (fun (time, access) -> check t ~session ~object_id ~program ~time access)
+    accesses
 
 let arrive t ~object_id ~server ~time =
   Monitor.record_arrival (monitor t ~object_id) ~server ~time;

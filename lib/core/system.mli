@@ -37,6 +37,16 @@ val create :
     log is subscribed to the bus at creation, before any caller
     sinks. *)
 
+val clone : t -> t
+(** A pristine replica: same decision mode, same bindings (copied into
+    a fresh index), the {e same} policy object, but fresh monitors,
+    teams, audit log and bus.  This is the shard-safe entry point the
+    parallel engine uses: each OCaml 5 domain decides against its own
+    clone, so no mutable decision state (monitors, verdict caches,
+    rosters, logs) is ever shared between domains.  The shared policy
+    must not be mutated while clones are live on other domains —
+    concurrent {e reads} of an unmutated policy are safe. *)
+
 val of_policy_text : ?mode:decision_mode -> string -> t
 (** Build from {!Policy_lang} text.  @raise Policy_lang.Error *)
 
@@ -89,6 +99,19 @@ val check :
     records), and — when granted — record the execution proof in the
     object's monitor (the server "carries out" the access and issues
     the proof, Section 2). *)
+
+val check_batch :
+  t ->
+  session:Rbac.Session.t ->
+  object_id:string ->
+  program:Sral.Ast.t ->
+  (Temporal.Q.t * Sral.Access.t) list ->
+  Decision.verdict list
+(** Decide a timed queue of accesses for one object, in order, with
+    full {!check} semantics (bus events, audit entries, proof
+    recording on grants).  The stateful counterpart of
+    {!Decision.batch}; the E17 decision-storm benchmark drives each
+    shard through this. *)
 
 val arrive :
   t -> object_id:string -> server:string -> time:Temporal.Q.t -> unit

@@ -128,18 +128,21 @@ let of_name name ~seed ~servers ~horizon =
 
 let in_window w time = Q.le w.from_ time && Q.lt time w.until
 
-let server_down t ~server ~time =
-  match List.assoc_opt server t.crashes with
-  | None -> false
-  | Some ws -> List.exists (fun w -> in_window w time) ws
-
-let recovery t ~server ~time =
+let window_at t ~server ~time =
   match List.assoc_opt server t.crashes with
   | None -> None
-  | Some ws ->
-      List.find_map
-        (fun w -> if in_window w time then Some w.until else None)
-        ws
+  | Some ws -> List.find_opt (fun w -> in_window w time) ws
+
+let server_down t ~server ~time = Option.is_some (window_at t ~server ~time)
+
+let recovery t ~server ~time =
+  Option.map (fun w -> w.until) (window_at t ~server ~time)
+
+let restrict t ~servers =
+  {
+    t with
+    crashes = List.filter (fun (s, _) -> List.mem s servers) t.crashes;
+  }
 
 let pp_window ppf w =
   Format.fprintf ppf "[%a, %a)" Q.pp w.from_ Q.pp w.until

@@ -60,9 +60,25 @@ val of_name :
     @raise Invalid_argument on an unknown name. *)
 
 val server_down : t -> server:string -> time:Temporal.Q.t -> bool
-(** Is the server inside one of its crash windows at [time]? *)
+(** Is the server inside one of its crash windows at [time]?  Windows
+    are half-open: down at exactly [from_], back up at exactly
+    [until]. *)
+
+val window_at : t -> server:string -> time:Temporal.Q.t -> window option
+(** The crash window containing [time], if any — the exact-endpoint
+    form of {!server_down} the boundary tests and the sharded decision
+    engine consult. *)
 
 val recovery : t -> server:string -> time:Temporal.Q.t -> Temporal.Q.t option
 (** End of the crash window containing [time], if any. *)
+
+val restrict : t -> servers:string list -> t
+(** The plan projected onto a subset of servers: crash windows for
+    other servers are dropped, event probabilities kept.  Because
+    windows are generated from independent per-server substreams
+    ({!of_name}), restriction never moves a kept window — a shard that
+    only ever consults its own servers decides identically under the
+    full plan and the restricted one (property-tested in
+    [test/test_parallel.ml]). *)
 
 val pp : Format.formatter -> t -> unit

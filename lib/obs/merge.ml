@@ -1,0 +1,31 @@
+(* Deterministic reassembly of per-shard traces into the canonical
+   sequential order.  No clocks, no heuristics: every chunk carries the
+   global index of the step that emitted it, so merging is a pure sort
+   by (index, source) — two runs of the same partitioned workload can
+   never merge differently. *)
+
+let concat traces = List.concat (Array.to_list traces)
+
+let by_index sources =
+  (* Each source is ascending in step index already (a shard replays
+     the stream in order), so a k-way merge would do; but shard counts
+     are tiny and chunks short, so a stable sort on the tagged list is
+     simpler and just as deterministic. *)
+  let tagged =
+    List.concat
+      (List.mapi
+         (fun source chunks ->
+           List.map (fun (index, events) -> ((index, source), events)) chunks)
+         (Array.to_list sources))
+  in
+  let sorted =
+    List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) tagged
+  in
+  List.concat_map snd sorted
+
+let monotone_indices chunks =
+  let rec go last = function
+    | [] -> true
+    | (i, _) :: rest -> i > last && go i rest
+  in
+  go (-1) chunks

@@ -1,0 +1,27 @@
+(** Deterministic merge of per-shard traces.
+
+    A sharded run captures, per shard, the trace chunks its own steps
+    emitted, each tagged with the step's index in the original
+    (sequential) stream.  Merging is purely structural — sort the
+    chunks by [(step index, shard index)] and concatenate — so the
+    merged trace of a partitioned run is byte-identical to the
+    sequential trace whenever the partition was sound (every step
+    executed by exactly one emitting shard).  The parallel conformance
+    harness ([test/test_parallel.ml]) checks exactly that property. *)
+
+val concat : Trace.event list array -> Trace.event list
+(** Concatenate per-source traces in source order — the merge step for
+    coalition-level sharding, where source [i] holds the complete trace
+    of coalition [i]. *)
+
+val by_index : (int * Trace.event list) list array -> Trace.event list
+(** [by_index sources] interleaves per-shard chunk lists into global
+    step order.  [sources.(s)] is shard [s]'s list of
+    [(step_index, events)] chunks, ascending in [step_index]; the
+    result orders chunks by step index (ties — only possible for
+    non-emitting global steps — break by shard index, which cannot
+    affect the event sequence). *)
+
+val monotone_indices : (int * Trace.event list) list -> bool
+(** Are the chunk indices strictly increasing?  (Sanity check on a
+    shard's slice before merging.) *)

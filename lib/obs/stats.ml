@@ -121,6 +121,32 @@ let sink t =
     | Trace.Gave_up _ -> t.gave_up <- t.gave_up + 1
     | _ -> ())
 
+let of_trace events =
+  let t = create () in
+  let s = sink t in
+  List.iter (Sink.handle s) events;
+  t
+
+let add_histogram acc h =
+  Array.iteri (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n) h.buckets;
+  acc.count <- acc.count + h.count;
+  acc.sum_ns <- Int64.add acc.sum_ns h.sum_ns;
+  if Int64.compare h.max_ns acc.max_ns > 0 then acc.max_ns <- h.max_ns
+
+let add acc t =
+  acc.decisions <- acc.decisions + t.decisions;
+  acc.granted <- acc.granted + t.granted;
+  acc.denied <- acc.denied + t.denied;
+  acc.cache_hits <- acc.cache_hits + t.cache_hits;
+  acc.cache_misses <- acc.cache_misses + t.cache_misses;
+  acc.stage_failures <- acc.stage_failures + t.stage_failures;
+  acc.faults <- acc.faults + t.faults;
+  acc.retries <- acc.retries + t.retries;
+  acc.gave_up <- acc.gave_up + t.gave_up;
+  add_histogram acc.rbac t.rbac;
+  add_histogram acc.spatial t.spatial;
+  add_histogram acc.temporal t.temporal
+
 let pp_stage ppf (name, h) =
   if h.count = 0 then Format.fprintf ppf "%-8s (no samples)" name
   else

@@ -21,6 +21,16 @@ val sink : t -> Sink.t
 (** The accumulator as a bus subscriber.  Consumes [Stage_end],
     [Cache_probe] and [Decision] events; ignores the rest. *)
 
+val of_trace : Trace.event list -> t
+(** Fold a captured trace through a fresh accumulator — how per-shard
+    statistics are recovered from the chunks a sharded run collected. *)
+
+val add : t -> t -> unit
+(** [add acc t] accumulates [t]'s counters and histograms into [acc]
+    (bucket-wise for the histograms).  The merge step for per-shard
+    statistics: folding every shard's {!of_trace} into one accumulator
+    yields exactly the statistics of the sequential run. *)
+
 val decisions : t -> int
 val granted : t -> int
 val denied : t -> int

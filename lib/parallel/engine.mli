@@ -1,0 +1,71 @@
+(** The sharded decision engine, and the differential conformance
+    harness that keeps it honest.
+
+    Two sharding strategies over {!Backend.parallel} (OCaml 5 domains
+    when available, sequential fallback on 4.14):
+
+    - {!sharded} distributes whole coalitions round-robin — coalitions
+      are closed worlds, so this is embarrassingly parallel and the
+      merge is just coalition order;
+    - {!object_sharded} splits {e one} coalition's mobile objects across
+      replicas of its system, each shard owning a team-closed subset
+      (see {!Partition}) and replaying broadcast events locally; the
+      per-shard trace chunks are merged back into canonical sequential
+      order by step index ({!Obs.Merge.by_index}) and the canonical
+      audit log is rebuilt from the merged trace.
+
+    Both must be {e observationally identical} to the sequential
+    interpreter — same verdicts, same lifetime audit counters, same
+    rendered audit log, byte-for-byte the same exported trace.  That is
+    what {!verify} checks, and what [test/test_parallel.ml] enforces
+    over hundreds of generated coalitions. *)
+
+val sequential :
+  ?mode:Coordinated.System.decision_mode ->
+  Scenario.t array ->
+  Scenario.outcome array
+(** The oracle: each coalition interpreted by {!Scenario.run}. *)
+
+val sharded :
+  ?mode:Coordinated.System.decision_mode ->
+  shards:int ->
+  Scenario.t array ->
+  Scenario.outcome array
+(** Coalition-level sharding.  Outcomes are returned in coalition
+    order, so they compare index-wise against {!sequential}'s.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val object_sharded :
+  ?mode:Coordinated.System.decision_mode ->
+  shards:int ->
+  Scenario.t ->
+  Scenario.outcome
+(** Object-level sharding of a single coalition.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val diff :
+  expected:Scenario.outcome -> actual:Scenario.outcome -> string option
+(** First observable divergence between two outcomes ([None] when they
+    are identical): verdict sequence, then lifetime granted/denied
+    counters, then audit-log rendering, then exported trace bytes. *)
+
+type report = {
+  coalitions : int;
+  checks : int;  (** total [Check] events across the workload *)
+  shards : int;
+  domains : bool;  (** whether the backend really runs domains *)
+  divergences : (int * string) list;
+      (** (coalition index, description); empty = conformant *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val verify :
+  ?mode:Coordinated.System.decision_mode ->
+  shards:int ->
+  Scenario.t array ->
+  report
+(** The differential conformance harness: runs the sequential oracle,
+    the coalition-sharded engine over the whole workload {e and} the
+    object-sharded engine over every coalition, and reports every
+    divergence {!diff} finds. *)

@@ -1,0 +1,64 @@
+(** Seeded random-coalition generator.
+
+    One generator for every consumer that needs randomized coalitions —
+    the differential fuzz suites ([test/gen.ml] re-exports it), the
+    parallel conformance harness, the E17 benchmark and the
+    [stacc bench-parallel] subcommand — so "a random coalition" means
+    the same thing everywhere.  All sampling is driven by the caller's
+    [Random.State.t]; the same state always yields the same scenario. *)
+
+val pick : Random.State.t -> 'a list -> 'a
+
+val users : string list
+(** The fixed two-user population every scenario draws owners from. *)
+
+val roles : string list
+
+val grants :
+  resources:string list ->
+  servers:string list ->
+  Random.State.t ->
+  (string * Rbac.Perm.t) list
+(** Random role → permission grants (wildcard, per-resource and
+    per-server targets). *)
+
+val assignments : Random.State.t -> (string * string) list
+(** Random user → role assignments. *)
+
+val bindings :
+  resources:string list -> Random.State.t -> Coordinated.Perm_binding.t list
+(** The full binding mix: Performed/Program/Both spatial scopes, Own
+    and Team proof scopes, durations under both base-time schemes. *)
+
+val scenario :
+  ?servers:string list ->
+  ?resources:string list ->
+  ?objects:int ->
+  ?events:int ->
+  ?teams:bool ->
+  ?faults:bool ->
+  Random.State.t ->
+  Scenario.t
+(** One random coalition.  [objects] fixes the population (default
+    2–4), [events] the stream length after the initial arrivals
+    (default 15–39).  [teams = false] suppresses [Join] events —
+    every object becomes its own partition component, the
+    embarrassingly-parallel shape object-level sharding scales on.
+    [faults = true] attaches a random named fault plan whose crash
+    windows the interpreter applies fail-closed. *)
+
+val coalitions :
+  ?servers:string list ->
+  ?resources:string list ->
+  ?objects:int ->
+  ?events:int ->
+  ?teams:bool ->
+  ?faults:bool ->
+  salt:int ->
+  count:int ->
+  int ->
+  Scenario.t array
+(** [coalitions ~salt ~count seed] — [count] independent coalitions;
+    coalition [i] is generated from [Random.State.make [|salt; seed;
+    i|]], so a workload is reproducible from [(salt, seed, count)] and
+    growing [count] never changes existing coalitions. *)

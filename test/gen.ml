@@ -1,0 +1,175 @@
+(* Shared seeded generators for the randomized suites.
+
+   Every randomized test draws its cases through this module so that
+   (a) "a random coalition" means the same thing in the fuzz,
+   fault-chaos, analysis-oracle and parallel-conformance suites, and
+   (b) the whole seed space can be shifted from the environment:
+
+     STACC_TEST_SEED=<n>  offsets every effective seed by <n>.
+
+   [each_seed] prints the effective seed (and the command to replay it)
+   whenever a case fails, so any failure from a shifted run is
+   reproducible with one environment variable. *)
+
+let offset =
+  match Sys.getenv_opt "STACC_TEST_SEED" with
+  | None | Some "" -> 0
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          failwith (Printf.sprintf "STACC_TEST_SEED must be an integer: %S" s))
+
+let each_seed ?(salt = 0) ~count f =
+  for i = 0 to count - 1 do
+    let seed = i + offset in
+    try f ~seed (Random.State.make [| salt; seed |])
+    with e ->
+      Printf.eprintf
+        "\n\
+         [gen] randomized case failed at effective seed %d (salt %d)\n\
+         [gen] reproduce with: STACC_TEST_SEED=%d dune runtest\n\
+         %!"
+        seed salt seed;
+      raise e
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Coalitions — one generator, shared with the engine and the bench    *)
+(* ------------------------------------------------------------------ *)
+
+let pick = Parallel.Workload.pick
+let coalition = Parallel.Workload.scenario
+let coalitions = Parallel.Workload.coalitions
+let bindings rng = Parallel.Workload.bindings ~resources:[ "r1"; "r2"; "r3" ] rng
+
+(* The fuzz suites' random RBAC policy, materialized from the same
+   grant/assignment distributions the coalition generator uses. *)
+let policy ?(resources = [ "r1"; "r2"; "r3" ]) ?(servers = [ "s1"; "s2" ]) rng =
+  let p = Rbac.Policy.create () in
+  List.iter (Rbac.Policy.add_user p) Parallel.Workload.users;
+  List.iter (Rbac.Policy.add_role p) Parallel.Workload.roles;
+  List.iter
+    (fun (role, perm) -> Rbac.Policy.grant p role perm)
+    (Parallel.Workload.grants ~resources ~servers rng);
+  List.iter
+    (fun (u, r) -> Rbac.Policy.assign_user p u r)
+    (Parallel.Workload.assignments rng);
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Analysis-oracle universe — worlds, formulas and bindings            *)
+(* ------------------------------------------------------------------ *)
+
+module A = Sral.Access
+module F = Srac.Formula
+module PB = Coordinated.Perm_binding
+
+let oracle_servers = [ "s1"; "s2"; "s3" ]
+
+let oracle_pool =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun r ->
+          [
+            A.make ~op:A.Read ~resource:r ~server:s;
+            A.make ~op:A.Write ~resource:r ~server:s;
+          ])
+        [ "r1"; "r2" ])
+    oracle_servers
+
+(* an access no world of ours can perform — feeds the unexercisable
+   findings *)
+let foreign = A.read "vault" ~at:"s9"
+
+let universe rng =
+  let n = 3 + Random.State.int rng 2 in
+  let tagged = List.map (fun a -> (Random.State.bits rng, a)) oracle_pool in
+  let shuffled = List.sort compare tagged |> List.map snd in
+  List.sort_uniq A.compare (List.filteri (fun i _ -> i < n) shuffled)
+
+let world rng universe =
+  let links =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if (not (String.equal a b)) && Random.State.bool rng then Some (a, b)
+            else None)
+          oracle_servers)
+      oracle_servers
+  in
+  let entries = List.filter (fun _ -> Random.State.bool rng) oracle_servers in
+  let entries = if entries = [] then [ pick rng oracle_servers ] else entries in
+  Analysis.World.make ~links ~entries ~servers:oracle_servers ~universe ()
+
+let oracle_access rng universe =
+  if Random.State.int rng 8 = 0 then foreign else pick rng universe
+
+let selector rng universe =
+  match Random.State.int rng 5 with
+  | 0 -> Srac.Selector.Any
+  | 1 -> Srac.Selector.Op (if Random.State.bool rng then A.Read else A.Write)
+  | 2 -> Srac.Selector.Resource (pick rng [ "r1"; "r2" ])
+  | 3 -> Srac.Selector.Server (pick rng ("s9" :: oracle_servers))
+  | _ -> Srac.Selector.Exactly (oracle_access rng universe)
+
+let rec formula rng universe depth =
+  if depth = 0 || Random.State.int rng 3 = 0 then
+    match Random.State.int rng 3 with
+    | 0 -> F.Atom (oracle_access rng universe)
+    | 1 -> F.Ordered (oracle_access rng universe, oracle_access rng universe)
+    | _ ->
+        let lo = Random.State.int rng 3 in
+        let hi =
+          if Random.State.bool rng then None else Some (Random.State.int rng 3)
+        in
+        F.Card { lo; hi; sel = selector rng universe }
+  else
+    match Random.State.int rng 3 with
+    | 0 ->
+        F.And (formula rng universe (depth - 1), formula rng universe (depth - 1))
+    | 1 ->
+        F.Or (formula rng universe (depth - 1), formula rng universe (depth - 1))
+    | _ -> F.Not (formula rng universe (depth - 1))
+
+let analysis_binding rng universe =
+  let concrete () =
+    let a = pick rng universe in
+    (A.operation_name a.A.op, a.A.resource ^ "@" ^ a.A.server)
+  in
+  let operation, target =
+    match Random.State.int rng 4 with
+    | 0 -> ("*", "*@*")
+    | 1 -> concrete ()
+    | 2 -> ((if Random.State.bool rng then "read" else "write"), "*@*")
+    | _ ->
+        let a = pick rng universe in
+        (A.operation_name a.A.op, "*@" ^ a.A.server)
+  in
+  let spatial =
+    if Random.State.int rng 6 = 0 then None else Some (formula rng universe 2)
+  in
+  let spatial_scope =
+    match Random.State.int rng 4 with
+    | 0 | 1 -> PB.Performed
+    | 2 -> PB.Both
+    | _ -> PB.Program
+  in
+  let spatial_modality =
+    if Random.State.int rng 4 = 0 then Srac.Program_sat.Forall
+    else Srac.Program_sat.Exists
+  in
+  let dur =
+    match Random.State.int rng 3 with
+    | 0 -> None
+    | 1 -> Some (Temporal.Q.of_int (1 + Random.State.int rng 3))
+    | _ -> Some (Temporal.Q.make 3 2)
+  in
+  let scheme =
+    if Random.State.int rng 4 = 0 then Temporal.Validity.Per_server
+    else Temporal.Validity.Whole_journey
+  in
+  PB.make ?spatial ~spatial_modality ~spatial_scope ?dur ~scheme
+    (Rbac.Perm.make ~operation ~target)

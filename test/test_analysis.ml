@@ -301,129 +301,14 @@ let test_lint_indexed_stable_order () =
 (* The replay oracle: randomized coalitions                            *)
 (* ------------------------------------------------------------------ *)
 
-let oracle_servers = [ "s1"; "s2"; "s3" ]
-
-let oracle_pool =
-  List.concat_map
-    (fun s ->
-      List.concat_map
-        (fun r ->
-          [
-            A.make ~op:A.Read ~resource:r ~server:s;
-            A.make ~op:A.Write ~resource:r ~server:s;
-          ])
-        [ "r1"; "r2" ])
-    oracle_servers
-
-(* an access no world of ours can perform — feeds the unexercisable
-   findings *)
-let foreign = A.read "vault" ~at:"s9"
-
-let pick rng l = List.nth l (List.length l |> Random.State.int rng)
-
-let random_universe rng =
-  let n = 3 + Random.State.int rng 2 in
-  let tagged =
-    List.map (fun a -> (Random.State.bits rng, a)) oracle_pool
-  in
-  let shuffled = List.sort compare tagged |> List.map snd in
-  List.sort_uniq A.compare (List.filteri (fun i _ -> i < n) shuffled)
-
-let random_world rng universe =
-  let links =
-    List.concat_map
-      (fun a ->
-        List.filter_map
-          (fun b ->
-            if (not (String.equal a b)) && Random.State.bool rng then
-              Some (a, b)
-            else None)
-          oracle_servers)
-      oracle_servers
-  in
-  let entries = List.filter (fun _ -> Random.State.bool rng) oracle_servers in
-  let entries =
-    if entries = [] then [ pick rng oracle_servers ] else entries
-  in
-  W.make ~links ~entries ~servers:oracle_servers ~universe ()
-
-let random_access rng universe =
-  if Random.State.int rng 8 = 0 then foreign else pick rng universe
-
-let random_selector rng universe =
-  match Random.State.int rng 5 with
-  | 0 -> Srac.Selector.Any
-  | 1 ->
-      Srac.Selector.Op
-        (if Random.State.bool rng then A.Read else A.Write)
-  | 2 -> Srac.Selector.Resource (pick rng [ "r1"; "r2" ])
-  | 3 -> Srac.Selector.Server (pick rng ("s9" :: oracle_servers))
-  | _ -> Srac.Selector.Exactly (random_access rng universe)
-
-let rec random_formula rng universe depth =
-  if depth = 0 || Random.State.int rng 3 = 0 then
-    match Random.State.int rng 3 with
-    | 0 -> F.Atom (random_access rng universe)
-    | 1 -> F.Ordered (random_access rng universe, random_access rng universe)
-    | _ ->
-        let lo = Random.State.int rng 3 in
-        let hi =
-          if Random.State.bool rng then None
-          else Some (Random.State.int rng 3)
-        in
-        F.Card { lo; hi; sel = random_selector rng universe }
-  else
-    match Random.State.int rng 3 with
-    | 0 ->
-        F.And
-          ( random_formula rng universe (depth - 1),
-            random_formula rng universe (depth - 1) )
-    | 1 ->
-        F.Or
-          ( random_formula rng universe (depth - 1),
-            random_formula rng universe (depth - 1) )
-    | _ -> F.Not (random_formula rng universe (depth - 1))
-
-let random_binding rng universe =
-  let concrete () =
-    let a = pick rng universe in
-    (A.operation_name a.A.op, a.A.resource ^ "@" ^ a.A.server)
-  in
-  let operation, target =
-    match Random.State.int rng 4 with
-    | 0 -> ("*", "*@*")
-    | 1 -> concrete ()
-    | 2 -> ((if Random.State.bool rng then "read" else "write"), "*@*")
-    | _ ->
-        let a = pick rng universe in
-        (A.operation_name a.A.op, "*@" ^ a.A.server)
-  in
-  let spatial =
-    if Random.State.int rng 6 = 0 then None
-    else Some (random_formula rng universe 2)
-  in
-  let spatial_scope =
-    match Random.State.int rng 4 with
-    | 0 | 1 -> PB.Performed
-    | 2 -> PB.Both
-    | _ -> PB.Program
-  in
-  let spatial_modality =
-    if Random.State.int rng 4 = 0 then Srac.Program_sat.Forall
-    else Srac.Program_sat.Exists
-  in
-  let dur =
-    match Random.State.int rng 3 with
-    | 0 -> None
-    | 1 -> Some (Q.of_int (1 + Random.State.int rng 3))
-    | _ -> Some (Q.make 3 2)
-  in
-  let scheme =
-    if Random.State.int rng 4 = 0 then Temporal.Validity.Per_server
-    else Temporal.Validity.Whole_journey
-  in
-  PB.make ?spatial ~spatial_modality ~spatial_scope ?dur ~scheme
-    (Rbac.Perm.make ~operation ~target)
+(* The randomized universe/world/formula/binding generators live in the
+   shared [test/gen.ml] so every randomized suite draws from the same
+   distributions (and honours STACC_TEST_SEED). *)
+let pick = Gen.pick
+let random_universe = Gen.universe
+let random_world = Gen.world
+let random_formula = Gen.formula
+let random_binding = Gen.analysis_binding
 
 (* user [u] holds *:*@* so RBAC never interferes: the oracle isolates
    the spatial/temporal layers the analyzer reasons about *)
@@ -443,8 +328,7 @@ let oracle_runs = 300
    clause changes no outcome. *)
 let test_oracle_soundness () =
   let negatives = ref 0 and vacuous = ref 0 in
-  for seed = 0 to oracle_runs - 1 do
-    let rng = Random.State.make [| 9001; seed |] in
+  Gen.each_seed ~salt:9001 ~count:oracle_runs (fun ~seed rng ->
     let universe = random_universe rng in
     let world = random_world rng universe in
     let b = random_binding rng universe in
@@ -483,8 +367,7 @@ let test_oracle_soundness () =
               (Lazy.force grid)
         | An.Shadowed _ ->
             Alcotest.failf "seed %d: shadow finding with a single binding" seed)
-      report.An.findings
-  done;
+      report.An.findings);
   (* the oracle must actually have exercised the claims it guards *)
   Alcotest.(check bool)
     (Printf.sprintf "negative findings exercised (%d)" !negatives)
@@ -499,8 +382,7 @@ let shadow_runs = 150
    verdict, on any performable walk. *)
 let test_oracle_shadowing () =
   let shadows = ref 0 in
-  for seed = 0 to shadow_runs - 1 do
-    let rng = Random.State.make [| 9002; seed |] in
+  Gen.each_seed ~salt:9002 ~count:shadow_runs (fun ~seed rng ->
     let universe = random_universe rng in
     let world = random_world rng universe in
     let b0, b1 =
@@ -568,8 +450,7 @@ let test_oracle_shadowing () =
                     (Sral.Trace.to_string tr))
               (W.walks world ~max_len:3)
         | _ -> ())
-      report.An.findings
-  done;
+      report.An.findings);
   Alcotest.(check bool)
     (Printf.sprintf "shadow findings exercised (%d)" !shadows)
     true (!shadows > 10)
@@ -581,8 +462,7 @@ let query_runs = 100
    with the queried access. *)
 let test_oracle_queries () =
   let acquirable = ref 0 and impossible = ref 0 in
-  for seed = 0 to query_runs - 1 do
-    let rng = Random.State.make [| 9003; seed |] in
+  Gen.each_seed ~salt:9003 ~count:query_runs (fun ~seed rng ->
     let universe = random_universe rng in
     let world = random_world rng universe in
     let bindings =
@@ -626,8 +506,7 @@ let test_oracle_queries () =
                 "seed %d: impossible verdict refuted by walk %s" seed
                 (Sral.Trace.to_string tr))
           (W.walks world ~max_len:3)
-    | Sf.Undetermined _ -> ()
-  done;
+    | Sf.Undetermined _ -> ());
   Alcotest.(check bool)
     (Printf.sprintf "acquirable verdicts exercised (%d)" !acquirable)
     true (!acquirable > 10);

@@ -711,6 +711,34 @@ let test_audit_ring_mode () =
     (float_of_int !granted_lifetime /. 250.)
     (Audit_log.grant_rate log)
 
+let test_audit_ring_boundary () =
+  (* the eviction boundary exactly: at capacity the ring is full but
+     nothing has been evicted; one more record evicts exactly the
+     oldest entry *)
+  let capacity = 5 in
+  let rng = Random.State.make [| 2025; 11 |] in
+  let log = Audit_log.create ~capacity () in
+  for t = 1 to capacity do
+    Audit_log.record log (random_entry rng t)
+  done;
+  Alcotest.(check int) "at capacity: size" capacity (Audit_log.size log);
+  Alcotest.(check int) "at capacity: retained" capacity (Audit_log.retained log);
+  Alcotest.(check (list string)) "at capacity: nothing evicted"
+    (List.init capacity (fun i -> string_of_int (i + 1)))
+    (List.map
+       (fun (e : Audit_log.entry) -> Q.to_string e.time)
+       (Audit_log.entries log));
+  Audit_log.record log (random_entry rng (capacity + 1));
+  Alcotest.(check int) "capacity+1: lifetime size" (capacity + 1)
+    (Audit_log.size log);
+  Alcotest.(check int) "capacity+1: retained stays capped" capacity
+    (Audit_log.retained log);
+  Alcotest.(check (list string)) "capacity+1: exactly the oldest evicted"
+    (List.init capacity (fun i -> string_of_int (i + 2)))
+    (List.map
+       (fun (e : Audit_log.entry) -> Q.to_string e.time)
+       (Audit_log.entries log))
+
 let test_audit_empty_log_conventions () =
   let log = Audit_log.create () in
   Alcotest.(check (float 0.0)) "empty rate is 1.0" 1.0
@@ -1047,6 +1075,8 @@ let () =
           Alcotest.test_case "counters agree with entries" `Quick
             test_audit_counters_agree_with_entries;
           Alcotest.test_case "ring mode" `Quick test_audit_ring_mode;
+          Alcotest.test_case "ring eviction boundary" `Quick
+            test_audit_ring_boundary;
           Alcotest.test_case "empty-log conventions" `Quick
             test_audit_empty_log_conventions;
         ] );

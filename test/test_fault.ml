@@ -158,7 +158,34 @@ let test_plan_window_queries () =
   | Some t -> Alcotest.(check string) "recovery time" "10" (Q.to_string t)
   | None -> Alcotest.fail "expected a recovery time");
   Alcotest.(check bool) "no recovery when up" true
-    (Fault.Plan.recovery plan ~server:"s1" ~time:(q 3) = None)
+    (Fault.Plan.recovery plan ~server:"s1" ~time:(q 3) = None);
+  (* exact rational endpoints: windows are half-open [from, until), and
+     membership must be decided by exact ℚ comparison, not float
+     rounding — 7/2 and 21/4 have no short decimal form *)
+  let rational =
+    Fault.Plan.make
+      ~crashes:
+        [ ("s1", [ { Fault.Plan.from_ = Q.make 7 2; until = Q.make 21 4 } ]) ]
+      ()
+  in
+  let down t = Fault.Plan.server_down rational ~server:"s1" ~time:t in
+  Alcotest.(check bool) "just below rational start" false
+    (down (Q.make 6999 2000));
+  Alcotest.(check bool) "exact rational start is down" true (down (Q.make 7 2));
+  Alcotest.(check bool) "exact rational end is up" false (down (Q.make 21 4));
+  Alcotest.(check bool) "just below rational end" true
+    (down (Q.make 20999 4000));
+  (match Fault.Plan.recovery rational ~server:"s1" ~time:(Q.make 7 2) with
+  | Some t -> Alcotest.(check string) "rational recovery" "21/4" (Q.to_string t)
+  | None -> Alcotest.fail "expected recovery at the rational start");
+  (* restrict drops other servers' windows and keeps the kept ones
+     byte-identical *)
+  let restricted = Fault.Plan.restrict plan ~servers:[ "s1" ] in
+  Alcotest.(check bool) "restrict keeps s1" true
+    (Fault.Plan.server_down restricted ~server:"s1" ~time:(q 5));
+  let dropped = Fault.Plan.restrict plan ~servers:[ "s2" ] in
+  Alcotest.(check bool) "restrict drops s1" false
+    (Fault.Plan.server_down dropped ~server:"s1" ~time:(q 5))
 
 (* --- resilience / backoff --- *)
 
@@ -359,17 +386,17 @@ let test_chaos_modes_agree_on_decisions () =
    its crash windows, and every scheduled retry resolves. *)
 let test_chaos_fuzz_fail_closed () =
   let plans = [| "light"; "moderate"; "heavy" |] in
-  for seed = 0 to 199 do
-    let plan_name = plans.(seed mod Array.length plans) in
-    let couriers = 2 + (seed mod 5) in
-    let report = Scenarios.Chaos.run ~plan_name ~seed ~couriers () in
-    match report.Scenarios.Chaos.violations with
-    | [] -> ()
-    | vs ->
-        Alcotest.failf "seed %d (%s, %d couriers): %a" seed plan_name couriers
-          (Format.pp_print_list Fault.Invariant.pp_violation)
-          vs
-  done
+  Gen.each_seed ~count:200 (fun ~seed _rng ->
+      let plan_name = plans.(seed mod Array.length plans) in
+      let couriers = 2 + (seed mod 5) in
+      let report = Scenarios.Chaos.run ~plan_name ~seed ~couriers () in
+      match report.Scenarios.Chaos.violations with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "seed %d (%s, %d couriers): %a" seed plan_name
+            couriers
+            (Format.pp_print_list Fault.Invariant.pp_violation)
+            vs)
 
 let () =
   Alcotest.run "fault"

@@ -8,68 +8,12 @@ module Q = Temporal.Q
 
 let resources = [ "r1"; "r2"; "r3" ]
 
-let random_policy rng =
-  (* 2 users, 3 roles with random grants and assignments *)
-  let policy = Rbac.Policy.create () in
-  List.iter (Rbac.Policy.add_user policy) [ "u1"; "u2" ];
-  List.iter (Rbac.Policy.add_role policy) [ "ra"; "rb"; "rc" ];
-  let ops = [ "read"; "write"; "execute" ] in
-  List.iter
-    (fun role ->
-      List.iter
-        (fun op ->
-          if Random.State.bool rng then
-            let target =
-              match Random.State.int rng 3 with
-              | 0 -> "*@*"
-              | 1 -> List.nth resources (Random.State.int rng 3) ^ "@*"
-              | _ ->
-                  List.nth resources (Random.State.int rng 3)
-                  ^ "@s"
-                  ^ string_of_int (1 + Random.State.int rng 2)
-            in
-            Rbac.Policy.grant policy role (Rbac.Perm.make ~operation:op ~target))
-        ops)
-    [ "ra"; "rb"; "rc" ];
-  List.iter
-    (fun u ->
-      List.iter
-        (fun r ->
-          if Random.State.bool rng then
-            Rbac.Policy.assign_user policy u r)
-        [ "ra"; "rb"; "rc" ])
-    [ "u1"; "u2" ];
-  policy
-
-let random_bindings rng =
-  let sel = Srac.Selector.Resource (List.nth resources (Random.State.int rng 3)) in
-  List.filteri
-    (fun _ _ -> Random.State.bool rng)
-    [
-      Coordinated.Perm_binding.make
-        ~spatial:(Srac.Formula.at_most (1 + Random.State.int rng 4) sel)
-        ~spatial_scope:Coordinated.Perm_binding.Performed
-        (Rbac.Perm.make ~operation:"*" ~target:"*@*");
-      Coordinated.Perm_binding.make
-        ~dur:(Q.of_int (2 + Random.State.int rng 10))
-        (Rbac.Perm.make ~operation:"read" ~target:"*@*");
-      Coordinated.Perm_binding.make
-        ~dur:(Q.of_int (1 + Random.State.int rng 5))
-        ~scheme:Temporal.Validity.Per_server
-        (Rbac.Perm.make ~operation:"write" ~target:"*@*");
-      Coordinated.Perm_binding.make
-        ~spatial:
-          (Srac.Formula.at_most
-             (2 + Random.State.int rng 4)
-             (Srac.Selector.Op Sral.Access.Execute))
-        ~spatial_scope:Coordinated.Perm_binding.Performed
-        ~proof_scope:Coordinated.Perm_binding.Team
-        (Rbac.Perm.make ~operation:"execute" ~target:"*@*");
-    ]
-
+(* Policies and bindings come from the shared seeded generator
+   ([test/gen.ml], backed by [Parallel.Workload]) — one definition of
+   "a random coalition" across every randomized suite. *)
 let build_world rng =
-  let policy = random_policy rng in
-  let bindings = random_bindings rng in
+  let policy = Gen.policy rng in
+  let bindings = Gen.bindings rng in
   let control = Coordinated.System.create ~bindings policy in
   let world = Naplet.World.create control in
   let servers = [ "s1"; "s2" ] in
@@ -97,12 +41,7 @@ let build_world rng =
   done;
   (control, world)
 
-let each_seed f =
-  List.iter
-    (fun seed ->
-      let rng = Random.State.make [| 7777; seed |] in
-      f seed rng)
-    (List.init 40 Fun.id)
+let each_seed f = Gen.each_seed ~salt:7777 ~count:40 (fun ~seed rng -> f seed rng)
 
 (* 1. Soundness of grants: every granted access was allowed by some
    role the owner is actually authorized for. *)
@@ -248,241 +187,65 @@ let test_duration_budget_never_negative () =
 
 (* ------------------------------------------------------------------ *)
 (* Differential testing: the indexed/cached decision path vs the seed's
-   linear path.  A scenario is generated once as pure data (policy
-   spec, bindings, objects, event stream) and interpreted twice — once
-   against a System in [Indexed] mode, once in [Naive] mode.  Every
-   check's verdict (rendered, so denial *reasons* are compared too) and
-   the final audit logs must agree entry-for-entry. *)
-
-type diff_object = {
-  d_id : string;
-  d_owner : string;
-  d_roles : string list;
-  d_program : Sral.Ast.t;
-}
-
-type diff_event =
-  | Arrive of string * string  (* object, server *)
-  | Check of string * Sral.Access.t
-  | Activate of string * string  (* object, role *)
-  | Deactivate of string * string
-  | Join of string * string  (* object, team *)
-  | Refresh of string
-  | Add_binding of Coordinated.Perm_binding.t
-
-type scenario = {
-  sc_grants : (string * Rbac.Perm.t) list;  (* role, perm *)
-  sc_assignments : (string * string) list;  (* user, role *)
-  sc_bindings : Coordinated.Perm_binding.t list;
-  sc_objects : diff_object list;
-  sc_events : diff_event list;
-}
-
-let diff_servers = [ "s1"; "s2" ]
-let diff_roles = [ "ra"; "rb"; "rc" ]
-
-let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
-
-let random_access rng =
-  Sral.Generate.access
-    ~ops:[ Sral.Access.Read; Sral.Access.Write; Sral.Access.Execute ]
-    ~resources ~servers:diff_servers rng
-
-(* the seed generator's binding mix, plus program-scope and Both-scope
-   shapes so the verdict cache's memo-reuse and team stamps are hit *)
-let random_diff_bindings rng =
-  random_bindings rng
-  @ List.filteri
-      (fun _ _ -> Random.State.bool rng)
-      [
-        Coordinated.Perm_binding.make
-          ~spatial:
-            (Srac.Formula.at_most
-               (1 + Random.State.int rng 3)
-               (Srac.Selector.Resource (pick rng resources)))
-          ~spatial_modality:
-            (if Random.State.bool rng then Srac.Program_sat.Exists
-             else Srac.Program_sat.Forall)
-          ~spatial_scope:Coordinated.Perm_binding.Program
-          (Rbac.Perm.make ~operation:"read" ~target:"*@*");
-        Coordinated.Perm_binding.make
-          ~spatial:
-            (Srac.Formula.at_most
-               (1 + Random.State.int rng 4)
-               (Srac.Selector.Op Sral.Access.Write))
-          ~spatial_scope:Coordinated.Perm_binding.Both
-          ~proof_scope:Coordinated.Perm_binding.Team
-          ~dur:(Q.of_int (3 + Random.State.int rng 8))
-          (Rbac.Perm.make ~operation:"write" ~target:"*@*");
-      ]
-
-let random_scenario rng =
-  let sc_grants =
-    List.concat_map
-      (fun role ->
-        List.filter_map
-          (fun op ->
-            if Random.State.bool rng then
-              let target =
-                match Random.State.int rng 3 with
-                | 0 -> "*@*"
-                | 1 -> pick rng resources ^ "@*"
-                | _ -> pick rng resources ^ "@" ^ pick rng diff_servers
-              in
-              Some (role, Rbac.Perm.make ~operation:op ~target)
-            else None)
-          [ "read"; "write"; "execute" ])
-      diff_roles
-  in
-  let sc_assignments =
-    List.concat_map
-      (fun u ->
-        List.filter_map
-          (fun r -> if Random.State.bool rng then Some (u, r) else None)
-          diff_roles)
-      [ "u1"; "u2" ]
-  in
-  let sc_objects =
-    List.init
-      (2 + Random.State.int rng 3)
-      (fun i ->
-        {
-          d_id = Printf.sprintf "o%d" (i + 1);
-          d_owner = (if Random.State.bool rng then "u1" else "u2");
-          d_roles = List.filter (fun _ -> Random.State.bool rng) diff_roles;
-          d_program =
-            Sral.Generate.program ~allow_io:false ~resources
-              ~servers:diff_servers
-              ~size:(3 + Random.State.int rng 6)
-              rng;
-        })
-  in
-  let extra_bindings = random_diff_bindings rng in
-  let obj () = (pick rng sc_objects).d_id in
-  let sc_events =
-    (* everyone arrives somewhere first, then a random event stream *)
-    List.map (fun o -> Arrive (o.d_id, pick rng diff_servers)) sc_objects
-    @ List.init
-        (15 + Random.State.int rng 25)
-        (fun _ ->
-          match Random.State.int rng 12 with
-          | 0 | 1 -> Arrive (obj (), pick rng diff_servers)
-          | 2 -> Join (obj (), if Random.State.bool rng then "crew" else "b-team")
-          | 3 -> Activate (obj (), pick rng diff_roles)
-          | 4 -> Deactivate (obj (), pick rng diff_roles)
-          | 5 when extra_bindings <> [] -> Add_binding (pick rng extra_bindings)
-          | 6 -> Refresh (obj ())
-          | _ -> Check (obj (), random_access rng))
-  in
-  { sc_grants; sc_assignments; sc_bindings = random_diff_bindings rng;
-    sc_objects; sc_events }
+   linear path.  A coalition is generated once as pure data
+   ([Gen.coalition], the shared [Parallel.Workload] generator) and
+   interpreted twice by [Parallel.Scenario.run] — once in [Indexed]
+   mode, once in [Naive] mode.  Every check's verdict (rendered, so
+   denial *reasons* are compared too) and the final audit logs must
+   agree entry-for-entry. *)
 
 let run_scenario mode sc =
-  let policy = Rbac.Policy.create () in
-  List.iter (Rbac.Policy.add_user policy) [ "u1"; "u2" ];
-  List.iter (Rbac.Policy.add_role policy) diff_roles;
-  List.iter (fun (r, p) -> Rbac.Policy.grant policy r p) sc.sc_grants;
-  List.iter (fun (u, r) -> Rbac.Policy.assign_user policy u r) sc.sc_assignments;
-  let control = Coordinated.System.create ~mode ~bindings:sc.sc_bindings policy in
-  let sessions = Hashtbl.create 8 in
-  let find_obj id = List.find (fun o -> String.equal o.d_id id) sc.sc_objects in
-  let session_of id =
-    match Hashtbl.find_opt sessions id with
-    | Some s -> s
-    | None ->
-        let o = find_obj id in
-        let s = Coordinated.System.new_session control ~user:o.d_owner in
-        List.iter
-          (fun r ->
-            try Rbac.Session.activate s r with
-            | Rbac.Session.Not_authorized _ | Rbac.Session.Dsd_violation _ -> ())
-          o.d_roles;
-        Hashtbl.add sessions id s;
-        s
-  in
-  let verdicts = ref [] in
-  List.iteri
-    (fun i event ->
-      let time = Q.of_int (i + 1) in
-      match event with
-      | Arrive (id, server) ->
-          Coordinated.System.arrive control ~object_id:id ~server ~time
-      | Join (id, team) ->
-          Coordinated.System.join_team control ~object_id:id ~team
-      | Activate (id, r) -> (
-          try Rbac.Session.activate (session_of id) r with
-          | Rbac.Session.Not_authorized _ | Rbac.Session.Dsd_violation _ -> ())
-      | Deactivate (id, r) -> Rbac.Session.deactivate (session_of id) r
-      | Add_binding b -> Coordinated.System.add_binding control b
-      | Refresh id ->
-          let o = find_obj id in
-          Coordinated.System.refresh control ~session:(session_of id)
-            ~object_id:id ~program:o.d_program ~time
-      | Check (id, access) ->
-          let o = find_obj id in
-          let v =
-            Coordinated.System.check control ~session:(session_of id)
-              ~object_id:id ~program:o.d_program ~time access
-          in
-          verdicts :=
-            Format.asprintf "%a" Coordinated.Decision.pp_verdict v :: !verdicts)
-    sc.sc_events;
-  let log_render =
-    Format.asprintf "%a" Coordinated.Audit_log.pp (Coordinated.System.log control)
-  in
-  (List.rev !verdicts, log_render)
+  let o = Parallel.Scenario.run ~mode sc in
+  (o.Parallel.Scenario.verdicts, o.Parallel.Scenario.log)
 
 let diff_runs = 500
 
 let test_differential_indexed_vs_naive () =
-  for seed = 0 to diff_runs - 1 do
-    let sc = random_scenario (Random.State.make [| 4242; seed |]) in
-    let v_fast, log_fast = run_scenario Coordinated.System.Indexed sc in
-    let v_naive, log_naive = run_scenario Coordinated.System.Naive sc in
-    if v_fast <> v_naive then begin
-      let rec first_diff i = function
-        | f :: fs, n :: ns ->
-            if String.equal f n then first_diff (i + 1) (fs, ns) else (i, f, n)
-        | f :: _, [] -> (i, f, "<missing>")
-        | [], n :: _ -> (i, "<missing>", n)
-        | [], [] -> (i, "<equal>", "<equal>")
-      in
-      let i, f, n = first_diff 0 (v_fast, v_naive) in
-      Alcotest.failf
-        "seed %d: verdict %d diverges@.  indexed: %s@.  naive:   %s" seed i f n
-    end;
-    if not (String.equal log_fast log_naive) then
-      Alcotest.failf "seed %d: audit logs diverge@.indexed:@.%s@.naive:@.%s"
-        seed log_fast log_naive
-  done
+  Gen.each_seed ~salt:4242 ~count:diff_runs (fun ~seed rng ->
+      let sc = Gen.coalition rng in
+      let v_fast, log_fast = run_scenario Coordinated.System.Indexed sc in
+      let v_naive, log_naive = run_scenario Coordinated.System.Naive sc in
+      if v_fast <> v_naive then begin
+        let rec first_diff i = function
+          | f :: fs, n :: ns ->
+              if String.equal f n then first_diff (i + 1) (fs, ns) else (i, f, n)
+          | f :: _, [] -> (i, f, "<missing>")
+          | [], n :: _ -> (i, "<missing>", n)
+          | [], [] -> (i, "<equal>", "<equal>")
+        in
+        let i, f, n = first_diff 0 (v_fast, v_naive) in
+        Alcotest.failf
+          "seed %d: verdict %d diverges@.  indexed: %s@.  naive:   %s" seed i f
+          n
+      end;
+      if not (String.equal log_fast log_naive) then
+        Alcotest.failf "seed %d: audit logs diverge@.indexed:@.%s@.naive:@.%s"
+          seed log_fast log_naive)
 
 (* Repeating the identical check must hit the verdict cache and still
    agree with the naive path — the cache must never leak a stale
    verdict into the comparison. *)
 let test_differential_repeated_checks () =
-  for seed = 0 to 99 do
-    let rng = Random.State.make [| 31337; seed |] in
-    let sc = random_scenario rng in
-    (* duplicate every check event so roughly half the indexed decisions
-       are cache hits *)
-    let sc =
-      {
-        sc with
-        sc_events =
-          List.concat_map
-            (function
-              | Check _ as e -> [ e; e ]
-              | e -> [ e ])
-            sc.sc_events;
-      }
-    in
-    let v_fast, log_fast = run_scenario Coordinated.System.Indexed sc in
-    let v_naive, log_naive = run_scenario Coordinated.System.Naive sc in
-    Alcotest.(check bool)
-      (Printf.sprintf "seed %d: repeated-check verdicts agree" seed)
-      true
-      (v_fast = v_naive && String.equal log_fast log_naive)
-  done
+  Gen.each_seed ~salt:31337 ~count:100 (fun ~seed rng ->
+      let sc = Gen.coalition rng in
+      (* duplicate every check event so roughly half the indexed
+         decisions are cache hits *)
+      let sc =
+        {
+          sc with
+          Parallel.Scenario.events =
+            List.concat_map
+              (function
+                | Parallel.Scenario.Check _ as e -> [ e; e ] | e -> [ e ])
+              sc.Parallel.Scenario.events;
+        }
+      in
+      let v_fast, log_fast = run_scenario Coordinated.System.Indexed sc in
+      let v_naive, log_naive = run_scenario Coordinated.System.Naive sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: repeated-check verdicts agree" seed)
+        true
+        (v_fast = v_naive && String.equal log_fast log_naive))
 
 let () =
   Alcotest.run "fuzz"
