@@ -705,6 +705,63 @@ let e17_report () =
   Format.printf "  %a@." Parallel.Engine.pp_report gate;
   if gate.Parallel.Engine.divergences <> [] then exit 1
 
+(* E18 — workflow satisfiability: checker cost vs task count against
+   the brute-force assignment enumerator, plus the agreement gate the
+   differential suite enforces (zero divergences, every witness
+   replays). *)
+let e18_report () =
+  let module W = Scenarios.Workflow_family in
+  let module Sat = Scenarios.Workflow_sat in
+  let time f =
+    let t0 = Monotonic_clock.now () in
+    let r = f () in
+    (r, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0))
+  in
+  (* half satisfiable (the checker must build a witness), half
+     adversarial (mostly unsat at larger sizes — the pruning side) *)
+  let batch tasks =
+    Array.append
+      (W.workflows W.Satisfiable ~tasks ~performers:3 ~salt:1818 ~count:12 0)
+      (W.workflows W.Adversarial ~tasks ~performers:3 ~salt:1818 ~count:12 0)
+  in
+  ignore (Array.map Sat.check (batch 2));
+  Printf.printf
+    "  24 workflows per row (12 satisfiable + 12 adversarial), 3 performers\n";
+  Printf.printf "  %-6s %14s %14s %9s %7s\n%!" "tasks" "checker" "brute-force"
+    "ratio" "sat";
+  List.iter
+    (fun tasks ->
+      let wfs = batch tasks in
+      let verdicts, checker_ns = time (fun () -> Array.map Sat.check wfs) in
+      let _, brute_ns = time (fun () -> Array.map Sat.brute_force wfs) in
+      let sat =
+        Array.fold_left
+          (fun n -> function Sat.Complete _ -> n + 1 | Sat.Impossible _ -> n)
+          0 verdicts
+      in
+      Printf.printf "  %-6d %11.2f ms %11.2f ms %8.1fx %5d/24\n%!" tasks
+        (checker_ns /. 1e6) (brute_ns /. 1e6)
+        (brute_ns /. checker_ns)
+        sat)
+    [ 2; 3; 4; 5; 6 ];
+  (* agreement gate, as in the differential suite *)
+  let divergences = ref 0 and total = ref 0 in
+  List.iter
+    (fun fam ->
+      Array.iter
+        (fun wf ->
+          incr total;
+          match Sat.against_brute_force wf with
+          | Sat.Agree_sat _ | Sat.Agree_unsat _ -> ()
+          | Sat.Divergent d ->
+              incr divergences;
+              Printf.printf "  divergence: %s\n%!" d)
+        (W.workflows fam ~salt:1819 ~count:40 0))
+    [ W.Satisfiable; W.Unsatisfiable; W.Adversarial ];
+  Printf.printf "  agreement: %d/%d (%d divergence(s))\n%!"
+    (!total - !divergences) !total !divergences;
+  if !divergences > 0 then exit 1
+
 (* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
@@ -779,7 +836,7 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17" ]
+    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17"; "E18" ]
   in
   List.iter
     (fun id ->
@@ -795,6 +852,10 @@ let () =
         Printf.printf "== E17 ==\n%!";
         e17_report ()
       end
+      else if id = "E18" then begin
+        Printf.printf "== E18 ==\n%!";
+        e18_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
@@ -802,6 +863,6 @@ let () =
             run_group test
         | None ->
             Printf.printf
-              "unknown experiment id %S (known: %s, E14, E15, E17)\n" id
+              "unknown experiment id %S (known: %s, E14, E15, E17, E18)\n" id
               (String.concat ", " (List.map fst all_groups)))
     selected

@@ -20,6 +20,19 @@ let offset =
       | None ->
           failwith (Printf.sprintf "STACC_TEST_SEED must be an integer: %S" s))
 
+(* The environment prefix that replays the current run exactly.  Any
+   seed-space shift *and* any shard-count override must both appear in
+   printed repro commands: a parallel-conformance failure under
+   STACC_SHARDS=8 does not necessarily reproduce under the default
+   "2,4". *)
+let repro_env seed =
+  let shards =
+    match Sys.getenv_opt "STACC_SHARDS" with
+    | None | Some "" -> ""
+    | Some s -> Printf.sprintf " STACC_SHARDS=%s" s
+  in
+  Printf.sprintf "STACC_TEST_SEED=%d%s" seed shards
+
 let each_seed ?(salt = 0) ~count f =
   for i = 0 to count - 1 do
     let seed = i + offset in
@@ -28,11 +41,157 @@ let each_seed ?(salt = 0) ~count f =
       Printf.eprintf
         "\n\
          [gen] randomized case failed at effective seed %d (salt %d)\n\
-         [gen] reproduce with: STACC_TEST_SEED=%d dune runtest\n\
+         [gen] reproduce with: %s dune runtest\n\
          %!"
-        seed salt seed;
+        seed salt (repro_env seed);
       raise e
   done
+
+(* ------------------------------------------------------------------ *)
+(* Greedy counterexample shrinking                                     *)
+(*                                                                     *)
+(* [shrink ~fails ~candidates x] walks to a local minimum: as long as  *)
+(* some one-step-smaller candidate still fails, descend into it.       *)
+(* [fails] must be total — wrap raising properties with [reproduces].  *)
+(* Everything is deterministic, so the minimized counterexample is as  *)
+(* reproducible as the seed that found the original.                   *)
+(* ------------------------------------------------------------------ *)
+
+let reproduces f x =
+  match f x with () -> false | exception _ -> true
+
+let rec shrink ~fails ~candidates x =
+  match List.find_opt fails (candidates x) with
+  | None -> x
+  | Some smaller -> shrink ~fails ~candidates smaller
+
+let drop_one xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) xs) xs
+
+let shrink_list ~fails xs = shrink ~fails ~candidates:drop_one xs
+
+(* Coalition shrinking: drop whole objects (with their events), then
+   single events, then bindings, then grants — each pass a greedy
+   fixpoint, re-checking the failing property on the shrunk scenario. *)
+let shrink_coalition ~fails (sc : Parallel.Scenario.t) =
+  let module S = Parallel.Scenario in
+  let without_object sc =
+    List.map
+      (fun (o : S.obj) ->
+        {
+          sc with
+          S.objects = List.filter (fun (o' : S.obj) -> o' != o) sc.S.objects;
+          S.events =
+            List.filter
+              (fun ev ->
+                match S.subject ev with
+                | Some id -> not (String.equal id o.S.id)
+                | None -> true)
+              sc.S.events;
+        })
+      sc.S.objects
+  in
+  let field get set sc =
+    List.map (fun smaller -> set sc smaller) (drop_one (get sc))
+  in
+  let passes =
+    [
+      without_object;
+      field (fun sc -> sc.S.events) (fun sc evs -> { sc with S.events = evs });
+      field (fun sc -> sc.S.bindings) (fun sc bs -> { sc with S.bindings = bs });
+      field (fun sc -> sc.S.grants) (fun sc gs -> { sc with S.grants = gs });
+    ]
+  in
+  List.fold_left
+    (fun sc candidates -> shrink ~fails ~candidates sc)
+    sc passes
+
+(* Workflow shrinking: drop duties, tasks (fixing up DAG edges and duty
+   memberships), performers, bindings, grants.  Each candidate is
+   re-validated through [Workflow_family.make]; candidates that no
+   longer form a well-formed workflow are simply not offered. *)
+let shrink_workflow ~fails (wf : Scenarios.Workflow_family.t) =
+  let module W = Scenarios.Workflow_family in
+  let rebuild ?grants ?assignments ?duties ?performers ?tasks (wf : W.t) =
+    let d v = function Some x -> x | None -> v in
+    match
+      W.make ~users:wf.W.users ~roles:wf.W.roles
+        ~grants:(d wf.W.grants grants)
+        ~assignments:(d wf.W.assignments assignments)
+        ~bindings:wf.W.bindings
+        ~duties:(d wf.W.duties duties)
+        ?plan:wf.W.plan
+        ~performers:(d wf.W.performers performers)
+        ~tasks:(d wf.W.tasks tasks)
+        ()
+    with
+    | wf -> Some wf
+    | exception Invalid_argument _ -> None
+  in
+  let without_task (wf : W.t) =
+    List.filter_map
+      (fun (victim : W.task) ->
+        let tasks =
+          List.filter_map
+            (fun (tk : W.task) ->
+              if String.equal tk.W.name victim.W.name then None
+              else
+                Some
+                  {
+                    tk with
+                    W.after =
+                      List.filter
+                        (fun a -> not (String.equal a victim.W.name))
+                        tk.W.after;
+                  })
+            wf.W.tasks
+        in
+        let duties =
+          List.filter_map
+            (fun duty ->
+              let keep ns =
+                List.filter (fun n -> not (String.equal n victim.W.name)) ns
+              in
+              match duty with
+              | W.Separation ns ->
+                  let ns = keep ns in
+                  if List.length ns >= 2 then Some (W.Separation ns) else None
+              | W.Binding ns ->
+                  let ns = keep ns in
+                  if List.length ns >= 2 then Some (W.Binding ns) else None)
+            wf.W.duties
+        in
+        rebuild ~tasks ~duties wf)
+      wf.W.tasks
+  in
+  let on_list get put (wf : W.t) =
+    List.filter_map (fun smaller -> put wf smaller) (drop_one (get wf))
+  in
+  let passes =
+    [
+      on_list (fun wf -> wf.W.duties) (fun wf ds -> rebuild ~duties:ds wf);
+      without_task;
+      on_list
+        (fun wf -> wf.W.performers)
+        (fun wf ps -> rebuild ~performers:ps wf);
+      on_list (fun wf -> wf.W.grants) (fun wf gs -> rebuild ~grants:gs wf);
+      on_list
+        (fun wf -> wf.W.assignments)
+        (fun wf asgs -> rebuild ~assignments:asgs wf);
+    ]
+  in
+  List.fold_left
+    (fun wf candidates -> shrink ~fails ~candidates wf)
+    wf passes
+
+(* Standard failure protocol for randomized suites: print seed + repro
+   command (each_seed already does), then a *minimized* counterexample
+   so the defect is readable without replaying hundreds of cases. *)
+let report_minimized ~seed ~what pp x =
+  Printf.eprintf
+    "[gen] minimized %s (effective seed %d, %s):\n%s\n%!" what seed
+    (repro_env seed)
+    (Format.asprintf "%a" pp x)
 
 (* ------------------------------------------------------------------ *)
 (* Coalitions — one generator, shared with the engine and the bench    *)
@@ -42,6 +201,12 @@ let pick = Parallel.Workload.pick
 let coalition = Parallel.Workload.scenario
 let coalitions = Parallel.Workload.coalitions
 let bindings rng = Parallel.Workload.bindings ~resources:[ "r1"; "r2"; "r3" ] rng
+
+(* The temporal-workflow scenario family, same seeding discipline as
+   [coalitions]: workflow [i] of a batch depends only on (salt, seed,
+   i). *)
+let workflow = Scenarios.Workflow_family.generate
+let workflows = Scenarios.Workflow_family.workflows
 
 (* The fuzz suites' random RBAC policy, materialized from the same
    grant/assignment distributions the coalition generator uses. *)

@@ -514,6 +514,118 @@ let test_oracle_queries () =
     (Printf.sprintf "impossible verdicts exercised (%d)" !impossible)
     true (!impossible > 10)
 
+(* ------------------------------------------------------------------ *)
+(* The workflow family through the analyzer                            *)
+(* ------------------------------------------------------------------ *)
+
+module WF = Scenarios.Workflow_family
+module WSat = Scenarios.Workflow_sat
+
+(* Analyzer ⇒ checker, cross-harness: plant a binding with a
+   semantically contradictory spatial constraint over one task's
+   access.  The analyzer must flag it Unsatisfiable on the deployed
+   policy (same Policy_lang view the runtime uses), and because an
+   unsatisfiable binding denies every access it applies to, the
+   workflow satisfiability checker — and the brute-force oracle — must
+   both find the workflow impossible. *)
+let test_workflow_unsat_binding () =
+  Gen.each_seed ~salt:6620 ~count:30 (fun ~seed rng ->
+      let wf, _ = WF.satisfiable rng in
+      let victim = List.hd wf.WF.tasks in
+      let a = victim.WF.access in
+      let contradiction = F.And (F.Atom a, F.Not (F.Atom a)) in
+      let poison =
+        PB.make ~spatial:contradiction
+          ~spatial_scope:PB.Program
+          (Rbac.Perm.make
+             ~operation:(A.operation_name a.A.op)
+             ~target:(a.A.resource ^ "@" ^ a.A.server))
+      in
+      let wf =
+        WF.make ~users:wf.WF.users ~roles:wf.WF.roles ~grants:wf.WF.grants
+          ~assignments:wf.WF.assignments
+          ~bindings:(poison :: wf.WF.bindings)
+          ~duties:wf.WF.duties ?plan:wf.WF.plan ~performers:wf.WF.performers
+          ~tasks:wf.WF.tasks ()
+      in
+      let pl = { PL.policy = WF.policy_of wf; bindings = wf.WF.bindings } in
+      let report = An.analyze pl in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: analyzer flags the poison binding" seed)
+        true
+        (List.exists
+           (function An.Unsatisfiable { index = 0; _ } -> true | _ -> false)
+           report.An.findings);
+      (match WSat.check wf with
+      | WSat.Impossible _ -> ()
+      | WSat.Complete w ->
+          Alcotest.failf
+            "seed %d: unsatisfiable-binding workflow completed by %s" seed
+            (String.concat "," (List.map (fun (t, p) -> t ^ "=" ^ p) w)));
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: brute force agrees" seed)
+        true
+        (WSat.brute_force wf = None))
+
+(* Checker ⇒ safety, cross-harness: every access of a satisfiable
+   workflow's witness is RBAC-granted for its performer's owner, so
+   Safety.can_acquire in a fully-connected world must never call it
+   Impossible — Impossible is a soundness claim ("no walk acquires")
+   that a replayed runtime grant would refute. *)
+let test_workflow_safety_cross_check () =
+  Gen.each_seed ~salt:6621 ~count:10 (fun ~seed rng ->
+      let wf, _ = WF.satisfiable rng in
+      match WSat.check wf with
+      | WSat.Impossible imp ->
+          Alcotest.failf "seed %d: satisfiable family unsat: %s" seed
+            (WSat.explain imp)
+      | WSat.Complete witness ->
+          let servers = [ "s1"; "s2" ] in
+          let links =
+            List.concat_map
+              (fun x -> List.map (fun y -> (x, y)) servers)
+              servers
+          in
+          let universe =
+            List.sort_uniq A.compare
+              (List.map (fun (tk : WF.task) -> tk.WF.access) wf.WF.tasks)
+          in
+          let world =
+            W.make ~links ~entries:servers ~servers ~universe ()
+          in
+          let pl =
+            { PL.policy = WF.policy_of wf; bindings = wf.WF.bindings }
+          in
+          List.iter
+            (fun (task, pid) ->
+              let tk =
+                List.find
+                  (fun (tk : WF.task) -> String.equal tk.WF.name task)
+                  wf.WF.tasks
+              in
+              let p =
+                List.find
+                  (fun (p : WF.performer) -> String.equal p.WF.id pid)
+                  wf.WF.performers
+              in
+              let perm =
+                Rbac.Perm.make
+                  ~operation:(A.operation_name tk.WF.access.A.op)
+                  ~target:
+                    (tk.WF.access.A.resource ^ "@" ^ tk.WF.access.A.server)
+              in
+              match
+                Sf.can_acquire ~world ~policy:pl ~user:p.WF.owner ~perm
+                  ~server:tk.WF.access.A.server
+              with
+              | Sf.Impossible _ ->
+                  Alcotest.failf
+                    "seed %d: runtime grants %s to %s but safety says \
+                     impossible"
+                    seed task pid
+              | Sf.Acquirable _ | Sf.Undetermined _ -> ())
+            witness)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -561,5 +673,12 @@ let () =
             test_oracle_shadowing;
           Alcotest.test_case "safety verdicts are honest" `Quick
             test_oracle_queries;
+        ] );
+      ( "workflows",
+        [
+          Alcotest.test_case "unsatisfiable binding sinks the workflow" `Quick
+            test_workflow_unsat_binding;
+          Alcotest.test_case "safety agrees witnesses are acquirable" `Quick
+            test_workflow_safety_cross_check;
         ] );
     ]

@@ -398,6 +398,56 @@ let test_chaos_fuzz_fail_closed () =
             (Format.pp_print_list Fault.Invariant.pp_violation)
             vs)
 
+(* The workflow family under chaos: Fault.Plan over workflow runs.
+   (a) Same workflow + same assignment ⇒ byte-identical exported
+   traces; (b) the per-slot fail-closed law — a task whose server is
+   inside a crash window at its decision slot is denied
+   Server_unavailable, and a granted task's server was up. *)
+let test_workflow_chaos () =
+  let module W = Scenarios.Workflow_family in
+  Gen.each_seed ~salt:7790 ~count:40 (fun ~seed rng ->
+      let wf = W.adversarial ~faults:true rng in
+      let ids = Array.of_list (List.map (fun (p : W.performer) -> p.W.id) wf.W.performers) in
+      let asg =
+        List.mapi
+          (fun k (tk : W.task) -> (tk.W.name, ids.(k mod Array.length ids)))
+          wf.W.tasks
+      in
+      let outcome = W.run wf asg in
+      let outcome' = W.run wf asg in
+      (match
+         Fault.Invariant.determinism
+           (Obs.Export.to_string outcome.W.raw.Parallel.Scenario.trace)
+           (Obs.Export.to_string outcome'.W.raw.Parallel.Scenario.trace)
+       with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "seed %d: workflow run not reproducible: %s" seed msg);
+      List.iteri
+        (fun k (r : W.task_result) ->
+          let tk = List.nth wf.W.tasks k in
+          let down =
+            match wf.W.plan with
+            | None -> false
+            | Some plan ->
+                Fault.Plan.server_down plan
+                  ~server:tk.W.access.Sral.Access.server ~time:(W.slot k)
+          in
+          match (down, r.W.verdict) with
+          | true, Coordinated.Decision.Denied (Coordinated.Decision.Server_unavailable _)
+            -> ()
+          | true, v ->
+              Alcotest.failf
+                "seed %d task %s: server down at slot %d but verdict %a" seed
+                r.W.task k Coordinated.Decision.pp_verdict v
+          | false, Coordinated.Decision.Denied (Coordinated.Decision.Server_unavailable s)
+            ->
+              Alcotest.failf
+                "seed %d task %s: server %s up at its slot but denied \
+                 unavailable"
+                seed r.W.task s
+          | false, _ -> ())
+        outcome.W.results)
+
 let () =
   Alcotest.run "fault"
     [
@@ -450,5 +500,7 @@ let () =
             test_chaos_modes_agree_on_decisions;
           Alcotest.test_case "fail-closed over 200 fuzz coalitions" `Slow
             test_chaos_fuzz_fail_closed;
+          Alcotest.test_case "workflows: deterministic and fail-closed" `Quick
+            test_workflow_chaos;
         ] );
     ]

@@ -247,6 +247,70 @@ let test_differential_repeated_checks () =
         true
         (v_fast = v_naive && String.equal log_fast log_naive))
 
+(* 8. The temporal-workflow family as a fuzz workload: the model-level
+   safety properties must hold on workflow-shaped runs too.  (a) The
+   satisfiable family's planted witness really completes and the
+   checker's own witness replays; (b) the unsatisfiable family never
+   completes under *any* assignment the checker or brute force can
+   find; (c) the checker's verdict is decision-mode independent —
+   Indexed vs Naive is a cache strategy, not a semantics. *)
+let test_workflow_family_invariants () =
+  let module W = Scenarios.Workflow_family in
+  let module Sat = Scenarios.Workflow_sat in
+  Gen.each_seed ~salt:7778 ~count:30 (fun ~seed rng ->
+      let wf, planted = W.satisfiable rng in
+      let fail_shrunk fails msg =
+        Gen.report_minimized ~seed ~what:"workflow" W.pp
+          (Gen.shrink_workflow ~fails wf);
+        Alcotest.failf "seed %d: %s" seed msg
+      in
+      if not (W.run wf planted).W.completed then
+        fail_shrunk
+          (fun wf' ->
+            List.length wf'.W.tasks = List.length wf.W.tasks
+            && not (W.run wf' planted).W.completed)
+          "planted witness does not complete";
+      (match Sat.check wf with
+      | Sat.Complete w ->
+          if not (W.run wf w).W.completed then
+            fail_shrunk
+              (fun wf' ->
+                match Sat.check wf' with
+                | Sat.Complete w' -> not (W.run wf' w').W.completed
+                | Sat.Impossible _ -> false)
+              "checker witness does not replay"
+      | Sat.Impossible imp ->
+          Alcotest.failf "seed %d: satisfiable family unsat: %s" seed
+            (Sat.explain imp));
+      let adv = W.generate W.Adversarial rng in
+      let verdict mode = Format.asprintf "%a" Sat.pp_verdict (Sat.check ~mode adv) in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: indexed = naive on workflows" seed)
+        (verdict Coordinated.System.Indexed)
+        (verdict Coordinated.System.Naive))
+
+let test_workflow_unsat_never_completes () =
+  let module W = Scenarios.Workflow_family in
+  let module Sat = Scenarios.Workflow_sat in
+  Gen.each_seed ~salt:7779 ~count:30 (fun ~seed rng ->
+      let wf = W.unsatisfiable rng in
+      (match Sat.check wf with
+      | Sat.Impossible _ -> ()
+      | Sat.Complete w ->
+          Gen.report_minimized ~seed ~what:"workflow" W.pp
+            (Gen.shrink_workflow
+               ~fails:(fun wf' ->
+                 match Sat.check wf' with
+                 | Sat.Complete _ -> true
+                 | Sat.Impossible _ -> false)
+               wf);
+          Alcotest.failf "seed %d: unsatisfiable family completed by %s" seed
+            (String.concat "," (List.map (fun (t, p) -> t ^ "=" ^ p) w)));
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: brute force agrees" seed)
+        true
+        (Sat.brute_force wf = None))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -270,5 +334,12 @@ let () =
             `Quick test_differential_indexed_vs_naive;
           Alcotest.test_case "cache hits stay faithful" `Quick
             test_differential_repeated_checks;
+        ] );
+      ( "workflows",
+        [
+          Alcotest.test_case "family invariants" `Quick
+            test_workflow_family_invariants;
+          Alcotest.test_case "unsat family never completes" `Quick
+            test_workflow_unsat_never_completes;
         ] );
     ]

@@ -27,12 +27,32 @@ let shard_counts =
    identically), and team-free with a larger population (every object
    its own component — the embarrassingly-parallel shape). *)
 let corpus =
+  let module W = Scenarios.Workflow_family in
+  (* A workflow as coalition data: round-robin the performers over the
+     tasks — conformance does not care whether the run completes, only
+     that sharded and sequential interpretations agree on it. *)
+  let wf_family fam salt =
+    Array.map
+      (fun (wf : W.t) ->
+        let ids = Array.of_list (List.map (fun (p : W.performer) -> p.W.id) wf.W.performers) in
+        W.to_scenario wf
+          (List.mapi
+             (fun k (tk : W.task) ->
+               (tk.W.name, ids.(k mod Array.length ids)))
+             wf.W.tasks))
+      (Gen.workflows fam ~salt ~count:20 Gen.offset)
+  in
   Array.concat
     [
       Gen.coalitions ~salt:6060 ~count:150 Gen.offset;
       Gen.coalitions ~salt:6061 ~faults:true ~count:100 Gen.offset;
       Gen.coalitions ~salt:6062 ~teams:false ~objects:6 ~events:30 ~count:50
         Gen.offset;
+      (* workflow-derived coalitions: straight-line scripts, canonical
+         schedules, optional fault plans — a qualitatively different
+         event shape (arrive/check lockstep) for the sharded engine *)
+      wf_family W.Satisfiable 6065;
+      wf_family W.Adversarial 6066;
     ]
 
 let () = assert (Array.length corpus >= 300)
@@ -42,11 +62,11 @@ let check_report shards (r : Engine.report) =
   | [] -> ()
   | (i, d) :: _ ->
       Alcotest.failf
-        "STACC_TEST_SEED=%d shards=%d: %d divergence(s); first: coalition %d \
-         diverged on %s"
-        Gen.offset shards
+        "%d divergence(s); first: coalition %d diverged on %s; reproduce \
+         with: STACC_TEST_SEED=%d STACC_SHARDS=%d dune exec \
+         test/test_parallel.exe"
         (List.length r.Engine.divergences)
-        i d
+        i d Gen.offset shards
 
 (* 1. The headline property: both sharding strategies conform over the
    whole corpus, at every configured shard count. *)

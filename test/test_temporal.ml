@@ -88,6 +88,54 @@ let test_interval_inter_split () =
       Alcotest.(check bool) "right" true (Interval.equal r (iv 4 10))
   | None -> Alcotest.fail "split failed"
 
+(* Boundary cases the workflow windows lean on (mirroring PR 5's
+   crash-window boundary tests): point windows, touching endpoints,
+   rational endpoints.  Interval is closed at *both* ends — unlike
+   Fault.Plan's half-open crash windows — so a decision slot landing
+   exactly on a window edge is in. *)
+let test_interval_boundaries () =
+  (* point (zero-length) windows contain exactly their instant *)
+  let p = Interval.make (qq 5 2) (qq 5 2) in
+  Alcotest.(check bool) "point is a point" true (Interval.is_point p);
+  check_q "point has zero length" Q.zero (Interval.length p);
+  Alcotest.(check bool) "point contains its instant" true
+    (Interval.contains p (qq 5 2));
+  Alcotest.(check bool) "point misses 5/2 + 1/1000" false
+    (Interval.contains p (Q.add (qq 5 2) (qq 1 1000)));
+  Alcotest.(check bool) "point misses 5/2 - 1/1000" false
+    (Interval.contains p (Q.sub (qq 5 2) (qq 1 1000)));
+  (* touching endpoints: the intersection degenerates to a point
+     rather than disappearing *)
+  (match Interval.inter (iv 0 4) (iv 4 9) with
+  | Some i ->
+      Alcotest.(check bool) "touching inter is the shared point" true
+        (Interval.equal i (iv 4 4))
+  | None -> Alcotest.fail "touching intervals must intersect");
+  Alcotest.(check bool) "subsumes its own endpoint point" true
+    (Interval.subsumes (iv 0 4) (iv 4 4));
+  (* splitting at an endpoint yields a point half, not a failure *)
+  (match Interval.split (iv 2 6) (q 2) with
+  | Some (l, r) ->
+      Alcotest.(check bool) "left half is the lo point" true
+        (Interval.is_point l);
+      Alcotest.(check bool) "right half is whole" true
+        (Interval.equal r (iv 2 6))
+  | None -> Alcotest.fail "split at lo endpoint failed");
+  Alcotest.(check bool) "split outside fails" true
+    (Interval.split (iv 2 6) (q 7) = None);
+  (* rational endpoints are exact: no epsilon slop on either side *)
+  let w = Interval.make (qq 1 3) (qq 2 3) in
+  Alcotest.(check bool) "1/3 in" true (Interval.contains w (qq 1 3));
+  Alcotest.(check bool) "2/3 in" true (Interval.contains w (qq 2 3));
+  Alcotest.(check bool) "333333/1000000 out" false
+    (Interval.contains w (Q.make 333333 1000000));
+  check_q "exact rational length" (qq 1 3) (Interval.length w);
+  match Interval.inter (Interval.make (qq 1 3) (qq 1 2)) (Interval.make (qq 1 2) (qq 2 3)) with
+  | Some i ->
+      Alcotest.(check bool) "rational touching point" true
+        (Interval.equal i (Interval.make (qq 1 2) (qq 1 2)))
+  | None -> Alcotest.fail "rational touching intervals must intersect"
+
 (* --- step functions --- *)
 
 let test_step_fn_value_at () =
@@ -494,6 +542,47 @@ let test_periodic_measure () =
     (Periodic.enabled_measure night
        (Interval.make (q 22) (Q.add (q 22) (qq 5 2))))
 
+(* Periodic windows are half-open [start, start + length) — the other
+   convention from Interval's closed one; these boundary cases pin the
+   difference down exactly where workflow windows meet TRBAC-style
+   enabling. *)
+let test_periodic_boundaries () =
+  let night = Periodic.daily ~start_hour:(q 22) ~length_hours:(q 5) in
+  Alcotest.(check bool) "open exactly at start" true
+    (Periodic.contains night (q 22));
+  Alcotest.(check bool) "closed exactly at end (22+5=27)" false
+    (Periodic.contains night (q 27));
+  Alcotest.(check bool) "1/1000 before the end still in" true
+    (Periodic.contains night (Q.sub (q 27) (qq 1 1000)));
+  Alcotest.(check bool) "1/1000 before start still out" false
+    (Periodic.contains night (Q.sub (q 22) (qq 1 1000)));
+  (* next_window_start at the exact boundaries *)
+  check_q "asking exactly at the end gets the next repetition" (q 46)
+    (Periodic.next_window_start night ~after:(q 27));
+  check_q "asking exactly at the start gets this repetition" (q 22)
+    (Periodic.next_window_start night ~after:(q 22));
+  (* a whole-period window is enabled everywhere *)
+  let always = Periodic.make ~start:Q.zero ~length:(q 24) ~period:(q 24) in
+  Alcotest.(check bool) "full-period window always on" true
+    (Periodic.contains always (qq 999 7));
+  check_q "full-period measure is the interval length" (q 10)
+    (Periodic.enabled_measure always (iv 3 13));
+  (* measuring across the closed end: [27, 46] holds no window time
+     except the opening instant 46, which has measure zero *)
+  check_q "gap between repetitions measures zero" Q.zero
+    (Periodic.enabled_measure night (Interval.make (q 27) (q 46)));
+  (* rational-endpoint periodic window: start 1/2, length 1/3 *)
+  let tiny = Periodic.make ~start:(qq 1 2) ~length:(qq 1 3) ~period:(q 2) in
+  Alcotest.(check bool) "1/2 in" true (Periodic.contains tiny (qq 1 2));
+  Alcotest.(check bool) "5/6 out (half-open)" false
+    (Periodic.contains tiny (qq 5 6));
+  Alcotest.(check bool) "5/6 - 1/1000 in" true
+    (Periodic.contains tiny (Q.sub (qq 5 6) (qq 1 1000)));
+  Alcotest.(check bool) "repeats at 5/2" true
+    (Periodic.contains tiny (qq 5 2));
+  check_q "rational window measure over one period" (qq 1 3)
+    (Periodic.enabled_measure tiny (Interval.make Q.zero (q 2)))
+
 let test_periodic_validation () =
   Alcotest.check_raises "bad period"
     (Invalid_argument "Periodic.make: period <= 0") (fun () ->
@@ -535,6 +624,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_interval_basics;
           Alcotest.test_case "inter/split" `Quick test_interval_inter_split;
+          Alcotest.test_case "boundaries" `Quick test_interval_boundaries;
         ] );
       ( "step-fn",
         [
@@ -569,6 +659,7 @@ let () =
           Alcotest.test_case "step fn" `Quick test_periodic_step_fn;
           Alcotest.test_case "next window" `Quick test_periodic_next_window;
           Alcotest.test_case "measure" `Quick test_periodic_measure;
+          Alcotest.test_case "boundaries" `Quick test_periodic_boundaries;
           Alcotest.test_case "validation" `Quick test_periodic_validation;
           QCheck_alcotest.to_alcotest periodic_step_fn_agrees;
         ] );
