@@ -763,6 +763,87 @@ let e18_report () =
   if !divergences > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* E19 — million-object coalitions on the struct-of-arrays engine.
+   Two parts.  First the conformance gate: a span of randomized
+   coalitions (teams, channel traffic, fault plans, a mid-run admin
+   action) is driven through both the SoA world and the retained
+   legacy world by the same functorized harness, and their exported
+   traces are compared byte for byte — the scaling numbers only count
+   if that gate passes.  Then the scaling table: uniform coalitions of
+   10^3..10^6 agents, reporting build time (spawn + arrival), run
+   time, processed events, steady-state events per second, and memory
+   (live words after a major GC, plus the process peak heap).
+
+   Env knobs for CI: [E19_MAX_OBJECTS] caps the largest scale (default
+   1_000_000); [E19_CONFORMANCE_RUNS] sizes the gate (default 25);
+   [E19_TRACE_OUT] additionally writes the fixed-seed (salt 1919,
+   seed 7) SoA trace to a file so two runs can be [cmp]'d for byte
+   determinism. *)
+
+let e19_report () =
+  let env_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( try int_of_string s with _ -> default)
+    | None -> default
+  in
+  let max_objects = env_int "E19_MAX_OBJECTS" 1_000_000 in
+  let runs = env_int "E19_CONFORMANCE_RUNS" 25 in
+  let diverged = Scenarios.Scale_family.divergences ~runs 0 in
+  Printf.printf
+    "  conformance (SoA vs legacy): %d randomized coalitions, %d \
+     divergence(s)%s\n%!"
+    runs (List.length diverged)
+    (match diverged with
+    | [] -> ""
+    | seeds ->
+        " at seed(s) " ^ String.concat "," (List.map string_of_int seeds));
+  if diverged <> [] then exit 1;
+  (match Sys.getenv_opt "E19_TRACE_OUT" with
+  | None -> ()
+  | Some path ->
+      let trace = Scenarios.Scale_family.Soa.random_trace ~salt:1919 ~seed:7 () in
+      let oc = open_out path in
+      output_string oc trace;
+      close_out oc;
+      Printf.printf "  fixed-seed trace: %d bytes written to %s\n%!"
+        (String.length trace) path);
+  Printf.printf "  %-9s %7s %10s %10s %10s %11s %9s %9s\n%!" "objects"
+    "servers" "build" "run" "events" "events/s" "live" "peak";
+  List.iter
+    (fun objects ->
+      if objects <= max_objects then begin
+        let servers = max 4 (objects / 2_500) in
+        let config =
+          {
+            Naplet.World.default_config with
+            Naplet.World.max_events = (objects * 64) + 4096;
+          }
+        in
+        let t0 = Monotonic_clock.now () in
+        let world =
+          Scenarios.Scale_family.Soa.build_big ~config ~objects ~servers ()
+        in
+        let t1 = Monotonic_clock.now () in
+        ignore (Naplet.World.run world);
+        let t2 = Monotonic_clock.now () in
+        (* stat while the world is still reachable, so live words count
+           its state tables, not just the residue after collection *)
+        Gc.full_major ();
+        let stat = Gc.stat () in
+        let events = Naplet.World.processed_events world in
+        let run_s = Int64.to_float (Int64.sub t2 t1) /. 1e9 in
+        Printf.printf
+          "  %-9d %7d %8.2f s %8.2f s %10d %11.0f %7.1fMw %7.1fMw\n%!" objects
+          servers
+          (Int64.to_float (Int64.sub t1 t0) /. 1e9)
+          run_s events
+          (float_of_int events /. run_s)
+          (float_of_int stat.Gc.live_words /. 1e6)
+          (float_of_int stat.Gc.top_heap_words /. 1e6)
+      end)
+    [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+(* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
 let scenario_tests =
@@ -836,7 +917,7 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17"; "E18" ]
+    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17"; "E18"; "E19" ]
   in
   List.iter
     (fun id ->
@@ -856,6 +937,10 @@ let () =
         Printf.printf "== E18 ==\n%!";
         e18_report ()
       end
+      else if id = "E19" then begin
+        Printf.printf "== E19 ==\n%!";
+        e19_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
@@ -863,6 +948,7 @@ let () =
             run_group test
         | None ->
             Printf.printf
-              "unknown experiment id %S (known: %s, E14, E15, E17, E18)\n" id
+              "unknown experiment id %S (known: %s, E14, E15, E17, E18, E19)\n"
+              id
               (String.concat ", " (List.map fst all_groups)))
     selected

@@ -529,11 +529,47 @@ let e12 () =
      group(s), %d binding(s) after aggregation\n"
     groups merged
 
+let e19 () =
+  header "E19 — big-coalition scaling on the SoA engine";
+  let max_objects =
+    match Sys.getenv_opt "E19_MAX_OBJECTS" with
+    | Some s -> ( try int_of_string s with _ -> 10_000)
+    | None -> 10_000 (* the full 10^6 sweep lives in bench/main.exe E19 *)
+  in
+  let diverged = Scenarios.Scale_family.divergences ~runs:10 0 in
+  Printf.printf "conformance (SoA vs legacy world): %d/10 byte-identical\n"
+    (10 - List.length diverged);
+  Printf.printf "%-10s %8s %12s %12s %10s %12s\n" "objects" "servers"
+    "build (s)" "run (s)" "events" "events/s";
+  List.iter
+    (fun objects ->
+      if objects <= max_objects then begin
+        let servers = max 4 (objects / 2_500) in
+        let config =
+          {
+            Naplet.World.default_config with
+            Naplet.World.max_events = (objects * 64) + 4096;
+          }
+        in
+        let t0 = Sys.time () in
+        let world =
+          Scenarios.Scale_family.Soa.build_big ~config ~objects ~servers ()
+        in
+        let t1 = Sys.time () in
+        ignore (Naplet.World.run world);
+        let t2 = Sys.time () in
+        let events = Naplet.World.processed_events world in
+        Printf.printf "%-10d %8d %12.3f %12.3f %10d %12.0f\n%!" objects servers
+          (t1 -. t0) (t2 -. t1) events
+          (float_of_int events /. (t2 -. t1))
+      end)
+    [ 1_000; 10_000; 100_000; 1_000_000 ]
+
 let all =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
     ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
-    ("E11", e11); ("E12", e12);
+    ("E11", e11); ("E12", e12); ("E19", e19);
   ]
 
 let () =

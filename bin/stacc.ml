@@ -440,11 +440,20 @@ let bench_parallel_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
+  let big_arg =
+    let doc =
+      "Instead of many small coalitions, benchmark object-level sharding \
+       on ONE big coalition of $(docv) mobile objects in team-closed \
+       blocks (Workload.big_coalition); the shard sweep then measures \
+       object_sharded against the sequential interpreter."
+    in
+    Arg.(value & opt int 0 & info [ "big" ] ~docv:"OBJECTS" ~doc)
+  in
   let mode_arg =
     let doc = "Decision mode: indexed or naive." in
     Arg.(value & opt string "indexed" & info [ "mode" ] ~docv:"MODE" ~doc)
   in
-  let run coalitions shards seed events faults verify mode =
+  let run coalitions big shards seed events faults verify mode =
     match
       match mode with
       | "indexed" -> Ok Coordinated.System.Indexed
@@ -454,6 +463,49 @@ let bench_parallel_cmd =
     | Error msg ->
         Format.eprintf "error: %s@." msg;
         1
+    | Ok mode when big > 0 ->
+        let shards = if shards = [] then [ 1; 2; 4; 8 ] else shards in
+        let rng = Random.State.make [| 1717; seed |] in
+        let sc = Parallel.Workload.big_coalition ~objects:big rng in
+        let checks = Parallel.Scenario.checks sc in
+        Printf.printf "backend: %s, recommended shards: %d\n"
+          (if Parallel.Backend.domains then "ocaml5-domains" else "single-4.14")
+          (Parallel.Backend.recommended ());
+        Printf.printf
+          "workload: 1 big coalition, %d objects in team-closed blocks, %d \
+           checks, seed %d\n%!"
+          big checks seed;
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let expected, seq_s = time (fun () -> Parallel.Scenario.run ~mode sc) in
+        let row name shards s =
+          Printf.printf "%-12s %7s %9.2f ms %12.0f req/s %7.2fx\n%!" name
+            shards (s *. 1e3)
+            (float_of_int checks /. s)
+            (seq_s /. s)
+        in
+        row "sequential" "-" seq_s;
+        List.fold_left
+          (fun rc n ->
+            let actual, s =
+              time (fun () -> Parallel.Engine.object_sharded ~mode ~shards:n sc)
+            in
+            row "obj-sharded" (string_of_int n) s;
+            if not verify then rc
+            else
+              match Parallel.Engine.diff ~expected ~actual with
+              | None ->
+                  Printf.printf
+                    "  conformance @ %d shard(s): observationally identical\n%!"
+                    n;
+                  rc
+              | Some d ->
+                  Printf.printf "  divergence @ %d shard(s): %s\n%!" n d;
+                  1)
+          0 shards
     | Ok mode ->
         let shards = if shards = [] then [ 1; 2; 4; 8 ] else shards in
         let scenarios =
@@ -518,8 +570,8 @@ let bench_parallel_cmd =
               a sharded run diverges from the sequential oracle.";
          ])
     Term.(
-      const run $ coalitions_arg $ shards_arg $ seed_arg $ events_arg
-      $ faults_arg $ verify_arg $ mode_arg)
+      const run $ coalitions_arg $ big_arg $ shards_arg $ seed_arg
+      $ events_arg $ faults_arg $ verify_arg $ mode_arg)
 
 (* --- dot --- *)
 

@@ -1,0 +1,42 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let create ?(capacity = 16) () =
+  {
+    ids = Hashtbl.create (max 1 capacity);
+    names = Array.make (max 1 capacity) "";
+    count = 0;
+  }
+
+let find t s = Hashtbl.find_opt t.ids s
+let mem t s = Hashtbl.mem t.ids s
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id >= Array.length t.names then begin
+        let bigger = Array.make (2 * Array.length t.names) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- s;
+      Hashtbl.add t.ids s id;
+      t.count <- id + 1;
+      id
+
+let name t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Intern.name: unknown id %d" id)
+  else t.names.(id)
+
+let count t = t.count
+
+let iter t f =
+  for id = 0 to t.count - 1 do
+    f id t.names.(id)
+  done

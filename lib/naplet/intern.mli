@@ -1,0 +1,35 @@
+(** Append-only symbol arena: dense int ids for coalition names.
+
+    The scale rework keys every agent and server by a small int into
+    struct-of-arrays state tables instead of hashing strings on the hot
+    path.  An arena assigns ids densely in first-intern order (0, 1,
+    2, …) and never forgets or renumbers, so an id is a stable array
+    index for the lifetime of the arena and {!name} round-trips the
+    exact string that was interned — exported traces and logs keep
+    byte-identical names. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] sizes the initial tables (default 16); the arena grows
+    geometrically past it. *)
+
+val intern : t -> string -> int
+(** Get-or-add: the id already assigned to this string, or the next
+    dense id.  O(1) amortized. *)
+
+val find : t -> string -> int option
+(** Lookup without adding. *)
+
+val mem : t -> string -> bool
+
+val name : t -> int -> string
+(** The exact string interned for [id] — [name t (intern t s) == s]
+    for the first interning of [s].
+    @raise Invalid_argument if [id] was never assigned. *)
+
+val count : t -> int
+(** Ids assigned so far; valid ids are [0 .. count - 1]. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** All symbols in id order. *)

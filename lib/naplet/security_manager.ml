@@ -63,14 +63,15 @@ let on_arrival t ~object_id ~owner ~roles ~server ~time ~program =
   Coordinated.System.refresh t.control ~session ~object_id ~program ~time;
   (session, rejected)
 
+let check_session t ~session ~object_id ~program ~time access =
+  if unavailable t ~server:access.Sral.Access.server ~time then
+    refuse t ~object_id ~time access
+  else
+    Coordinated.System.check t.control ~session ~object_id ~program ~time access
+
 let check t ~object_id ~program ~time access =
   match Hashtbl.find_opt t.sessions object_id with
   | None -> invalid_arg ("Security_manager.check: unknown object " ^ object_id)
-  | Some session ->
-      if unavailable t ~server:access.Sral.Access.server ~time then
-        refuse t ~object_id ~time access
-      else
-        Coordinated.System.check t.control ~session ~object_id ~program ~time
-          access
+  | Some session -> check_session t ~session ~object_id ~program ~time access
 
 let session t ~object_id = Hashtbl.find_opt t.sessions object_id

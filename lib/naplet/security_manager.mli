@@ -65,4 +65,18 @@ val check :
   Coordinated.Decision.verdict
 (** @raise Invalid_argument if the object never arrived (no session). *)
 
+val check_session :
+  t ->
+  session:Rbac.Session.t ->
+  object_id:string ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  Coordinated.Decision.verdict
+(** {!check} with the session supplied by the caller, skipping the
+    per-object session lookup — the id-indexed world caches each
+    agent's session and decides accesses through this entry point.
+    Identical verdicts (and published events) to {!check} given the
+    session {!on_arrival} established for [object_id]. *)
+
 val session : t -> object_id:string -> Rbac.Session.t option

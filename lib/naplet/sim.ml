@@ -1,29 +1,50 @@
 module Q = Temporal.Q
 
-(* Binary min-heap on (time, seq); seq gives FIFO order at equal times. *)
-type 'a entry = { time : Q.t; seq : int; payload : 'a }
+(* Binary min-heap on (time, seq); seq gives FIFO order at equal times.
 
+   The heap is struct-of-arrays: the key of entry [i] is the unboxed
+   triple (num.(i), den.(i), seq.(i)) — the rational time's normalized
+   numerator/denominator and the insertion sequence number — and the
+   payload lives in a parallel array.  Sifting therefore moves three
+   ints and one pointer instead of allocating/chasing boxed entry
+   records, which is what lets a 10^6-object world's queue step at
+   memory bandwidth. *)
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable num : int array;
+  mutable den : int array;
+  mutable seq : int array;
+  mutable payload : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () =
+  { num = [||]; den = [||]; seq = [||]; payload = [||]; size = 0; next_seq = 0 }
 
-let entry_before e1 e2 =
-  let c = Q.compare e1.time e2.time in
-  if c <> 0 then c < 0 else e1.seq < e2.seq
+(* Q keeps [den > 0], so cross-multiplication is an exact comparison
+   (same overflow caveat as [Q.compare] itself). *)
+let before q i j =
+  let l = q.num.(i) * q.den.(j) and r = q.num.(j) * q.den.(i) in
+  if l <> r then l < r else q.seq.(i) < q.seq.(j)
 
 let swap q i j =
-  let tmp = q.heap.(i) in
-  q.heap.(i) <- q.heap.(j);
-  q.heap.(j) <- tmp
+  let n = q.num.(i) in
+  q.num.(i) <- q.num.(j);
+  q.num.(j) <- n;
+  let d = q.den.(i) in
+  q.den.(i) <- q.den.(j);
+  q.den.(j) <- d;
+  let s = q.seq.(i) in
+  q.seq.(i) <- q.seq.(j);
+  q.seq.(j) <- s;
+  let p = q.payload.(i) in
+  q.payload.(i) <- q.payload.(j);
+  q.payload.(j) <- p
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_before q.heap.(i) q.heap.(parent) then begin
+    if before q i parent then begin
       swap q i parent;
       sift_up q parent
     end
@@ -33,41 +54,71 @@ let rec sift_down q i =
   let left = (2 * i) + 1 in
   let right = left + 1 in
   let smallest = ref i in
-  if left < q.size && entry_before q.heap.(left) q.heap.(!smallest) then
-    smallest := left;
-  if right < q.size && entry_before q.heap.(right) q.heap.(!smallest) then
-    smallest := right;
+  if left < q.size && before q left !smallest then smallest := left;
+  if right < q.size && before q right !smallest then smallest := right;
   if !smallest <> i then begin
     swap q i !smallest;
     sift_down q !smallest
   end
 
+let resize q capacity filler =
+  let ints a =
+    let b = Array.make capacity 0 in
+    Array.blit a 0 b 0 q.size;
+    b
+  in
+  q.num <- ints q.num;
+  q.den <- ints q.den;
+  q.seq <- ints q.seq;
+  let p = Array.make capacity filler in
+  Array.blit q.payload 0 p 0 q.size;
+  q.payload <- p
+
 let schedule q ~time payload =
-  let entry = { time; seq = q.next_seq; payload } in
+  if q.size >= Array.length q.num then
+    resize q (max 16 (2 * Array.length q.num)) payload;
+  let i = q.size in
+  q.num.(i) <- (time : Q.t).Q.num;
+  q.den.(i) <- time.Q.den;
+  q.seq.(i) <- q.next_seq;
+  q.payload.(i) <- payload;
   q.next_seq <- q.next_seq + 1;
-  if q.size >= Array.length q.heap then begin
-    let capacity = max 16 (2 * Array.length q.heap) in
-    let bigger = Array.make capacity entry in
-    Array.blit q.heap 0 bigger 0 q.size;
-    q.heap <- bigger
-  end;
-  q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  sift_up q i
+
+(* Release the backing store's slack once the queue has emptied out:
+   after a large run's peak, a mostly-idle queue should not pin the
+   peak-sized arrays (or the payloads parked in their dead slots).
+   Halving at 1/4 occupancy keeps the resize cost amortized O(1). *)
+let maybe_shrink q =
+  let capacity = Array.length q.num in
+  if capacity > 16 && q.size < capacity / 4 then
+    if q.size = 0 then begin
+      q.num <- [||];
+      q.den <- [||];
+      q.seq <- [||];
+      q.payload <- [||]
+    end
+    else resize q (max 16 (capacity / 2)) q.payload.(0)
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
+    let time = Q.make q.num.(0) q.den.(0) in
+    let payload = q.payload.(0) in
     q.size <- q.size - 1;
     if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
+      q.num.(0) <- q.num.(q.size);
+      q.den.(0) <- q.den.(q.size);
+      q.seq.(0) <- q.seq.(q.size);
+      q.payload.(0) <- q.payload.(q.size);
       sift_down q 0
     end;
-    Some (top.time, top.payload)
+    maybe_shrink q;
+    Some (time, payload)
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some (Q.make q.num.(0) q.den.(0))
 let is_empty q = q.size = 0
 let size q = q.size
 
@@ -77,7 +128,9 @@ let drain q =
   in
   go []
 
-(* Keeps the backing array (it will be reused) but forgets every
-   pending entry; next_seq is preserved so FIFO tie-breaking stays
-   monotone across a clear. *)
-let clear q = q.size <- 0
+(* Forgets every pending entry and releases the backing store;
+   next_seq is preserved so FIFO tie-breaking stays monotone across a
+   clear. *)
+let clear q =
+  q.size <- 0;
+  maybe_shrink q

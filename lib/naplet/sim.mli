@@ -1,12 +1,25 @@
 (** Discrete-event simulation core: a priority queue of timed events
     over continuous (rational) time.
 
-    Ties are broken by insertion order, so runs are deterministic. *)
+    Ties are broken by insertion order, so runs are deterministic.
+    Internally the heap is struct-of-arrays with unboxed
+    [(num, den, seq)] keys — see [sim.ml] — but the interface is
+    unchanged from the boxed-entry version.
+
+    {b Sequence monotonicity.}  Every {!schedule} consumes the next
+    value of an internal sequence counter that only ever increases for
+    the lifetime of the queue — it is {e not} reset by {!pop},
+    {!drain} or {!clear}.  Consequences callers may rely on: two
+    events scheduled at equal times pop in schedule order (FIFO), and
+    that remains true even when the two schedules straddle a [clear]
+    or any number of pops — nothing stale can ever win a tie against
+    a later schedule. *)
 
 type 'a t
 
 val create : unit -> 'a t
 val schedule : 'a t -> time:Temporal.Q.t -> 'a -> unit
+
 val pop : 'a t -> (Temporal.Q.t * 'a) option
 (** Earliest event, or [None] when empty. *)
 
@@ -20,6 +33,10 @@ val drain : 'a t -> (Temporal.Q.t * 'a) list
     what was pending. *)
 
 val clear : 'a t -> unit
-(** Discard all pending events; [size] returns to [0].  Sequence
-    numbers keep increasing, so later schedules still tie-break FIFO
-    against nothing stale. *)
+(** Discard all pending events; [size] returns to [0].  The backing
+    arrays are released (shrunk whenever occupancy falls below 1/4 of
+    capacity, here to empty), so a queue that peaked at millions of
+    entries does not pin that storage — or the payloads parked in it —
+    after the run.  Sequence numbers keep increasing (see the header
+    note), so later schedules still tie-break FIFO against nothing
+    stale. *)

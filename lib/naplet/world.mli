@@ -60,7 +60,12 @@ val set_appraisal : t -> Appraisal.t -> unit
 
 val add_server : t -> Server.t -> unit
 val server : t -> string -> Server.t option
+
 val servers : t -> Server.t list
+(** Registered servers in id (registration) order — a cached indexed
+    walk over the struct-of-arrays server table; nothing is rebuilt or
+    re-sorted per call, and the order is stable across later
+    {!add_server} calls (existing prefix unchanged). *)
 
 val spawn :
   ?team:string ->
@@ -97,9 +102,23 @@ val pending_events : t -> int
 (** Events still queued in the simulator ([0] after {!halt} or a
     completed {!run}). *)
 
+val processed_events : t -> int
+(** Simulation events the {!run} loop has executed so far — the E19
+    throughput benchmarks report events per second from this. *)
+
 val clock : t -> Temporal.Q.t
+
 val agent : t -> string -> Agent.t option
+(** O(1): an interned-id lookup into the state columns.  The returned
+    record is a read-only view synthesized from the agent's row — its
+    [machine] is shared with the live agent, its [status]/[location]
+    are a snapshot at call time. *)
+
 val agents : t -> Agent.t list
+(** All agents as {!agent}-style views, in id (spawn) order — an
+    indexed walk, no sort; the order is stable across later {!spawn}s
+    (existing prefix unchanged). *)
+
 val metrics : t -> Metrics.t
 val channels : t -> Channel.t
 

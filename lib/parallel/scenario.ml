@@ -85,7 +85,14 @@ let replay ~control ~owns t =
          captured := ev :: !captured;
          incr captured_n));
   let sessions = Hashtbl.create 8 in
-  let find_obj id = List.find (fun o -> String.equal o.id id) t.objects in
+  (* indexed once per replay — big coalitions make the [List.find]
+     this replaces quadratic over the event stream.  First binding
+     wins, like [List.find] did, should an id ever repeat. *)
+  let by_id = Hashtbl.create (List.length t.objects) in
+  List.iter
+    (fun o -> if not (Hashtbl.mem by_id o.id) then Hashtbl.add by_id o.id o)
+    t.objects;
+  let find_obj id = Hashtbl.find by_id id in
   let session_of id =
     match Hashtbl.find_opt sessions id with
     | Some s -> s

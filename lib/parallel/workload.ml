@@ -157,6 +157,60 @@ let scenario ?(servers = default_servers) ?(resources = default_resources)
     plan;
   }
 
+(* One very large coalition in team-closed blocks: object [i] joins
+   team "blk<i/block>", so {!Partition.assign} recovers components of
+   exactly [block] objects and object-level sharding has [objects /
+   block] units to balance.  Programs come from a small shared pool
+   (the verdict cache's memo path sees real reuse, and generation
+   stays linear); every per-object lookup below is array-indexed, so
+   building 10^4..10^5 objects is cheap. *)
+let big_coalition ?(servers = default_servers)
+    ?(resources = default_resources) ?(block = 8) ?(checks_per_object = 2)
+    ~objects:count rng =
+  let pool =
+    Array.init 32 (fun _ ->
+        Sral.Generate.program ~allow_io:false ~resources ~servers
+          ~size:(3 + Random.State.int rng 6)
+          rng)
+  in
+  let objs =
+    Array.init count (fun i ->
+        {
+          Scenario.id = Printf.sprintf "o%d" (i + 1);
+          owner = pick rng users;
+          roles = List.filter (fun _ -> Random.State.bool rng) roles;
+          program = pool.(Random.State.int rng (Array.length pool));
+        })
+  in
+  let arrivals =
+    List.init count (fun i ->
+        Scenario.Arrive (objs.(i).Scenario.id, pick rng servers))
+  in
+  let joins =
+    List.init count (fun i ->
+        Scenario.Join
+          (objs.(i).Scenario.id, Printf.sprintf "blk%d" (i / block)))
+  in
+  (* checks interleave across the population round by round, so no
+     shard's work clusters at one end of the event stream *)
+  let checks =
+    List.concat
+      (List.init checks_per_object (fun _ ->
+           List.init count (fun i ->
+               Scenario.Check
+                 (objs.(i).Scenario.id, access ~resources ~servers rng))))
+  in
+  {
+    Scenario.users;
+    roles;
+    grants = grants ~resources ~servers rng;
+    assignments = assignments rng;
+    bindings = bindings ~resources rng;
+    objects = Array.to_list objs;
+    events = arrivals @ joins @ checks;
+    plan = None;
+  }
+
 let coalitions ?servers ?resources ?objects ?events ?teams ?faults ~salt ~count
     seed =
   Array.init count (fun i ->

@@ -14,6 +14,10 @@ val users : string list
 
 val roles : string list
 
+val team_names : string list
+(** The fixed team pool [Join] events and team-scoped coalitions draw
+    from. *)
+
 val grants :
   resources:string list ->
   servers:string list ->
@@ -46,6 +50,22 @@ val scenario :
     embarrassingly-parallel shape object-level sharding scales on.
     [faults = true] attaches a random named fault plan whose crash
     windows the interpreter applies fail-closed. *)
+
+val big_coalition :
+  ?servers:string list ->
+  ?resources:string list ->
+  ?block:int ->
+  ?checks_per_object:int ->
+  objects:int ->
+  Random.State.t ->
+  Scenario.t
+(** One very large coalition for object-sharded scaling runs: [objects]
+    mobile objects in team-closed blocks of [block] (default 8) — each
+    block joins its own team, so partitioning yields [objects / block]
+    independently schedulable components — with [checks_per_object]
+    (default 2) access checks per object interleaved across the
+    population.  Programs are drawn from a small shared pool, and no
+    fault plan is attached. *)
 
 val coalitions :
   ?servers:string list ->

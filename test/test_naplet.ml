@@ -44,6 +44,110 @@ let test_sim_interleaved_ops () =
   Alcotest.(check (list int)) "sorted" (List.init 20 (fun i -> i + 1))
     (drain [])
 
+(* --- sim properties: the SoA heap against sorted-list oracles ---
+
+   Seeded via Gen (STACC_TEST_SEED shifts the whole space); failing
+   scripts are shrunk with Gen.shrink_list before reporting. *)
+
+(* small rationals with non-trivial denominators, so distinct surface
+   forms (1/2 vs 2/4 — Q.make normalizes both to the same key) and
+   genuine cross-denominator comparisons both occur *)
+let gen_time rng =
+  Q.make (Random.State.int rng 8) (1 + Random.State.int rng 4)
+
+let drain_values queue =
+  let rec go acc =
+    match Sim.pop queue with Some (_, v) -> go (v :: acc) | None -> List.rev acc
+  in
+  go []
+
+(* Heap ordering + FIFO at equal times, in one property: popping
+   everything equals a stable sort of the insertions by time. *)
+let test_sim_pop_is_stable_sort () =
+  Gen.each_seed ~salt:7070 ~count:100 (fun ~seed rng ->
+      let n = 50 + Random.State.int rng 150 in
+      let entries = List.init n (fun i -> (gen_time rng, i)) in
+      let queue = Sim.create () in
+      List.iter (fun (t, i) -> Sim.schedule queue ~time:t i) entries;
+      let expected =
+        List.map snd
+          (List.stable_sort (fun (t1, _) (t2, _) -> Q.compare t1 t2) entries)
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d: stable sort by time" seed)
+        expected (drain_values queue))
+
+(* Random schedule/pop interleavings against a sorted-list oracle that
+   also checks the popped times themselves. *)
+let pp_sim_op ppf = function
+  | `Pop -> Format.pp_print_string ppf "pop"
+  | `Schedule t -> Format.fprintf ppf "schedule %s" (Q.to_string t)
+
+let pp_sim_script ppf script =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_sim_op)
+    script
+
+let sim_script_disagrees script =
+  let queue = Sim.create () in
+  let pending = ref [] (* (time, tag) in insertion order — the oracle *) in
+  let tag = ref 0 in
+  let step = function
+    | `Schedule time ->
+        incr tag;
+        Sim.schedule queue ~time !tag;
+        pending := !pending @ [ (time, !tag) ];
+        None
+    | `Pop -> (
+        let best =
+          List.fold_left
+            (fun acc (t, g) ->
+              match acc with
+              | None -> Some (t, g)
+              | Some (bt, _) -> if Q.lt t bt then Some (t, g) else acc)
+            None !pending
+        in
+        match (Sim.pop queue, best) with
+        | None, None -> None
+        | Some (t, v), Some (bt, bg) when v = bg && Q.compare t bt = 0 ->
+            pending := List.filter (fun (_, g) -> g <> bg) !pending;
+            None
+        | Some (t, v), _ ->
+            Some
+              (Printf.sprintf "popped (%s, #%d), oracle wanted %s"
+                 (Q.to_string t) v
+                 (match best with
+                 | None -> "empty"
+                 | Some (bt, bg) ->
+                     Printf.sprintf "(%s, #%d)" (Q.to_string bt) bg))
+        | None, Some (bt, bg) ->
+            Some
+              (Printf.sprintf "queue empty, oracle still has (%s, #%d)"
+                 (Q.to_string bt) bg))
+  in
+  List.find_map step script
+
+let test_sim_interleaving_vs_oracle () =
+  Gen.each_seed ~salt:7071 ~count:150 (fun ~seed rng ->
+      let n = 10 + Random.State.int rng 60 in
+      let script =
+        List.init n (fun _ ->
+            if Random.State.int rng 3 = 0 then `Pop
+            else `Schedule (gen_time rng))
+        (* drain tail: pops over an emptying (and shrinking) heap *)
+        @ List.init (n / 2) (fun _ -> `Pop)
+      in
+      match sim_script_disagrees script with
+      | None -> ()
+      | Some msg ->
+          Gen.report_minimized ~seed ~what:"sim script" pp_sim_script
+            (Gen.shrink_list
+               ~fails:(fun s -> sim_script_disagrees s <> None)
+               script);
+          Alcotest.failf "seed %d: sim diverges from oracle: %s" seed msg)
+
 (* --- channels --- *)
 
 let test_channel_fifo () =
@@ -256,6 +360,55 @@ let test_world_single_agent () =
         | Naplet.Agent.Completed _ -> true
         | _ -> false)
   | None -> Alcotest.fail "agent lost"
+
+(* Enumeration-order regression: [servers] and [agents] walk the state
+   tables in registration/spawn order (NOT name order — names here are
+   deliberately unsorted), and adding more entries never reorders the
+   existing prefix. *)
+let test_world_enumeration_order_stable () =
+  let world = Naplet.World.create (permissive_control ()) in
+  List.iter
+    (fun s -> Naplet.World.add_server world (Naplet.Server.create s))
+    [ "s2"; "s9"; "s1" ];
+  let server_names () =
+    List.map Naplet.Server.name (Naplet.World.servers world)
+  in
+  Alcotest.(check (list string))
+    "registration order" [ "s2"; "s9"; "s1" ] (server_names ());
+  Naplet.World.add_server world (Naplet.Server.create "s0");
+  Alcotest.(check (list string))
+    "prefix stable across add" [ "s2"; "s9"; "s1"; "s0" ] (server_names ());
+  let spawn id =
+    Naplet.World.spawn world ~id ~owner:"owner" ~roles:[ "worker" ] ~home:"s2"
+      (prog "skip")
+  in
+  List.iter spawn [ "zeta"; "mu"; "alpha" ];
+  let agent_ids () =
+    List.map (fun a -> a.Naplet.Agent.id) (Naplet.World.agents world)
+  in
+  Alcotest.(check (list string))
+    "spawn order" [ "zeta"; "mu"; "alpha" ] (agent_ids ());
+  spawn "beta";
+  Alcotest.(check (list string))
+    "prefix stable across spawn"
+    [ "zeta"; "mu"; "alpha"; "beta" ]
+    (agent_ids ());
+  (* the views stay enumerable in the same order after a run, too *)
+  ignore (Naplet.World.run world);
+  Alcotest.(check (list string))
+    "order survives the run"
+    [ "zeta"; "mu"; "alpha"; "beta" ]
+    (agent_ids ())
+
+(* The tentpole's safety net, in the tier-1 suite: randomized
+   coalitions (teams, channels, fault plans, mid-run admin actions)
+   driven through the SoA world and the retained legacy world must
+   export byte-identical traces.  The full-width gate lives in the E19
+   bench; this keeps a slice of it on every dune runtest. *)
+let test_world_matches_legacy_oracle () =
+  Alcotest.(check (list int))
+    "no divergent seeds" []
+    (Scenarios.Scale_family.divergences ~runs:12 (1000 + Gen.offset))
 
 let test_world_producer_consumer () =
   let world = world_with_servers [ "s1" ] in
@@ -858,6 +1011,10 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_sim_fifo_at_equal_times;
           Alcotest.test_case "many events" `Quick test_sim_interleaved_ops;
           Alcotest.test_case "drain and clear" `Quick test_sim_drain_clear;
+          Alcotest.test_case "pop is a stable sort (seeded)" `Quick
+            test_sim_pop_is_stable_sort;
+          Alcotest.test_case "interleavings match oracle (seeded)" `Quick
+            test_sim_interleaving_vs_oracle;
         ] );
       ( "channel",
         [
@@ -958,5 +1115,9 @@ let () =
             test_world_abort_releases_waiters;
           Alcotest.test_case "halt tears down" `Quick
             test_world_halt_tears_down;
+          Alcotest.test_case "enumeration order stable" `Quick
+            test_world_enumeration_order_stable;
+          Alcotest.test_case "SoA = legacy oracle (seeded)" `Slow
+            test_world_matches_legacy_oracle;
         ] );
     ]

@@ -228,6 +228,26 @@ let test_backend_contract () =
              (fun () -> failwith "task-2");
            |]))
 
+(* 9. The big-coalition generator — the [stacc bench-parallel --big]
+   workload and the ROADMAP's 10^4+-object shard sweeps: one
+   2000-object coalition in team-closed blocks, replayed object-sharded
+   at every configured shard count, must conform to the sequential
+   interpreter observation for observation. *)
+let test_big_coalition_conformance () =
+  let rng = Random.State.make [| 1717; Gen.offset |] in
+  let sc = Parallel.Workload.big_coalition ~objects:2_000 rng in
+  let expected = (Engine.sequential [| sc |]).(0) in
+  List.iter
+    (fun shards ->
+      match
+        Engine.diff ~expected ~actual:(Engine.object_sharded ~shards sc)
+      with
+      | None -> ()
+      | Some d ->
+          Alcotest.failf "STACC_TEST_SEED=%d STACC_SHARDS=%d big coalition: %s"
+            Gen.offset shards d)
+    shard_counts
+
 (* 8. Batch entry points agree with one-at-a-time calls. *)
 let test_batch_matches_single () =
   Gen.each_seed ~salt:6064 ~count:25 (fun ~seed rng ->
@@ -291,6 +311,8 @@ let () =
             test_single_shard_is_sequential;
           Alcotest.test_case "sharded runs are byte-deterministic" `Quick
             test_sharded_determinism;
+          Alcotest.test_case "big team-closed coalition conforms" `Slow
+            test_big_coalition_conformance;
         ] );
       ( "partition",
         [
