@@ -844,6 +844,69 @@ let e19_report () =
     [ 1_000; 10_000; 100_000; 1_000_000 ]
 
 (* ------------------------------------------------------------------ *)
+(* E20 — decision service: differential gate + saturation sweep        *)
+
+(* The service story in two acts.  First the gate: the same seeded
+   request scripts through the full stack (framing, the deterministic
+   transport, the server core) and through an independent per-request
+   drive straight on [Coordinated.System] must render byte-identical
+   reply streams, and the simulated drive must be bit-reproducible.
+   Then the numbers: a closed-loop run fixes this host's per-request
+   service rate, and an open-loop sweep at fractions and multiples of
+   it shows the saturation knee — achieved rate tracks offered until
+   the server sheds, with latency measured from each request's due
+   time so queueing under overload is charged to the server, not
+   hidden by a stalling client.
+
+   Env knobs for CI: [E20_REQUESTS] sizes each measured run (default
+   20_000); [E20_GATE_SEEDS] sizes the differential gate (default 5);
+   [E20_RATES] overrides the offered-rate list (comma-separated,
+   requests/s; default 1/4x, 1/2x, 1x, 3/2x the closed-loop rate). *)
+
+let e20_report () =
+  let env_int name default =
+    match Sys.getenv_opt name with
+    | Some s -> ( try int_of_string s with _ -> default)
+    | None -> default
+  in
+  let requests = env_int "E20_REQUESTS" 20_000 in
+  let gate_seeds = env_int "E20_GATE_SEEDS" 5 in
+  let base = Service.Script.base_system () in
+  let diverged = ref 0 in
+  for seed = 1 to gate_seeds do
+    let script = Service.Script.generate ~conns:4 ~requests:200 ~seed () in
+    let sim = Service.Script.render (Service.Script.run_sim ~base script) in
+    let sim' = Service.Script.render (Service.Script.run_sim ~base script) in
+    let direct =
+      Service.Script.render (Service.Script.drive_direct ~base script)
+    in
+    if sim <> direct || sim <> sim' then incr diverged
+  done;
+  Printf.printf
+    "  differential gate (sim vs direct, %d seed(s) x 200 requests): %d \
+     divergence(s)\n%!"
+    gate_seeds !diverged;
+  if !diverged > 0 then exit 1;
+  let closed = Service.Load.closed ~base ~requests () in
+  let rates =
+    match Sys.getenv_opt "E20_RATES" with
+    | Some s ->
+        List.filter_map
+          (fun tok -> float_of_string_opt (String.trim tok))
+          (String.split_on_char ',' s)
+    | None ->
+        let c = closed.Service.Load.achieved in
+        List.map (fun f -> Float.round (c *. f)) [ 0.25; 0.5; 1.0; 1.5 ]
+  in
+  let fmt = Format.std_formatter in
+  Format.fprintf fmt "  %a@." Service.Load.pp_header ();
+  Format.fprintf fmt "  %a@." Service.Load.pp_row closed;
+  List.iter
+    (fun r -> Format.fprintf fmt "  %a@." Service.Load.pp_row r)
+    (Service.Load.sweep ~base ~requests ~rates ());
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
 (* E1 / E10 — whole-scenario reproductions                             *)
 
 let scenario_tests =
@@ -917,7 +980,7 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17"; "E18"; "E19" ]
+    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17"; "E18"; "E19"; "E20" ]
   in
   List.iter
     (fun id ->
@@ -941,6 +1004,10 @@ let () =
         Printf.printf "== E19 ==\n%!";
         e19_report ()
       end
+      else if id = "E20" then begin
+        Printf.printf "== E20 ==\n%!";
+        e20_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
@@ -948,7 +1015,8 @@ let () =
             run_group test
         | None ->
             Printf.printf
-              "unknown experiment id %S (known: %s, E14, E15, E17, E18, E19)\n"
+              "unknown experiment id %S (known: %s, E14, E15, E17, E18, E19, \
+               E20)\n"
               id
               (String.concat ", " (List.map fst all_groups)))
     selected

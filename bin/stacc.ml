@@ -9,7 +9,15 @@
      stacc chaos [--plan P] [--seed N] audit under a deterministic fault plan
      stacc lint    <file|-> [--strict] syntactic & per-binding policy checks
      stacc analyze <file|-> [--strict] semantic whole-policy analysis
-     stacc simulate -p POLICY -a PROG  run one agent under a policy file *)
+     stacc simulate -p POLICY -a PROG  run one agent under a policy file
+     stacc serve --socket S | --port P always-on decision service
+     stacc load [--rate R]...          drive the service, report latency
+
+   Exit codes, uniformly across subcommands: 0 success; 1 the requested
+   analysis or run failed (parse errors in input content, a constraint
+   that does not hold, violated invariants, divergence, findings under
+   --strict); 2 usage errors (unknown subcommands or flags, malformed
+   option values, unreadable input files). *)
 
 open Cmdliner
 module World = Analysis.World
@@ -30,24 +38,50 @@ let read_input = function
       close_in ic;
       s
 
+(* Usage errors exit 2 (cmdliner's own convention for flag errors);
+   analysis failures exit 1.  An unreadable input file is a usage
+   error — the argument was wrong — while unparsable content is an
+   analysis failure. *)
+let exit_usage = 2
+
 let program_of_input input =
   match Sral.Parser.program (read_input input) with
   | p -> Ok p
-  | exception Sral.Parser.Parse_error msg -> Error msg
-  | exception Sys_error msg -> Error msg
+  | exception Sral.Parser.Parse_error msg -> Error (1, msg)
+  | exception Sys_error msg -> Error (exit_usage, msg)
 
 let input_arg =
   let doc = "SRAL program file ('-' for stdin)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let q_conv =
+  let parse s =
+    match Temporal.Q.of_string s with
+    | q -> Ok q
+    | exception _ ->
+        Error
+          (`Msg (Printf.sprintf "invalid rational %S (expected e.g. 15 or 15/2)" s))
+  in
+  Arg.conv (parse, Temporal.Q.pp)
+
+let mode_conv =
+  Arg.enum
+    [ ("indexed", Coordinated.System.Indexed); ("naive", Coordinated.System.Naive) ]
+
+let mode_arg =
+  let doc = "Decision mode: $(b,indexed) or $(b,naive)." in
+  Arg.(value & opt mode_conv Coordinated.System.Indexed & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let exit_status_man lines = `S Manpage.s_exit_status :: List.map (fun p -> `P p) lines
 
 (* --- parse --- *)
 
 let parse_cmd =
   let run input =
     match program_of_input input with
-    | Error msg ->
+    | Error (rc, msg) ->
         Format.eprintf "error: %s@." msg;
-        1
+        rc
     | Ok p ->
         Format.printf "%a@." Sral.Pretty.pp p;
         Format.printf "# size: %d nodes, %d access occurrences@."
@@ -75,9 +109,9 @@ let traces_cmd =
   in
   let run input bound limit =
     match program_of_input input with
-    | Error msg ->
+    | Error (rc, msg) ->
         Format.eprintf "error: %s@." msg;
-        1
+        rc
     | Ok p ->
         let traces =
           Sral.Trace_ops.to_list (Sral.Trace_ops.traces_bounded ~loop_bound:bound p)
@@ -111,9 +145,9 @@ let check_cmd =
   in
   let run input constraint_src forall =
     match program_of_input input with
-    | Error msg ->
+    | Error (rc, msg) ->
         Format.eprintf "error: %s@." msg;
-        1
+        rc
     | Ok p -> (
         match Srac.Formula.of_string constraint_src with
         | exception Invalid_argument msg ->
@@ -134,11 +168,17 @@ let check_cmd =
                    else "counterexample")
                   Sral.Trace.pp t
             | None -> ());
-            if outcome.Srac.Program_sat.holds then 0 else 2)
+            if outcome.Srac.Program_sat.holds then 0 else 1)
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Decide whether the program satisfies an SRAC constraint.")
+       ~doc:"Decide whether the program satisfies an SRAC constraint."
+       ~man:
+         (exit_status_man
+            [
+              "0 when the constraint holds; 1 when it does not, or the \
+               program or constraint fails to parse; 2 on usage errors.";
+            ]))
     Term.(const run $ input_arg $ constraint_arg $ forall_arg)
 
 (* --- audit --- *)
@@ -146,14 +186,13 @@ let check_cmd =
 let audit_cmd =
   let deadline_arg =
     let doc = "Verification deadline in time units (rational, e.g. 15 or 15/2)." in
-    Arg.(value & opt (some string) None & info [ "deadline" ] ~docv:"D" ~doc)
+    Arg.(value & opt (some q_conv) None & info [ "deadline" ] ~docv:"D" ~doc)
   in
   let tampered_arg =
     let doc = "Hash the modules out of dependency order (must be denied)." in
     Arg.(value & flag & info [ "out-of-order" ] ~doc)
   in
   let run deadline out_of_order =
-    let deadline = Option.map Temporal.Q.of_string deadline in
     let report =
       Scenarios.Integrity_audit.run ?deadline ~respect_order:(not out_of_order)
         ()
@@ -168,11 +207,17 @@ let audit_cmd =
     List.iter
       (fun (m, h) -> Format.printf "  %s  %s@." m h)
       report.Scenarios.Integrity_audit.hashes;
-    if report.Scenarios.Integrity_audit.all_verified then 0 else 2
+    if report.Scenarios.Integrity_audit.all_verified then 0 else 1
   in
   Cmd.v
     (Cmd.info "audit"
-       ~doc:"Run the Section 6 / Figure 1 integrity audit scenario.")
+       ~doc:"Run the Section 6 / Figure 1 integrity audit scenario."
+       ~man:
+         (exit_status_man
+            [
+              "0 when every module verifies; 1 when any module is left \
+               unverified; 2 on usage errors.";
+            ]))
     Term.(const run $ deadline_arg $ tampered_arg)
 
 (* --- trace --- *)
@@ -180,7 +225,7 @@ let audit_cmd =
 let trace_cmd =
   let deadline_arg =
     let doc = "Verification deadline in time units (rational, e.g. 15 or 15/2)." in
-    Arg.(value & opt (some string) None & info [ "deadline" ] ~docv:"D" ~doc)
+    Arg.(value & opt (some q_conv) None & info [ "deadline" ] ~docv:"D" ~doc)
   in
   let tampered_arg =
     let doc = "Hash the modules out of dependency order (must be denied)." in
@@ -195,7 +240,6 @@ let trace_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let run deadline out_of_order out stats =
-    let deadline = Option.map Temporal.Q.of_string deadline in
     let report =
       Scenarios.Integrity_audit.run ?deadline ~respect_order:(not out_of_order)
         ()
@@ -235,15 +279,22 @@ let chaos_cmd =
     let doc =
       "Fault plan intensity: one of none, light, moderate or heavy."
     in
-    Arg.(value & opt string "moderate" & info [ "plan" ] ~docv:"PLAN" ~doc)
+    let plan_conv =
+      let parse s =
+        if List.mem s Fault.Plan.intensity_names then Ok s
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "unknown plan %S (%s)" s
+                  (String.concat "|" Fault.Plan.intensity_names)))
+      in
+      Arg.conv (parse, Format.pp_print_string)
+    in
+    Arg.(value & opt plan_conv "moderate" & info [ "plan" ] ~docv:"PLAN" ~doc)
   in
   let seed_arg =
     let doc = "Fault-plan seed (same plan + seed replays bit-identically)." in
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
-  in
-  let mode_arg =
-    let doc = "Decision mode: indexed or naive." in
-    Arg.(value & opt string "indexed" & info [ "mode" ] ~docv:"MODE" ~doc)
   in
   let couriers_arg =
     let doc = "Number of courier agents with reroutable itineraries." in
@@ -258,47 +309,32 @@ let chaos_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let run plan_name seed mode couriers out stats =
-    match
-      ( (match mode with
-        | "indexed" -> Ok Coordinated.System.Indexed
-        | "naive" -> Ok Coordinated.System.Naive
-        | m -> Error (Printf.sprintf "unknown mode %S (indexed|naive)" m)),
-        if List.mem plan_name Fault.Plan.intensity_names then Ok ()
-        else
-          Error
-            (Printf.sprintf "unknown plan %S (%s)" plan_name
-               (String.concat "|" Fault.Plan.intensity_names)) )
-    with
-    | Error msg, _ | _, Error msg ->
-        Format.eprintf "error: %s@." msg;
+    let report = Scenarios.Chaos.run ~mode ~plan_name ~seed ~couriers () in
+    (match out with
+    | "-" -> print_string (Scenarios.Chaos.export report)
+    | path ->
+        let oc = open_out path in
+        output_string oc (Scenarios.Chaos.export report);
+        close_out oc);
+    Format.eprintf "%d event(s) traced@."
+      (List.length report.Scenarios.Chaos.trace);
+    if stats then begin
+      Format.eprintf "%a@." Fault.Plan.pp report.Scenarios.Chaos.plan;
+      Format.eprintf "%a@." Naplet.Metrics.pp
+        report.Scenarios.Chaos.metrics;
+      List.iter
+        (fun (id, route) ->
+          Format.eprintf "%s: %s@." id (String.concat " -> " route))
+        report.Scenarios.Chaos.routes
+    end;
+    match report.Scenarios.Chaos.violations with
+    | [] -> 0
+    | vs ->
+        List.iter
+          (fun v ->
+            Format.eprintf "violation: %a@." Fault.Invariant.pp_violation v)
+          vs;
         1
-    | Ok mode, Ok () ->
-        let report = Scenarios.Chaos.run ~mode ~plan_name ~seed ~couriers () in
-        (match out with
-        | "-" -> print_string (Scenarios.Chaos.export report)
-        | path ->
-            let oc = open_out path in
-            output_string oc (Scenarios.Chaos.export report);
-            close_out oc);
-        Format.eprintf "%d event(s) traced@."
-          (List.length report.Scenarios.Chaos.trace);
-        if stats then begin
-          Format.eprintf "%a@." Fault.Plan.pp report.Scenarios.Chaos.plan;
-          Format.eprintf "%a@." Naplet.Metrics.pp
-            report.Scenarios.Chaos.metrics;
-          List.iter
-            (fun (id, route) ->
-              Format.eprintf "%s: %s@." id (String.concat " -> " route))
-            report.Scenarios.Chaos.routes
-        end;
-        (match report.Scenarios.Chaos.violations with
-        | [] -> 0
-        | vs ->
-            List.iter
-              (fun v ->
-                Format.eprintf "violation: %a@." Fault.Invariant.pp_violation v)
-              vs;
-            2)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -306,7 +342,13 @@ let chaos_cmd =
          "Run the Figure 1 coalition under a deterministic fault plan \
           (server crashes, channel faults, signal loss) and export the \
           trace; exits non-zero if a fail-closed or retry invariant is \
-          violated.")
+          violated."
+       ~man:
+         (exit_status_man
+            [
+              "0 when every fail-closed and retry invariant holds; 1 on \
+               any violation; 2 on usage errors.";
+            ]))
     Term.(
       const run $ plan_arg $ seed_arg $ mode_arg $ couriers_arg $ out_arg
       $ stats_arg)
@@ -354,7 +396,7 @@ let workflow_cmd =
     match families with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
-        1
+        exit_usage
     | Ok families ->
         let buf = Buffer.create 4096 in
         let sat = ref 0 and unsat = ref 0 and divergent = ref 0 in
@@ -395,7 +437,7 @@ let workflow_cmd =
             "%d workflow(s): %d sat, %d unsat, %d divergent, %d witness \
              replay failure(s)@."
             !index !sat !unsat !divergent !failed_replay;
-        if !divergent > 0 || !failed_replay > 0 then 2 else 0
+        if !divergent > 0 || !failed_replay > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "workflow"
@@ -406,7 +448,14 @@ let workflow_cmd =
           checker, differentially validate against the brute-force \
           assignment enumerator and emit one deterministic JSONL line per \
           workflow; exits non-zero on any divergence or witness replay \
-          failure.")
+          failure."
+       ~man:
+         (exit_status_man
+            [
+              "0 when checker and brute force agree everywhere; 1 on any \
+               divergence or witness replay failure; 2 on usage errors \
+               (including an unknown $(b,--family)).";
+            ]))
     Term.(const run $ count_arg $ seed_arg $ family_arg $ out_arg $ stats_arg)
 
 (* --- bench-parallel --- *)
@@ -449,21 +498,9 @@ let bench_parallel_cmd =
     in
     Arg.(value & opt int 0 & info [ "big" ] ~docv:"OBJECTS" ~doc)
   in
-  let mode_arg =
-    let doc = "Decision mode: indexed or naive." in
-    Arg.(value & opt string "indexed" & info [ "mode" ] ~docv:"MODE" ~doc)
-  in
   let run coalitions big shards seed events faults verify mode =
-    match
-      match mode with
-      | "indexed" -> Ok Coordinated.System.Indexed
-      | "naive" -> Ok Coordinated.System.Naive
-      | m -> Error (Printf.sprintf "unknown mode %S (indexed|naive)" m)
-    with
-    | Error msg ->
-        Format.eprintf "error: %s@." msg;
-        1
-    | Ok mode when big > 0 ->
+    match mode with
+    | mode when big > 0 ->
         let shards = if shards = [] then [ 1; 2; 4; 8 ] else shards in
         let rng = Random.State.make [| 1717; seed |] in
         let sc = Parallel.Workload.big_coalition ~objects:big rng in
@@ -506,7 +543,7 @@ let bench_parallel_cmd =
                   Printf.printf "  divergence @ %d shard(s): %s\n%!" n d;
                   1)
           0 shards
-    | Ok mode ->
+    | mode ->
         let shards = if shards = [] then [ 1; 2; 4; 8 ] else shards in
         let scenarios =
           Parallel.Workload.coalitions ~events ~faults ~salt:1717
@@ -563,12 +600,11 @@ let bench_parallel_cmd =
           gate ($(b,--verify)) that exits non-zero if any sharded run is not \
           observationally identical to the sequential one."
        ~man:
-         [
-           `S Manpage.s_exit_status;
-           `P
-             "0 on success; 1 on usage errors or, under $(b,--verify), when \
-              a sharded run diverges from the sequential oracle.";
-         ])
+         (exit_status_man
+            [
+              "0 on success; 1 when, under $(b,--verify), a sharded run \
+               diverges from the sequential oracle; 2 on usage errors.";
+            ]))
     Term.(
       const run $ coalitions_arg $ big_arg $ shards_arg $ seed_arg
       $ events_arg $ faults_arg $ verify_arg $ mode_arg)
@@ -582,9 +618,9 @@ let dot_cmd =
   in
   let run input minimize =
     match program_of_input input with
-    | Error msg ->
+    | Error (rc, msg) ->
         Format.eprintf "error: %s@." msg;
-        1
+        rc
     | Ok p ->
         let table = Automata.Symbol.of_accesses (Sral.Program.accesses p) in
         let nfa = Automata.Of_program.nfa ~table p in
@@ -614,7 +650,7 @@ let policy_cmd =
         1
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
-        1
+        exit_usage
     | parsed ->
         Format.printf "# parsed OK: %d user(s), %d role(s), %d binding(s)@."
           (List.length (Rbac.Policy.users parsed.Coordinated.Policy_lang.policy))
@@ -656,7 +692,7 @@ let lint_cmd =
         1
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
-        1
+        exit_usage
     | parsed -> (
         match Coordinated.Lint.check parsed with
         | [] ->
@@ -675,13 +711,12 @@ let lint_cmd =
           Reports findings on stdout; exits 0 unless $(b,--strict) is given, \
           in which case any finding exits 1 (parse errors always exit 1)."
        ~man:
-         [
-           `S Manpage.s_exit_status;
-           `P
-             "0 on success (including reported findings without \
-              $(b,--strict)); 1 on parse errors, or on findings under \
-              $(b,--strict).";
-         ])
+         (exit_status_man
+            [
+              "0 on success (including reported findings without \
+               $(b,--strict)); 1 on parse errors, or on findings under \
+               $(b,--strict); 2 on usage errors.";
+            ]))
     Term.(const run $ input_arg $ strict_arg)
 
 (* --- analyze --- *)
@@ -700,7 +735,7 @@ let analyze_cmd =
   in
   let step_arg =
     let doc = "Time units per action (rational, e.g. 1 or 3/2)." in
-    Arg.(value & opt string "1" & info [ "step" ] ~docv:"Q" ~doc)
+    Arg.(value & opt q_conv Temporal.Q.one & info [ "step" ] ~docv:"Q" ~doc)
   in
   let json_arg =
     let doc = "Write the report as JSONL to this file ('-' for stdout)." in
@@ -754,7 +789,7 @@ let analyze_cmd =
         1
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
-        1
+        exit_usage
     | parsed -> (
         let links_parsed =
           List.fold_left
@@ -765,15 +800,11 @@ let analyze_cmd =
               | Ok ls, Ok l -> Ok (l :: ls))
             (Ok []) links
         in
-        match
-          ( links_parsed,
-            (try Ok (Temporal.Q.of_string step)
-             with Invalid_argument msg -> Error msg) )
-        with
-        | Error msg, _ | _, Error msg ->
+        match links_parsed with
+        | Error msg ->
             Format.eprintf "error: %s@." msg;
-            1
-        | Ok links, Ok step -> (
+            exit_usage
+        | Ok links -> (
             let links = if links = [] then None else Some (List.rev links) in
             let entries = if entries = [] then None else Some entries in
             match
@@ -781,7 +812,7 @@ let analyze_cmd =
             with
             | exception Invalid_argument msg ->
                 Format.eprintf "error: %s@." msg;
-                1
+                exit_usage
             | world -> (
                 let report = Analysis.Analyzer.analyze ~world parsed in
                 let quiet = json = Some "-" in
@@ -818,7 +849,7 @@ let analyze_cmd =
                             Rbac.Perm.pp perm Analysis.Safety.pp_verdict
                             verdict)
                   queries;
-                if !query_failures > 0 then 1
+                if !query_failures > 0 then exit_usage
                 else if strict && report.Analysis.Analyzer.findings <> []
                 then 1
                 else 0)))
@@ -833,13 +864,13 @@ let analyze_cmd =
           execution model (agents enter at t=0, one action per step, roles \
           held throughout); exits 0 unless $(b,--strict) is given."
        ~man:
-         [
-           `S Manpage.s_exit_status;
-           `P
-             "0 on success (including reported findings without \
-              $(b,--strict)); 1 on parse/usage errors, or on findings under \
-              $(b,--strict).";
-         ])
+         (exit_status_man
+            [
+              "0 on success (including reported findings without \
+               $(b,--strict)); 1 on parse errors, or on findings under \
+               $(b,--strict); 2 on usage errors (including malformed \
+               $(b,--link), $(b,--step) or $(b,--query) values).";
+            ]))
     Term.(
       const run $ input_arg $ link_arg $ entry_arg $ step_arg $ json_arg
       $ witness_arg $ strict_arg $ query_arg)
@@ -868,13 +899,13 @@ let simulate_cmd =
       ( (try Ok (Coordinated.System.of_policy_text (read_input policy_file))
          with
         | Coordinated.Policy_lang.Error (line, msg) ->
-            Error (Printf.sprintf "%s:%d: %s" policy_file line msg)
-        | Sys_error msg -> Error msg),
+            Error (1, Printf.sprintf "%s:%d: %s" policy_file line msg)
+        | Sys_error msg -> Error (exit_usage, msg)),
         program_of_input agent_file )
     with
-    | Error msg, _ | _, Error msg ->
+    | Error (rc, msg), _ | _, Error (rc, msg) ->
         Format.eprintf "error: %s@." msg;
-        1
+        rc
     | Ok control, Ok program ->
         let world = Naplet.World.create control in
         List.iter
@@ -902,28 +933,233 @@ let simulate_cmd =
        ~doc:"Run one mobile agent under a policy in the Naplet emulation.")
     Term.(const run $ policy_arg $ agent_arg $ owner_arg $ roles_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on TCP 127.0.0.1:$(docv) instead of a Unix socket." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let policy_arg =
+    let doc =
+      "Serve decisions over this policy file instead of the built-in \
+       workload population."
+    in
+    Arg.(value & opt (some string) None & info [ "p"; "policy" ] ~docv:"FILE" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Per-connection execution capacity for one read burst; frames beyond \
+       it are shed with an auditable reply rather than queued unboundedly."
+    in
+    let default =
+      Service.Server.default_config.Service.Server.queue_capacity
+    in
+    Arg.(value & opt int default & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_requests_arg =
+    let doc =
+      "Stop after $(docv) requests have been executed or shed (default: \
+       serve forever)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"N" ~doc)
+  in
+  let run socket port policy_file mode queue max_requests =
+    let addr =
+      match (socket, port) with
+      | Some path, None -> Ok (Service.Net_unix.Unix_path path)
+      | None, Some port -> Ok (Service.Net_unix.Tcp port)
+      | None, None ->
+          Error "one of --socket PATH or --port PORT is required"
+      | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+    in
+    let base =
+      match policy_file with
+      | None -> Ok (Service.Script.base_system ~mode ())
+      | Some f -> (
+          try Ok (Coordinated.System.of_policy_text ~mode (read_input f)) with
+          | Coordinated.Policy_lang.Error (line, msg) ->
+              Error (1, Printf.sprintf "%s:%d: %s" f line msg)
+          | Sys_error msg -> Error (exit_usage, msg))
+    in
+    match (addr, base) with
+    | Error msg, _ ->
+        Format.eprintf "error: %s@." msg;
+        exit_usage
+    | _, Error (rc, msg) ->
+        Format.eprintf "error: %s@." msg;
+        rc
+    | Ok addr, Ok base ->
+        let config =
+          { Service.Server.default_config with mode; queue_capacity = queue }
+        in
+        let server = Service.Server.create ~config ~base () in
+        let listener = Service.Net_unix.listen addr in
+        Format.eprintf "stacc serve: listening on %s@."
+          (match addr with
+          | Service.Net_unix.Unix_path p -> p
+          | Service.Net_unix.Tcp p -> Printf.sprintf "127.0.0.1:%d" p);
+        Service.Net_unix.serve listener ~server ?max_requests ();
+        Service.Net_unix.shutdown listener;
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on decision service: a Unix-socket or TCP listener \
+          multiplexing framed client sessions onto per-connection clones of \
+          the coalition system.  Malformed frames kill their connection \
+          fail-closed; overload is shed with auditable replies; subscribers \
+          receive the observability event stream."
+       ~man:
+         (exit_status_man
+            [
+              "0 on a clean shutdown (only reachable with \
+               $(b,--max-requests)); 1 when the policy file does not parse; \
+               2 on usage errors.";
+            ]))
+    Term.(
+      const run $ socket_arg $ port_arg $ policy_arg $ mode_arg $ queue_arg
+      $ max_requests_arg)
+
+(* --- load --- *)
+
+let load_cmd =
+  let requests_arg =
+    let doc =
+      "Number of measured requests (script length under $(b,--replay))."
+    in
+    Arg.(value & opt int 20000 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Offered rate in requests/s for an open-loop run (repeatable: one run \
+       per rate — a saturation sweep).  Latency is measured from each \
+       request's scheduled arrival time, so queueing under saturation is \
+       charged to the server.  Without $(b,--rate) the loop is closed: one \
+       request in flight, per-request service latency."
+    in
+    Arg.(value & opt_all float [] & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let conns_arg =
+    let doc = "Number of client connections." in
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Request-mix seed (same seed, same requests)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Server per-feed execution capacity (default: the server's)." in
+    Arg.(value & opt (some int) None & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Differential-gate mode: replay the seeded request script through \
+       $(b,sim) (framing, the deterministic fault-capable transport, the \
+       server core) or $(b,direct) (an independent re-implementation of the \
+       per-request semantics straight on the coalition system) and write the \
+       rendered reply stream.  The two drives must be byte-identical."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("sim", `Sim); ("direct", `Direct) ])) None
+      & info [ "replay" ] ~docv:"DRIVE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the replay reply stream to this file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run requests rates conns seed queue mode replay out =
+    let base = Service.Script.base_system ~mode () in
+    match replay with
+    | Some drive ->
+        let script = Service.Script.generate ~conns ~requests ~seed () in
+        let results =
+          match drive with
+          | `Sim -> Service.Script.run_sim ~base script
+          | `Direct -> Service.Script.drive_direct ~base script
+        in
+        let rendered = Service.Script.render results in
+        (match out with
+        | "-" -> print_string rendered
+        | path ->
+            let oc = open_out path in
+            output_string oc rendered;
+            close_out oc);
+        0
+    | None ->
+        let rows =
+          if rates = [] then
+            [ Service.Load.closed ~conns ~seed ~base ~requests () ]
+          else Service.Load.sweep ~conns ~seed ?queue ~base ~requests ~rates ()
+        in
+        Format.printf "%a@." Service.Load.pp_header ();
+        List.iter (fun r -> Format.printf "%a@." Service.Load.pp_row r) rows;
+        0
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive the in-process decision service at a controlled rate and \
+          report completed/shed counts with p50/p95/p99 latency, or \
+          ($(b,--replay)) re-run the differential-gate script through one of \
+          its two drives and dump the reply stream for comparison."
+       ~man:
+         (exit_status_man
+            [ "0 on success; 2 on usage errors." ]))
+    Term.(
+      const run $ requests_arg $ rate_arg $ conns_arg $ seed_arg $ queue_arg
+      $ mode_arg $ replay_arg $ out_arg)
+
 let () =
   let info =
     Cmd.info "stacc" ~version:"1.0.0"
       ~doc:
         "Coordinated spatio-temporal access control for mobile coalitions \
          (Fu & Xu, IPPS 2005)."
+      ~man:
+        (exit_status_man
+           [
+             "Every subcommand follows one convention:";
+             "0 — success.";
+             "1 — the requested analysis or run failed: input content does \
+              not parse, a constraint does not hold, an invariant was \
+              violated, a differential gate diverged, or findings were \
+              reported under $(b,--strict).";
+             "2 — usage errors: unknown subcommands or flags, malformed \
+              option values, unreadable input files.";
+           ])
   in
+  let group =
+    Cmd.group info
+      [
+        parse_cmd;
+        traces_cmd;
+        check_cmd;
+        dot_cmd;
+        audit_cmd;
+        trace_cmd;
+        chaos_cmd;
+        workflow_cmd;
+        bench_parallel_cmd;
+        policy_cmd;
+        lint_cmd;
+        analyze_cmd;
+        simulate_cmd;
+        serve_cmd;
+        load_cmd;
+      ]
+  in
+  (* Cmd.eval' maps cmdliner's own CLI errors to 124; fold everything onto
+     the documented 0/1/2 convention instead. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            parse_cmd;
-            traces_cmd;
-            check_cmd;
-            dot_cmd;
-            audit_cmd;
-            trace_cmd;
-            chaos_cmd;
-            workflow_cmd;
-            bench_parallel_cmd;
-            policy_cmd;
-            lint_cmd;
-            analyze_cmd;
-            simulate_cmd;
-          ]))
+    (match Cmd.eval_value group with
+    | Ok (`Ok rc) -> rc
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> exit_usage
+    | Error `Exn -> 1)

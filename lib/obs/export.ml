@@ -182,6 +182,11 @@ let to_line ev =
   obj buf (fields_of_event ev);
   Buffer.contents buf
 
+let verdict_to_json v =
+  let buf = Buffer.create 64 in
+  obj buf (verdict_fields v);
+  Buffer.contents buf
+
 let to_string events =
   let buf = Buffer.create 4096 in
   List.iter
@@ -210,13 +215,20 @@ type json =
   | Jbool of bool
   | Jnull
 
-exception Parse_error of string
+(* Parse errors carry the byte offset of the offending input within the
+   line being parsed; [of_string]/[read] rebase it to an absolute
+   offset in the whole document.  Structural errors discovered after
+   parsing (missing field, unknown tag) report offset 0 — the start of
+   the line. *)
+exception Parse_error of int * string
 
-let fail msg = raise (Parse_error msg)
+let fail_at off msg = raise (Parse_error (off, msg))
+let fail msg = fail_at 0 msg
 
 let parse_json s =
   let n = String.length s in
   let pos = ref 0 in
+  let fail msg = fail_at !pos msg in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
   let skip_ws () =
@@ -229,7 +241,7 @@ let parse_json s =
   in
   let expect c =
     if !pos < n && s.[!pos] = c then incr pos
-    else fail (Printf.sprintf "expected %c at offset %d" c !pos)
+    else fail (Printf.sprintf "expected %c" c)
   in
   let parse_string () =
     expect '"';
@@ -327,7 +339,7 @@ let parse_json s =
     | Some 'f' -> parse_literal "false" (Jbool false)
     | Some 'n' -> parse_literal "null" Jnull
     | Some ('-' | '0' .. '9') -> parse_number ()
-    | _ -> fail (Printf.sprintf "unexpected input at offset %d" !pos)
+    | _ -> fail "unexpected input"
   and parse_obj () =
     expect '{';
     skip_ws ();
@@ -377,7 +389,7 @@ let parse_json s =
   in
   let v = parse_value () in
   skip_ws ();
-  if !pos <> n then fail (Printf.sprintf "trailing input at offset %d" !pos);
+  if !pos <> n then fail "trailing input";
   v
 
 (* ---------- JSON -> event ---------- *)
@@ -569,39 +581,51 @@ let event_of_fields fields =
   | "run_finished" -> Trace.Run_finished { time }
   | ev -> fail ("unknown event tag " ^ ev)
 
-let of_line line =
+(* Per-line parse, error as [(byte offset within line, message)] so
+   document-level readers can rebase to absolute offsets. *)
+let of_line_at line =
   match parse_json line with
-  | exception Parse_error msg -> Error msg
+  | exception Parse_error (off, msg) -> Error (off, msg)
   | Jobj fields -> (
       match event_of_fields fields with
       | ev -> Ok ev
-      | exception Parse_error msg -> Error msg)
-  | _ -> Error "expected a JSON object"
+      | exception Parse_error (off, msg) -> Error (off, msg))
+  | _ -> Error (0, "expected a JSON object")
+
+let of_line line =
+  match of_line_at line with
+  | Ok ev -> Ok ev
+  | Error (off, msg) -> Error (Printf.sprintf "byte %d: %s" off msg)
 
 let of_string s =
   let lines = String.split_on_char '\n' s in
-  let rec go lineno acc = function
+  let rec go lineno start acc = function
     | [] -> Ok (List.rev acc)
-    | "" :: rest -> go (lineno + 1) acc rest
+    | "" :: rest -> go (lineno + 1) (start + 1) acc rest
     | line :: rest -> (
-        match of_line line with
-        | Ok ev -> go (lineno + 1) (ev :: acc) rest
-        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        match of_line_at line with
+        | Ok ev ->
+            go (lineno + 1) (start + String.length line + 1) (ev :: acc) rest
+        | Error (off, msg) ->
+            Error
+              (Printf.sprintf "line %d: byte %d: %s" lineno (start + off) msg))
   in
-  go 1 [] lines
+  go 1 0 [] lines
 
 (* Streaming variant of [of_string]: events are parsed line by line as
    they are read, so a malformed (e.g. truncated) line is reported with
-   its 1-based line number instead of surfacing as a bare exception
-   from the parser. *)
+   its 1-based line number and absolute byte offset instead of surfacing
+   as a bare exception from the parser. *)
 let read ic =
-  let rec go lineno acc =
+  let rec go lineno start acc =
     match input_line ic with
     | exception End_of_file -> Ok (List.rev acc)
-    | "" -> go (lineno + 1) acc
+    | "" -> go (lineno + 1) (start + 1) acc
     | line -> (
-        match of_line line with
-        | Ok ev -> go (lineno + 1) (ev :: acc)
-        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        match of_line_at line with
+        | Ok ev -> go (lineno + 1) (start + String.length line + 1) (ev :: acc)
+        | Error (off, msg) ->
+            Error
+              (Printf.sprintf "line %d: byte %d: %s" lineno (start + off) msg))
   in
-  go 1 []
+  go 1 0 []

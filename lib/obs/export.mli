@@ -17,18 +17,28 @@ val to_line : Trace.event -> string
 (** One JSON object, no trailing newline. *)
 
 val of_line : string -> (Trace.event, string) result
+(** Errors are ["byte N: …"] with the 0-based offset of the offending
+    byte within the line (offset 0 for structural errors discovered
+    after parsing, e.g. a missing field). *)
+
+val verdict_to_json : Verdict.t -> string
+(** Just the verdict, as the same JSON object a [Decision] event embeds
+    under its ["verdict"] key — for codecs (the service wire protocol's
+    JSONL debug form) that ship verdicts outside a trace event. *)
 
 val to_string : Trace.event list -> string
 (** Newline-terminated lines, concatenated. *)
 
 val of_string : string -> (Trace.event list, string) result
-(** Parses a JSONL document; blank lines are skipped; the error names
-    the offending line. *)
+(** Parses a JSONL document; blank lines are skipped; the error is
+    ["line N: byte M: …"] naming the offending 1-based line and the
+    absolute 0-based byte offset within the document. *)
 
 val to_channel : out_channel -> Trace.event list -> unit
 
 val read : in_channel -> (Trace.event list, string) result
 (** Streaming counterpart of {!of_string}: parses JSONL from a channel
     until end of file.  A malformed line — truncated JSON, an unknown
-    tag, a missing field — yields [Error "line N: …"] with the 1-based
-    line number instead of raising; blank lines are skipped. *)
+    tag, a missing field — yields [Error "line N: byte M: …"] with the
+    1-based line number and absolute byte offset instead of raising;
+    blank lines are skipped. *)

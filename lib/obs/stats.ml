@@ -3,11 +3,26 @@ type histogram = {
   mutable count : int;
   mutable sum_ns : int64;
   mutable max_ns : int64;
+  (* the first [sample_cap] raw observations, kept so small histograms
+     answer percentile queries exactly; once [count] outgrows the
+     buffer (or a merge makes it non-exhaustive) queries fall back to
+     the factor-2 bucket estimate *)
+  mutable samples : int64 array;
+  mutable n_samples : int;
 }
 
 let buckets = 64
+let sample_cap = 512
+
 let make_histogram () =
-  { buckets = Array.make buckets 0; count = 0; sum_ns = 0L; max_ns = 0L }
+  {
+    buckets = Array.make buckets 0;
+    count = 0;
+    sum_ns = 0L;
+    max_ns = 0L;
+    samples = [||];
+    n_samples = 0;
+  }
 
 (* floor(log2 ns), with everything <= 1ns in bucket 0 — an O(1) update
    (the loop runs at most 63 times and in practice ~a dozen). *)
@@ -25,6 +40,18 @@ let bucket_of ns =
 let observe h ns =
   let ns = if Int64.compare ns 0L < 0 then 0L else ns in
   h.buckets.(bucket_of ns) <- h.buckets.(bucket_of ns) + 1;
+  (* record the raw sample only while the buffer is still exhaustive —
+     [n_samples = count] — so exactness is a simple equality check *)
+  if h.n_samples = h.count && h.n_samples < sample_cap then begin
+    if h.n_samples = Array.length h.samples then begin
+      let cap = max 16 (min sample_cap (2 * Array.length h.samples)) in
+      let bigger = Array.make cap 0L in
+      Array.blit h.samples 0 bigger 0 h.n_samples;
+      h.samples <- bigger
+    end;
+    h.samples.(h.n_samples) <- ns;
+    h.n_samples <- h.n_samples + 1
+  end;
   h.count <- h.count + 1;
   h.sum_ns <- Int64.add h.sum_ns ns;
   if Int64.compare ns h.max_ns > 0 then h.max_ns <- ns
@@ -38,11 +65,14 @@ let hist_mean_ns h =
 (* Upper bound of the bucket holding the p-quantile sample — a
    conservative estimate with factor-2 resolution, which is all a
    log2-bucketed histogram can promise. *)
+let rank_of h p =
+  let rank = int_of_float (ceil (p *. float_of_int h.count)) in
+  max 1 (min rank h.count)
+
 let hist_percentile_ns h p =
   if h.count = 0 then 0.0
   else begin
-    let rank = int_of_float (ceil (p *. float_of_int h.count)) in
-    let rank = max 1 (min rank h.count) in
+    let rank = rank_of h p in
     let cum = ref 0 and result = ref 0.0 and found = ref false in
     Array.iteri
       (fun i n ->
@@ -56,6 +86,18 @@ let hist_percentile_ns h p =
       h.buckets;
     !result
   end
+
+(* Exact nearest-rank percentile while the raw-sample buffer is still
+   exhaustive (count <= sample_cap and never merged past it); the
+   log2-bucket upper bound otherwise. *)
+let percentile h p =
+  if h.count = 0 then 0.0
+  else if h.n_samples = h.count then begin
+    let sorted = Array.sub h.samples 0 h.n_samples in
+    Array.sort Int64.compare sorted;
+    Int64.to_float sorted.(rank_of h p - 1)
+  end
+  else hist_percentile_ns h p
 
 type t = {
   mutable decisions : int;
@@ -87,6 +129,8 @@ let create () =
     spatial = make_histogram ();
     temporal = make_histogram ();
   }
+
+let histogram = make_histogram
 
 let stage_histogram t = function
   | Trace.Rbac -> t.rbac
@@ -129,6 +173,17 @@ let of_trace events =
 
 let add_histogram acc h =
   Array.iteri (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n) h.buckets;
+  (* raw samples stay exhaustive only when both sides were and the
+     union still fits the cap; otherwise later queries use buckets *)
+  if acc.n_samples = acc.count && h.n_samples = h.count
+     && acc.n_samples + h.n_samples <= sample_cap
+  then begin
+    let merged = Array.make (max 16 (acc.n_samples + h.n_samples)) 0L in
+    Array.blit acc.samples 0 merged 0 acc.n_samples;
+    Array.blit h.samples 0 merged acc.n_samples h.n_samples;
+    acc.samples <- merged;
+    acc.n_samples <- acc.n_samples + h.n_samples
+  end;
   acc.count <- acc.count + h.count;
   acc.sum_ns <- Int64.add acc.sum_ns h.sum_ns;
   if Int64.compare h.max_ns acc.max_ns > 0 then acc.max_ns <- h.max_ns
@@ -154,9 +209,9 @@ let pp_stage ppf (name, h) =
       "%-8s n=%-7d mean %8.1fns  p50 %8.0fns  p90 %8.0fns  p99 %8.0fns  max \
        %Ldns"
       name h.count (hist_mean_ns h)
-      (hist_percentile_ns h 0.50)
-      (hist_percentile_ns h 0.90)
-      (hist_percentile_ns h 0.99)
+      (percentile h 0.50)
+      (percentile h 0.90)
+      (percentile h 0.99)
       h.max_ns
 
 let pp ppf t =

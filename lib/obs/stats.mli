@@ -54,6 +54,15 @@ val stage_count : t -> Trace.stage -> int
 
 val stage_histogram : t -> Trace.stage -> histogram
 
+val histogram : unit -> histogram
+(** A fresh standalone histogram — for consumers that time something
+    other than decision stages (e.g. the [stacc load] per-request
+    latency recorder) but want the same accumulation and percentile
+    machinery. *)
+
+val observe : histogram -> int64 -> unit
+(** Record one sample (nanoseconds; negative values clamp to [0]). *)
+
 val hist_count : histogram -> int
 val hist_mean_ns : histogram -> float
 val hist_max_ns : histogram -> int64
@@ -61,6 +70,14 @@ val hist_max_ns : histogram -> int64
 val hist_percentile_ns : histogram -> float -> float
 (** [hist_percentile_ns h 0.99] — upper bound of the bucket holding the
     given quantile ([0] on an empty histogram). *)
+
+val percentile : histogram -> float -> float
+(** Like {!hist_percentile_ns} but {e exact} (nearest-rank over the
+    retained raw samples) while the histogram holds at most 512
+    observations and was never merged past that; beyond the raw-sample
+    buffer it falls back to the factor-2 bucket upper bound.  This is
+    the estimator reports should quote — p50/p95/p99 of small runs come
+    out exact, huge runs degrade gracefully. *)
 
 val pp : Format.formatter -> t -> unit
 (** Counter summary plus one histogram line per stage. *)

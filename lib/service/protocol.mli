@@ -1,0 +1,71 @@
+(** The wire protocol: versioned request/reply payloads.
+
+    One {!request} or {!reply} per {!Frame} payload.  The binary codec
+    is deterministic (a value always encodes to the same bytes) and
+    decoding is total: every byte string maps to [Ok v] or to a typed
+    {!error} — never an exception — so a malicious peer can at worst be
+    rejected.
+
+    Encodings an operator can read instead live in the JSONL debug
+    codec ({!request_to_line}/{!reply_to_line}), which reuses
+    {!Obs.Export} for verdicts and trace events so service logs and
+    trace exports share one JSON dialect.
+
+    Caveat shared with {!Obs.Export}: an access whose operation is a
+    {e standard} name under [Custom] (e.g. [Custom "read"]) decodes as
+    the standard constructor.  No emitter in this repo produces such
+    accesses. *)
+
+val version : int
+(** Wire version carried in every payload's first byte; currently 1. *)
+
+type request =
+  | Ping  (** liveness probe; answered with [Ack] *)
+  | Register of {
+      object_id : string;
+      owner : string;
+      roles : string list;  (** activated best-effort, like scenarios *)
+      program : Sral.Ast.t;
+    }
+  | Arrive of { object_id : string; server : string }
+  | Depart of { object_id : string }
+      (** forget the object: its session is dropped and later requests
+          naming it are rejected *)
+  | Check of { object_id : string; access : Sral.Access.t }
+  | Activate of { object_id : string; role : string }
+  | Join of { object_id : string; team : string }
+  | Subscribe
+      (** stream this connection's trace events as [Event] replies *)
+
+type reply =
+  | Ack of { seq : int }
+  | Verdict of { seq : int; verdict : Obs.Verdict.t }
+  | Rejected of { seq : int; reason : string }
+      (** the request was understood but refused (unknown object,
+          unknown user, protocol violation); the connection may also
+          have been closed — see {!Server} *)
+  | Shed of { seq : int }
+      (** dropped by overload control before execution *)
+  | Event of Obs.Trace.event
+
+type error =
+  | Truncated  (** payload ended mid-field *)
+  | Bad_version of int
+  | Bad_tag of int
+  | Malformed of string
+      (** a field failed to parse (program text, ℚ, embedded JSON) or
+          trailing bytes followed a complete payload *)
+
+val describe : error -> string
+
+val encode_request : request -> string
+val decode_request : string -> (request, error) result
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, error) result
+
+val request_to_line : request -> string
+(** One JSON object (no newline) — the debug form. *)
+
+val reply_to_line : reply -> string
+(** One JSON object (no newline); verdicts embed
+    {!Obs.Export.verdict_to_json}, events embed {!Obs.Export.to_line}. *)

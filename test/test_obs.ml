@@ -605,6 +605,116 @@ let test_stats_counters () =
     "p100 upper bound covers max" true
     (Obs.Stats.hist_percentile_ns h 1.0 >= 300.0)
 
+(* --- byte offsets on malformed input (PR 8 satellite) --- *)
+
+(* The error pinpoints the absolute byte offset of the offending input,
+   not just its line. *)
+let test_read_byte_offset () =
+  let good = Obs.Export.to_line (Obs.Trace.Run_finished { time = Q.of_int 3 }) in
+  let bad = "{\"a\":}" in
+  (* the parse fails on the '}' where a value was expected: offset 5
+     within the line, rebased past [good] and its newline *)
+  let expected = Printf.sprintf "line 2: byte %d:" (String.length good + 1 + 5) in
+  let check_result what = function
+    | Ok _ -> Alcotest.failf "%s: malformed input accepted" what
+    | Error msg ->
+        if
+          String.length msg < String.length expected
+          || String.sub msg 0 (String.length expected) <> expected
+        then
+          Alcotest.failf "%s: expected error starting %S, got %S" what expected
+            msg
+  in
+  let doc = good ^ "\n" ^ bad ^ "\n" in
+  check_result "of_string" (Obs.Export.of_string doc);
+  let path = Filename.temp_file "stacc_offset" ".jsonl" in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  let ic = open_in path in
+  let result = Obs.Export.read ic in
+  close_in ic;
+  Sys.remove path;
+  check_result "read" result
+
+(* A structurally valid JSON value followed by a garbage tail is
+   rejected at the tail's offset. *)
+let test_garbage_tail_offset () =
+  match Obs.Export.of_line "{}xyz" with
+  | Ok _ -> Alcotest.fail "garbage tail accepted"
+  | Error msg ->
+      Alcotest.(check string) "tail offset" "byte 2: trailing input" msg
+
+let test_truncated_frame_offset () =
+  let good = Obs.Export.to_line (Obs.Trace.Run_finished { time = Q.of_int 3 }) in
+  (* cut inside the line: the unterminated string/object is reported at
+     the byte where the parser ran out *)
+  let truncated = String.sub good 0 (String.length good - 3) in
+  match Obs.Export.of_line truncated with
+  | Ok _ -> Alcotest.fail "truncated line accepted"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error carries a byte offset: %S" msg)
+        true
+        (String.length msg > 5 && String.sub msg 0 5 = "byte ")
+
+(* --- Stats.percentile: exact small-sample fallback (PR 8 satellite) --- *)
+
+let test_percentile_exact_small () =
+  let h = Obs.Stats.histogram () in
+  List.iter
+    (fun v -> Obs.Stats.observe h (Int64.of_int v))
+    [ 700; 100; 1000; 300; 500; 900; 200; 800; 400; 600 ];
+  Alcotest.(check (float 0.)) "p50 exact" 500.0 (Obs.Stats.percentile h 0.50);
+  Alcotest.(check (float 0.)) "p95 exact" 1000.0 (Obs.Stats.percentile h 0.95);
+  Alcotest.(check (float 0.)) "p99 exact" 1000.0 (Obs.Stats.percentile h 0.99);
+  Alcotest.(check (float 0.)) "p10 exact" 100.0 (Obs.Stats.percentile h 0.10);
+  Alcotest.(check (float 0.)) "empty" 0.0
+    (Obs.Stats.percentile (Obs.Stats.histogram ()) 0.5)
+
+let test_percentile_bucket_fallback () =
+  let h = Obs.Stats.histogram () in
+  for _ = 1 to 600 do
+    Obs.Stats.observe h 100L
+  done;
+  (* beyond the raw-sample buffer only the log2 bucket bound remains:
+     100 lands in bucket 6, whose upper bound is 2^7 - 1 *)
+  Alcotest.(check (float 0.)) "falls back to bucket bound" 127.0
+    (Obs.Stats.percentile h 0.50);
+  Alcotest.(check (float 0.))
+    "matches hist_percentile_ns"
+    (Obs.Stats.hist_percentile_ns h 0.50)
+    (Obs.Stats.percentile h 0.50)
+
+let test_percentile_merge () =
+  (* merge through the public path: two accumulators built from
+     Stage_end spans, folded with [Stats.add] *)
+  let mk_stats n base =
+    Obs.Stats.of_trace
+      (List.init n (fun i ->
+           Obs.Trace.Stage_end
+             {
+               time = Q.zero;
+               object_id = "o";
+               stage = Obs.Trace.Rbac;
+               ok = true;
+               elapsed_ns = Int64.of_int ((base + i) * 10);
+             }))
+  in
+  let a = mk_stats 200 1 (* 10..2000 *) and b = mk_stats 200 201 (* 2010..4000 *) in
+  Obs.Stats.add a b;
+  let h = Obs.Stats.stage_histogram a Obs.Trace.Rbac in
+  Alcotest.(check (float 0.)) "400 merged samples stay exact" 2000.0
+    (Obs.Stats.percentile h 0.50);
+  (* merging past the 512-sample buffer degrades to bucket bounds *)
+  let c = mk_stats 400 1 and d = mk_stats 400 1 in
+  Obs.Stats.add c d;
+  let h = Obs.Stats.stage_histogram c Obs.Trace.Rbac in
+  Alcotest.(check (float 0.))
+    "800 merged samples fall back to the bucket bound"
+    (Obs.Stats.hist_percentile_ns h 0.50)
+    (Obs.Stats.percentile h 0.50)
+
 let () =
   Alcotest.run "obs"
     [
@@ -627,6 +737,21 @@ let () =
             test_export_errors;
           Alcotest.test_case "read reports the offending line" `Quick
             test_read_truncated_line;
+          Alcotest.test_case "errors carry absolute byte offsets" `Quick
+            test_read_byte_offset;
+          Alcotest.test_case "garbage tail offset" `Quick
+            test_garbage_tail_offset;
+          Alcotest.test_case "truncated frame offset" `Quick
+            test_truncated_frame_offset;
+        ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "exact below the sample cap" `Quick
+            test_percentile_exact_small;
+          Alcotest.test_case "bucket fallback beyond the cap" `Quick
+            test_percentile_bucket_fallback;
+          Alcotest.test_case "merged histograms stay exact" `Quick
+            test_percentile_merge;
         ] );
       ( "sinks",
         [
