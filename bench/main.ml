@@ -929,6 +929,145 @@ let scenario_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* E21 — administrative safety: the symbolic reachability engine vs
+   explicit op-sequence enumeration.  Three parts.  First the
+   agreement gate the differential suite enforces: on the small-model
+   families, verdict constructors must agree exactly and every Leak
+   witness must replay to a grant — the numbers only count if the gate
+   passes (divergence exits 1).  Then a timing table on the
+   adversarial small models.  Then the scale table: SoD-free
+   Safe instances (the hard case — a Safe answer requires exhausting
+   the reachable deployments) where the symbolic engine's state dedup
+   collapses the n!-sequence space to 2^n deployments while the
+   enumeration baseline hits its node cap.
+
+   Env knobs for CI: [E21_GATE_COUNT] sizes the gate per family
+   (default 40); [E21_BRUTE_CAP] is the enumeration node cap on the
+   scale rows (default 500_000). *)
+let e21_report () =
+  let module Ad = Analysis.Admin in
+  let module AF = Scenarios.Admin_family in
+  let time f =
+    let t0 = Monotonic_clock.now () in
+    let r = f () in
+    (r, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0))
+  in
+  let env_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n -> n
+    | None -> default
+  in
+  let gate_count = env_int "E21_GATE_COUNT" 40 in
+  let brute_cap = env_int "E21_BRUTE_CAP" 500_000 in
+  let tag = function
+    | Ad.Leak _ -> "leak"
+    | Ad.Safe _ -> "safe"
+    | Ad.Undetermined _ -> "undetermined"
+  in
+  (* 1. agreement gate *)
+  let divergences = ref 0 and total = ref 0 and leaks = ref 0 in
+  List.iter
+    (fun fam ->
+      for seed = 0 to gate_count - 1 do
+        let rng = Random.State.make [| 2121; seed |] in
+        let inst = AF.generate fam rng in
+        incr total;
+        let sym = Ad.check inst in
+        let brute = Ad.brute_force inst in
+        if not (String.equal (tag sym.Ad.verdict) (tag brute.Ad.verdict))
+        then begin
+          incr divergences;
+          Printf.printf "  divergence (%s seed %d): symbolic %s, brute %s\n%!"
+            (AF.family_name fam) seed (tag sym.Ad.verdict)
+            (tag brute.Ad.verdict)
+        end;
+        match sym.Ad.verdict with
+        | Ad.Leak { ops; witness } ->
+            incr leaks;
+            let trace = List.map fst witness.Analysis.Safety.steps in
+            if
+              not
+                (Coordinated.Decision.is_granted
+                   (Ad.replay_witness inst ops ~trace))
+            then begin
+              incr divergences;
+              Printf.printf "  witness replay failed (%s seed %d)\n%!"
+                (AF.family_name fam) seed
+            end
+        | _ -> ()
+      done)
+    [ AF.Reachable; AF.Sabotaged; AF.Adversarial ];
+  Printf.printf
+    "  agreement: %d/%d (%d divergence(s)), %d leak witnesses replayed\n%!"
+    (!total - !divergences) !total !divergences !leaks;
+  if !divergences > 0 then exit 1;
+  (* 2. small-model timing *)
+  let batch salt count =
+    List.init count (fun seed ->
+        AF.adversarial (Random.State.make [| salt; seed |]))
+  in
+  ignore (List.map Ad.check (batch 2122 5));
+  Printf.printf "  %-28s %12s %12s %8s\n%!" "small models (60 adversarial)"
+    "symbolic" "brute" "ratio";
+  let insts = batch 2123 60 in
+  let _, sym_ns = time (fun () -> List.map Ad.check insts) in
+  let _, brute_ns = time (fun () -> List.map Ad.brute_force insts) in
+  Printf.printf "  %-28s %9.2f ms %9.2f ms %7.1fx\n%!" ""
+    (sym_ns /. 1e6) (brute_ns /. 1e6) (brute_ns /. sym_ns);
+  (* 3. the scale rows: Safe must exhaust the reachable deployments *)
+  let safe_instance n =
+    let p = Rbac.Policy.create () in
+    List.iter (Rbac.Policy.add_user p) [ "u1"; "u2" ];
+    let roles = List.init n (fun i -> Printf.sprintf "r%d" i) in
+    List.iter (Rbac.Policy.add_role p) ("anchor" :: roles);
+    (* the goal permission exists in the universe but is granted only
+       to the never-assigned anchor role: provably Safe, and proving
+       it requires visiting every reachable deployment *)
+    Rbac.Policy.grant p "anchor"
+      (Rbac.Perm.make ~operation:"read" ~target:"db@s1");
+    let base = { Coordinated.Policy_lang.policy = p; bindings = [] } in
+    let world = Analysis.World.of_policy base in
+    let pool =
+      List.mapi
+        (fun i r ->
+          if i mod 2 = 0 then Ad.Assign ("u2", r)
+          else
+            Ad.Grant (r, Rbac.Perm.make ~operation:"read" ~target:"log@s1"))
+        roles
+    in
+    Ad.make ~base ~world
+      ~schedule:{ Ad.pool; budget = n; team = "coalition"; joined = true }
+      ~user:"u1"
+      ~perm:(Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+      ~server:"s1"
+  in
+  Printf.printf "  %-10s %12s %9s %10s %12s %14s\n%!" "pool ops" "symbolic"
+    "explored" "leaf miss" "enumeration" "enum nodes";
+  List.iter
+    (fun n ->
+      let inst = safe_instance n in
+      let sym, sym_ns = time (fun () -> Ad.check inst) in
+      let verdict_str o =
+        match o.Ad.verdict with
+        | Ad.Safe { explored } -> Printf.sprintf "safe:%d" explored
+        | Ad.Leak _ -> "LEAK?!"
+        | Ad.Undetermined _ -> "undet(cap)"
+      in
+      let brute, brute_ns =
+        time (fun () -> Ad.brute_force ~max_nodes:brute_cap inst)
+      in
+      Printf.printf "  %-10d %9.2f ms %9s %10d %9.2f ms %11s\n%!" n
+        (sym_ns /. 1e6) (verdict_str sym) sym.Ad.stats.Ad.leaf_calls
+        (brute_ns /. 1e6)
+        (Printf.sprintf "%s/%d" (verdict_str brute) brute_cap);
+      match sym.Ad.verdict with
+      | Ad.Safe _ -> ()
+      | v ->
+          Format.printf "  scale row %d not safe: %a@." n Ad.pp_verdict v;
+          exit 1)
+    [ 8; 10; 12 ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
 
 let all_groups =
@@ -980,7 +1119,9 @@ let () =
   let selected =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst all_groups @ [ "E14"; "E15"; "E17"; "E18"; "E19"; "E20" ]
+    | _ ->
+        List.map fst all_groups
+        @ [ "E14"; "E15"; "E17"; "E18"; "E19"; "E20"; "E21" ]
   in
   List.iter
     (fun id ->
@@ -1008,6 +1149,10 @@ let () =
         Printf.printf "== E20 ==\n%!";
         e20_report ()
       end
+      else if id = "E21" then begin
+        Printf.printf "== E21 ==\n%!";
+        e21_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
@@ -1016,7 +1161,7 @@ let () =
         | None ->
             Printf.printf
               "unknown experiment id %S (known: %s, E14, E15, E17, E18, E19, \
-               E20)\n"
+               E20, E21)\n"
               id
               (String.concat ", " (List.map fst all_groups)))
     selected

@@ -756,6 +756,36 @@ let analyze_cmd =
     in
     Arg.(value & opt_all string [] & info [ "query" ] ~docv:"QUERY" ~doc)
   in
+  let admin_query_arg =
+    let doc =
+      "Administrative safety query 'USER OPERATION:RESOURCE@SERVER' \
+       (repeatable): can the user ever acquire the permission at the server \
+       under some sequence of administrative ops drawn from the \
+       $(b,--admin-ops) pool?  A leak is reported with the admin-op \
+       sequence and a replayed witness walk; safety with the explored \
+       frontier."
+    in
+    Arg.(value & opt_all string [] & info [ "admin-query" ] ~docv:"QUERY" ~doc)
+  in
+  let admin_ops_arg =
+    let doc =
+      "Admin-op schedule file for $(b,--admin-query): directives \
+       $(b,budget N), $(b,team NAME), $(b,joined BOOL), then one op per \
+       line (assign/deassign USER ROLE, grant/revoke ROLE PERM, ssd/dsd \
+       NAME ROLES... max K, bind PERM CLAUSES..., join, leave)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "admin-ops" ] ~docv:"FILE" ~doc)
+  in
+  let admin_budget_arg =
+    let doc = "Override the schedule's admin-op budget." in
+    Arg.(
+      value & opt (some int) None & info [ "admin-budget" ] ~docv:"N" ~doc)
+  in
+  let admin_states_arg =
+    let doc = "State bound for the admin reachability engine." in
+    Arg.(value & opt int 200_000 & info [ "admin-states" ] ~docv:"N" ~doc)
+  in
   let parse_link s =
     match String.index_opt s ':' with
     | Some i ->
@@ -782,7 +812,8 @@ let analyze_cmd =
                   (Printf.sprintf "query %S: target needs a concrete @server"
                      s)))
   in
-  let run input links entries step json witness strict queries =
+  let run input links entries step json witness strict queries admin_queries
+      admin_ops admin_budget admin_states =
     match Coordinated.Policy_lang.parse (read_input input) with
     | exception Coordinated.Policy_lang.Error (line, msg) ->
         Format.eprintf "%s:%d: %s@." input line msg;
@@ -819,12 +850,76 @@ let analyze_cmd =
                 if not quiet then (
                   Format.printf "%a@." World.pp world;
                   Format.printf "%a@." Analysis.Report.pp report);
+                let admin_failures = ref 0 in
+                let admin_results =
+                  match admin_queries with
+                  | [] -> []
+                  | _ -> (
+                      match admin_ops with
+                      | None ->
+                          incr admin_failures;
+                          Format.eprintf
+                            "error: --admin-query requires --admin-ops@.";
+                          []
+                      | Some path -> (
+                          match
+                            Analysis.Admin.parse_schedule (read_input path)
+                          with
+                          | exception
+                              (Invalid_argument msg | Sys_error msg) ->
+                              incr admin_failures;
+                              Format.eprintf "error: %s@." msg;
+                              []
+                          | schedule ->
+                              let schedule =
+                                match admin_budget with
+                                | None -> schedule
+                                | Some budget ->
+                                    { schedule with Analysis.Admin.budget }
+                              in
+                              List.filter_map
+                                (fun q ->
+                                  match parse_query q with
+                                  | Error msg ->
+                                      incr admin_failures;
+                                      Format.eprintf "error: %s@." msg;
+                                      None
+                                  | Ok (user, perm, server) -> (
+                                      match
+                                        Analysis.Admin.make ~base:parsed
+                                          ~world ~schedule ~user ~perm
+                                          ~server
+                                      with
+                                      | exception Invalid_argument msg ->
+                                          incr admin_failures;
+                                          Format.eprintf "error: %s@." msg;
+                                          None
+                                      | inst ->
+                                          Some
+                                            ( user,
+                                              perm,
+                                              server,
+                                              Analysis.Admin.check
+                                                ~max_states:admin_states
+                                                inst )))
+                                admin_queries))
+                in
+                let jsonl () =
+                  Analysis.Report.to_jsonl report
+                  ^ String.concat ""
+                      (List.map
+                         (fun (user, perm, server, outcome) ->
+                           Analysis.Report.admin_to_json ~user ~perm ~server
+                             outcome
+                           ^ "\n")
+                         admin_results)
+                in
                 (match json with
                 | None -> ()
-                | Some "-" -> print_string (Analysis.Report.to_jsonl report)
+                | Some "-" -> print_string (jsonl ())
                 | Some path ->
                     let oc = open_out path in
-                    output_string oc (Analysis.Report.to_jsonl report);
+                    output_string oc (jsonl ());
                     close_out oc);
                 if witness && not quiet then
                   List.iter
@@ -849,8 +944,25 @@ let analyze_cmd =
                             Rbac.Perm.pp perm Analysis.Safety.pp_verdict
                             verdict)
                   queries;
-                if !query_failures > 0 then exit_usage
-                else if strict && report.Analysis.Analyzer.findings <> []
+                if not quiet then
+                  List.iter
+                    (fun (user, perm, server, outcome) ->
+                      Format.printf "admin-query %s %a @@ %s -> %a@." user
+                        Rbac.Perm.pp perm server Analysis.Admin.pp_outcome
+                        outcome)
+                    admin_results;
+                let leak =
+                  List.exists
+                    (fun (_, _, _, o) ->
+                      match o.Analysis.Admin.verdict with
+                      | Analysis.Admin.Leak _ -> true
+                      | _ -> false)
+                    admin_results
+                in
+                if !query_failures > 0 || !admin_failures > 0 then exit_usage
+                else if
+                  strict
+                  && (report.Analysis.Analyzer.findings <> [] || leak)
                 then 1
                 else 0)))
   in
@@ -867,13 +979,16 @@ let analyze_cmd =
          (exit_status_man
             [
               "0 on success (including reported findings without \
-               $(b,--strict)); 1 on parse errors, or on findings under \
-               $(b,--strict); 2 on usage errors (including malformed \
-               $(b,--link), $(b,--step) or $(b,--query) values).";
+               $(b,--strict)); 1 on parse errors, or on findings or \
+               $(b,--admin-query) leaks under $(b,--strict); 2 on usage \
+               errors (including malformed $(b,--link), $(b,--step), \
+               $(b,--query) or $(b,--admin-query) values, and a malformed \
+               or missing $(b,--admin-ops) schedule).";
             ]))
     Term.(
       const run $ input_arg $ link_arg $ entry_arg $ step_arg $ json_arg
-      $ witness_arg $ strict_arg $ query_arg)
+      $ witness_arg $ strict_arg $ query_arg $ admin_query_arg
+      $ admin_ops_arg $ admin_budget_arg $ admin_states_arg)
 
 (* --- simulate --- *)
 

@@ -1,0 +1,793 @@
+module Q = Temporal.Q
+module Pb = Coordinated.Perm_binding
+module Pl = Coordinated.Policy_lang
+module System = Coordinated.System
+
+type op =
+  | Assign of string * string
+  | Deassign of string * string
+  | Grant of string * Rbac.Perm.t
+  | Revoke of string * Rbac.Perm.t
+  | Add_ssd of Rbac.Sod.t
+  | Add_dsd of Rbac.Sod.t
+  | Add_binding of Pb.t
+  | Join
+  | Leave
+
+let sod_to_string kw (c : Rbac.Sod.t) =
+  Printf.sprintf "%s %s %s max %d" kw c.Rbac.Sod.name
+    (String.concat " " c.Rbac.Sod.roles)
+    c.Rbac.Sod.max_roles
+
+let op_to_string = function
+  | Assign (u, r) -> Printf.sprintf "assign %s %s" u r
+  | Deassign (u, r) -> Printf.sprintf "deassign %s %s" u r
+  | Grant (r, p) -> Printf.sprintf "grant %s %s" r (Rbac.Perm.to_string p)
+  | Revoke (r, p) -> Printf.sprintf "revoke %s %s" r (Rbac.Perm.to_string p)
+  | Add_ssd c -> sod_to_string "ssd" c
+  | Add_dsd c -> sod_to_string "dsd" c
+  | Add_binding b -> "bind " ^ Pl.render_binding b
+  | Join -> "join"
+  | Leave -> "leave"
+
+let pp_op ppf op = Format.pp_print_string ppf (op_to_string op)
+
+let bad fmt = Format.kasprintf invalid_arg fmt
+
+let split_words s =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
+
+let parse_sod kw = function
+  | name :: tail -> (
+      let rec split_roles acc = function
+        | [ "max"; k ] -> (
+            match int_of_string_opt k with
+            | Some max_roles -> (List.rev acc, max_roles)
+            | None -> bad "Admin: bad %s cardinality %S" kw k)
+        | r :: rest -> split_roles (r :: acc) rest
+        | [] -> bad "Admin: %s needs a trailing 'max <k>'" kw
+      in
+      let roles, max_roles = split_roles [] tail in
+      Rbac.Sod.make ~name ~roles ~max_roles)
+  | [] -> bad "Admin: %s needs a name" kw
+
+let parse_perm s =
+  try Rbac.Perm.of_string s with Invalid_argument m -> bad "Admin: %s" m
+
+let op_of_string line =
+  match split_words line with
+  | [ "assign"; u; r ] -> Assign (u, r)
+  | [ "deassign"; u; r ] -> Deassign (u, r)
+  | [ "grant"; r; p ] -> Grant (r, parse_perm p)
+  | [ "revoke"; r; p ] -> Revoke (r, parse_perm p)
+  | "ssd" :: rest -> Add_ssd (parse_sod "ssd" rest)
+  | "dsd" :: rest -> Add_dsd (parse_sod "dsd" rest)
+  | "bind" :: _ -> (
+      let body =
+        String.trim (String.sub line 4 (String.length line - 4))
+      in
+      match Pl.parse_binding body with
+      | b -> Add_binding b
+      | exception Pl.Error (_, m) -> bad "Admin: %s" m)
+  | [ "join" ] -> Join
+  | [ "leave" ] -> Leave
+  | w :: _ -> bad "Admin: unknown op %S" w
+  | [] -> bad "Admin: empty op"
+
+type schedule = { pool : op list; budget : int; team : string; joined : bool }
+
+let parse_schedule text =
+  let pool = ref [] in
+  let budget = ref 0 in
+  let team = ref "coalition" in
+  let joined = ref true in
+  List.iter
+    (fun raw ->
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match split_words (String.map (function '\t' -> ' ' | c -> c) line) with
+      | [] -> ()
+      | [ "budget"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> budget := n
+          | _ -> bad "Admin: bad budget %S" n)
+      | [ "team"; t ] -> team := t
+      | [ "joined"; b ] -> (
+          match bool_of_string_opt b with
+          | Some b -> joined := b
+          | None -> bad "Admin: bad joined flag %S" b)
+      | _ -> pool := op_of_string (String.trim line) :: !pool)
+    (String.split_on_char '\n' text);
+  { pool = List.rev !pool; budget = !budget; team = !team; joined = !joined }
+
+let render_schedule s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "budget %d\n" s.budget);
+  Buffer.add_string buf (Printf.sprintf "team %s\n" s.team);
+  Buffer.add_string buf (Printf.sprintf "joined %b\n" s.joined);
+  List.iter
+    (fun op -> Buffer.add_string buf (op_to_string op ^ "\n"))
+    s.pool;
+  Buffer.contents buf
+
+type instance = {
+  base : Pl.t;
+  world : World.t;
+  schedule : schedule;
+  user : string;
+  perm : Rbac.Perm.t;
+  server : string;
+}
+
+let make ~base ~world ~schedule ~user ~perm ~server =
+  let policy = base.Pl.policy in
+  let known_user u =
+    if not (List.mem u (Rbac.Policy.users policy)) then
+      bad "Admin.make: user %S not declared in the base policy" u
+  in
+  let known_role r =
+    if not (Rbac.Hierarchy.mem (Rbac.Policy.hierarchy policy) r) then
+      bad "Admin.make: role %S not declared in the base policy" r
+  in
+  known_user user;
+  let resource = fst (Rbac.Perm.split_target perm.Rbac.Perm.target) in
+  if perm.Rbac.Perm.operation = "*" || resource = "*" then
+    bad "Admin.make: the queried operation and resource must be concrete";
+  if schedule.budget < 0 then bad "Admin.make: negative budget";
+  List.iter
+    (function
+      | Assign (u, r) | Deassign (u, r) ->
+          known_user u;
+          known_role r
+      | Grant (r, _) | Revoke (r, _) -> known_role r
+      | Add_ssd _ | Add_dsd _ | Add_binding _ | Join | Leave -> ())
+    schedule.pool;
+  { base; world; schedule; user; perm; server }
+
+(* ------------------------------------------------------------------ *)
+(* The interned state space.  One packed bitset per state; regions in
+   fingerprint-first order (UA, PA, bindings, DSD — everything the
+   leaf oracle reads), then SSD and the membership flag, each region
+   byte-aligned so the fingerprint is a byte prefix and region subset
+   tests are byte-range compares. *)
+
+type space = {
+  inst : instance;
+  ua : (string * string) array;
+  pa : (string * Rbac.Perm.t) array;
+  bnd : Pb.t array;
+  dsdc : Rbac.Sod.t array;
+  ssdc : Rbac.Sod.t array;
+  ua_bit : int;
+  pa_bit : int;
+  bnd_bit : int;
+  dsd_bit : int;
+  ssd_bit : int;
+  joined_bit : int;
+  nbits : int;
+  leaf_bytes : int;  (* byte length of the UA+PA+bindings+DSD prefix *)
+  bnd_pos : int;  (* byte offset / length of the bindings region, *)
+  bnd_len : int;  (* for antichain grouping *)
+  ua_pa_len : int;  (* byte length of the UA+PA prefix *)
+  ua_index : (string * string, int) Hashtbl.t;
+  by_user : (string * int) list array;
+      (* user index -> (role, ua bit index) list *)
+  user_ids : (string, int) Hashtbl.t;
+  sod_free : bool;
+}
+
+let dedup compare l =
+  let sorted = List.sort_uniq compare l in
+  Array.of_list sorted
+
+let dedup_stable eq l =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest ->
+        if List.exists (eq x) seen then go seen rest else go (x :: seen) rest
+  in
+  Array.of_list (go [] l)
+
+let round8 bits = (bits + 7) / 8 * 8
+
+let make_space inst =
+  let policy = inst.base.Pl.policy in
+  let pool = inst.schedule.pool in
+  let base_ua =
+    List.concat_map
+      (fun u -> List.map (fun r -> (u, r)) (Rbac.Policy.assigned_roles policy u))
+      (Rbac.Policy.users policy)
+  in
+  let pool_ua =
+    List.filter_map
+      (function Assign (u, r) | Deassign (u, r) -> Some (u, r) | _ -> None)
+      pool
+  in
+  let base_pa =
+    List.concat_map
+      (fun r ->
+        List.map (fun p -> (r, p)) (Rbac.Policy.direct_permissions policy r))
+      (Rbac.Policy.roles policy)
+  in
+  let pool_pa =
+    List.filter_map
+      (function Grant (r, p) | Revoke (r, p) -> Some (r, p) | _ -> None)
+      pool
+  in
+  let pair_compare (u1, r1) (u2, r2) =
+    match String.compare u1 u2 with 0 -> String.compare r1 r2 | c -> c
+  in
+  let pa_compare (r1, p1) (r2, p2) =
+    match String.compare r1 r2 with 0 -> Rbac.Perm.compare p1 p2 | c -> c
+  in
+  let ua = dedup pair_compare (base_ua @ pool_ua) in
+  let pa = dedup pa_compare (base_pa @ pool_pa) in
+  let bnd =
+    dedup_stable ( = )
+      (List.filter_map (function Add_binding b -> Some b | _ -> None) pool)
+  in
+  let dsdc =
+    dedup_stable ( = )
+      (List.filter_map (function Add_dsd c -> Some c | _ -> None) pool)
+  in
+  let ssdc =
+    dedup_stable ( = )
+      (List.filter_map (function Add_ssd c -> Some c | _ -> None) pool)
+  in
+  let ua_bit = 0 in
+  let pa_bit = ua_bit + round8 (Array.length ua) in
+  let bnd_bit = pa_bit + round8 (Array.length pa) in
+  let dsd_bit = bnd_bit + round8 (Array.length bnd) in
+  let ssd_bit = dsd_bit + round8 (Array.length dsdc) in
+  let joined_bit = ssd_bit + round8 (Array.length ssdc) in
+  let nbits = joined_bit + 8 in
+  let ua_index = Hashtbl.create 64 in
+  Array.iteri (fun i p -> Hashtbl.replace ua_index p i) ua;
+  let users = Array.of_list (Rbac.Policy.users policy) in
+  let user_ids = Hashtbl.create 16 in
+  Array.iteri (fun i u -> Hashtbl.replace user_ids u i) users;
+  let by_user = Array.make (max 1 (Array.length users)) [] in
+  Array.iteri
+    (fun i (u, r) ->
+      match Hashtbl.find_opt user_ids u with
+      | Some j -> by_user.(j) <- (r, i) :: by_user.(j)
+      | None -> ())
+    ua;
+  Array.iteri (fun j l -> by_user.(j) <- List.rev l) by_user;
+  let sod_free =
+    Rbac.Policy.ssd_constraints policy = []
+    && Rbac.Policy.dsd_constraints policy = []
+    && Array.length ssdc = 0
+    && Array.length dsdc = 0
+  in
+  {
+    inst;
+    ua;
+    pa;
+    bnd;
+    dsdc;
+    ssdc;
+    ua_bit;
+    pa_bit;
+    bnd_bit;
+    dsd_bit;
+    ssd_bit;
+    joined_bit;
+    nbits;
+    leaf_bytes = ssd_bit / 8;
+    bnd_pos = bnd_bit / 8;
+    bnd_len = (dsd_bit - bnd_bit) / 8;
+    ua_pa_len = bnd_bit / 8;
+    ua_index;
+    by_user;
+    user_ids;
+    sod_free;
+  }
+
+let initial space =
+  let st = Bitset.create space.nbits in
+  let policy = space.inst.base.Pl.policy in
+  Array.iteri
+    (fun i (u, r) ->
+      if List.mem r (Rbac.Policy.assigned_roles policy u) then
+        Bitset.set st (space.ua_bit + i))
+    space.ua;
+  Array.iteri
+    (fun i (r, p) ->
+      if List.exists (Rbac.Perm.equal p) (Rbac.Policy.direct_permissions policy r)
+      then Bitset.set st (space.pa_bit + i))
+    space.pa;
+  if space.inst.schedule.joined then Bitset.set st space.joined_bit;
+  st
+
+let joined space st = Bitset.get st space.joined_bit
+
+let current_roles space st u =
+  match Hashtbl.find_opt space.user_ids u with
+  | None -> []
+  | Some j ->
+      List.filter_map
+        (fun (r, i) -> if Bitset.get st (space.ua_bit + i) then Some r else None)
+        space.by_user.(j)
+
+(* SSD constraints active at a state: the base policy's plus every
+   pool constraint whose bit is set. *)
+let active_ssd space st =
+  let pool =
+    List.filteri
+      (fun i _ -> Bitset.get st (space.ssd_bit + i))
+      (Array.to_list space.ssdc)
+  in
+  Rbac.Policy.ssd_constraints space.inst.base.Pl.policy @ pool
+
+let ssd_blocks space st u r =
+  let current = current_roles space st u in
+  List.exists
+    (fun c -> Rbac.Sod.would_violate c ~current ~adding:r)
+    (active_ssd space st)
+
+let find_index index p =
+  match Hashtbl.find_opt index p with
+  | Some i -> i
+  | None -> assert false
+
+let array_find eq a x =
+  let rec go i =
+    if i >= Array.length a then assert false
+    else if eq a.(i) x then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Precondition-checked successor: [None] when the real admin API
+   would reject the op (or it is a no-op toggle). *)
+let apply space st op =
+  let flip setter bit =
+    let st' = Bitset.copy st in
+    setter st' bit;
+    Some st'
+  in
+  match op with
+  | Assign (u, r) ->
+      let i = space.ua_bit + find_index space.ua_index (u, r) in
+      if Bitset.get st i then None
+      else if ssd_blocks space st u r then None
+      else flip Bitset.set i
+  | Deassign (u, r) ->
+      let i = space.ua_bit + find_index space.ua_index (u, r) in
+      if Bitset.get st i then flip Bitset.clear i else None
+  | Grant (r, p) ->
+      let i =
+        space.pa_bit
+        + array_find
+            (fun (r', p') (r, p) -> r' = r && Rbac.Perm.equal p' p)
+            space.pa (r, p)
+      in
+      if Bitset.get st i then None else flip Bitset.set i
+  | Revoke (r, p) ->
+      let i =
+        space.pa_bit
+        + array_find
+            (fun (r', p') (r, p) -> r' = r && Rbac.Perm.equal p' p)
+            space.pa (r, p)
+      in
+      if Bitset.get st i then flip Bitset.clear i else None
+  | Add_ssd c ->
+      let i = space.ssd_bit + array_find ( = ) space.ssdc c in
+      if Bitset.get st i then None
+      else if
+        (* mirror Rbac.Policy.add_ssd's retroactive rejection *)
+        List.exists
+          (fun u -> Rbac.Sod.violates c (current_roles space st u))
+          (Rbac.Policy.users space.inst.base.Pl.policy)
+      then None
+      else flip Bitset.set i
+  | Add_dsd c ->
+      let i = space.dsd_bit + array_find ( = ) space.dsdc c in
+      if Bitset.get st i then None else flip Bitset.set i
+  | Add_binding b ->
+      let i = space.bnd_bit + array_find ( = ) space.bnd b in
+      if Bitset.get st i then None else flip Bitset.set i
+  | Join ->
+      if Bitset.get st space.joined_bit then None
+      else flip Bitset.set space.joined_bit
+  | Leave ->
+      if Bitset.get st space.joined_bit then flip Bitset.clear space.joined_bit
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Leaf oracle: materialize the deployment a state denotes and ask
+   Safety.can_acquire.  SSD constraints are deliberately omitted — the
+   leaf never assigns roles, and every reachable state is
+   SSD-consistent because each op checked its precondition when it
+   fired — so states differing only in SSD bits share one fingerprint. *)
+
+let materialize space st =
+  let base = space.inst.base.Pl.policy in
+  let p = Rbac.Policy.create () in
+  List.iter (Rbac.Policy.add_user p) (Rbac.Policy.users base);
+  List.iter (Rbac.Policy.add_role p) (Rbac.Policy.roles base);
+  List.iter
+    (fun senior ->
+      List.iter
+        (fun junior -> Rbac.Policy.add_inheritance p ~senior ~junior)
+        (Rbac.Hierarchy.direct_juniors (Rbac.Policy.hierarchy base) senior))
+    (Rbac.Policy.roles base);
+  Array.iteri
+    (fun i (u, r) ->
+      if Bitset.get st (space.ua_bit + i) then Rbac.Policy.assign_user p u r)
+    space.ua;
+  Array.iteri
+    (fun i (r, perm) ->
+      if Bitset.get st (space.pa_bit + i) then Rbac.Policy.grant p r perm)
+    space.pa;
+  List.iter (Rbac.Policy.add_dsd p) (Rbac.Policy.dsd_constraints base);
+  Array.iteri
+    (fun i c ->
+      if Bitset.get st (space.dsd_bit + i) then Rbac.Policy.add_dsd p c)
+    space.dsdc;
+  let pool_bindings =
+    List.filteri
+      (fun i _ -> Bitset.get st (space.bnd_bit + i))
+      (Array.to_list space.bnd)
+  in
+  { Pl.policy = p; bindings = space.inst.base.Pl.bindings @ pool_bindings }
+
+type stats = {
+  expanded : int;
+  generated : int;
+  leaf_calls : int;
+  leaf_hits : int;
+  visited_hits : int;
+  antichain_hits : int;
+  antichain : bool;
+}
+
+type verdict =
+  | Leak of { ops : op list; witness : Safety.witness }
+  | Safe of { explored : int }
+  | Undetermined of { reason : string; explored : int }
+
+type outcome = { verdict : verdict; stats : stats }
+
+type counters = {
+  mutable c_expanded : int;
+  mutable c_generated : int;
+  mutable c_leaf_calls : int;
+  mutable c_leaf_hits : int;
+  mutable c_visited_hits : int;
+  mutable c_antichain_hits : int;
+}
+
+let fresh_counters () =
+  {
+    c_expanded = 0;
+    c_generated = 0;
+    c_leaf_calls = 0;
+    c_leaf_hits = 0;
+    c_visited_hits = 0;
+    c_antichain_hits = 0;
+  }
+
+let stats_of c ~antichain =
+  {
+    expanded = c.c_expanded;
+    generated = c.c_generated;
+    leaf_calls = c.c_leaf_calls;
+    leaf_hits = c.c_leaf_hits;
+    visited_hits = c.c_visited_hits;
+    antichain_hits = c.c_antichain_hits;
+    antichain;
+  }
+
+let leaf space memo counters st =
+  let fp = Bitset.prefix_key st ~bytes:space.leaf_bytes in
+  match Hashtbl.find_opt memo fp with
+  | Some v ->
+      counters.c_leaf_hits <- counters.c_leaf_hits + 1;
+      v
+  | None ->
+      counters.c_leaf_calls <- counters.c_leaf_calls + 1;
+      let deployment = materialize space st in
+      let v =
+        Safety.can_acquire ~world:space.inst.world ~policy:deployment
+          ~user:space.inst.user ~perm:space.inst.perm
+          ~server:space.inst.server
+      in
+      Hashtbl.replace memo fp v;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Witness replay through the real API. *)
+
+let clone_policy p =
+  let q = Rbac.Policy.create () in
+  List.iter (Rbac.Policy.add_user q) (Rbac.Policy.users p);
+  List.iter (Rbac.Policy.add_role q) (Rbac.Policy.roles p);
+  List.iter
+    (fun senior ->
+      List.iter
+        (fun junior -> Rbac.Policy.add_inheritance q ~senior ~junior)
+        (Rbac.Hierarchy.direct_juniors (Rbac.Policy.hierarchy p) senior))
+    (Rbac.Policy.roles p);
+  List.iter
+    (fun u ->
+      List.iter (Rbac.Policy.assign_user q u) (Rbac.Policy.assigned_roles p u))
+    (Rbac.Policy.users p);
+  List.iter
+    (fun r ->
+      List.iter (Rbac.Policy.grant q r) (Rbac.Policy.direct_permissions p r))
+    (Rbac.Policy.roles p);
+  List.iter (Rbac.Policy.add_ssd q) (Rbac.Policy.ssd_constraints p);
+  List.iter (Rbac.Policy.add_dsd q) (Rbac.Policy.dsd_constraints p);
+  q
+
+let oid = "analysis"
+
+let apply_real inst sys op =
+  let policy = System.policy sys in
+  (match op with
+  | Assign (u, r) -> Rbac.Policy.assign_user policy u r
+  | Deassign (u, r) -> Rbac.Policy.deassign_user policy u r
+  | Grant (r, p) -> Rbac.Policy.grant policy r p
+  | Revoke (r, p) -> Rbac.Policy.revoke policy r p
+  | Add_ssd c -> Rbac.Policy.add_ssd policy c
+  | Add_dsd c -> Rbac.Policy.add_dsd policy c
+  | Add_binding b -> System.add_binding sys b
+  | Join -> System.join_team sys ~object_id:oid ~team:inst.schedule.team
+  | Leave -> System.join_team sys ~object_id:oid ~team:("solo:" ^ oid));
+  Obs.Bus.emit (System.bus sys)
+    (Obs.Trace.Policy_changed
+       {
+         time = Q.zero;
+         op = op_to_string op;
+         version = Rbac.Policy.version policy;
+       })
+
+let replay_witness ?bus inst ops ~trace =
+  let policy = clone_policy inst.base.Pl.policy in
+  let sys = System.create ?bus ~bindings:inst.base.Pl.bindings policy in
+  List.iter (apply_real inst sys) ops;
+  Safety.replay_through ~sys ~world:inst.world ~user:inst.user ~trace ()
+
+(* ------------------------------------------------------------------ *)
+(* The symbolic engine. *)
+
+let exhausted_reason bound =
+  Printf.sprintf "state bound %d exhausted before the frontier closed" bound
+
+let undetermined_leaves_reason n =
+  Printf.sprintf
+    "%d reachable deployment(s) left the leaf oracle undetermined" n
+
+(* Replay the engine's witness before reporting it; a divergence (which
+   would be an engine bug) is reported honestly, never as a leak. *)
+let confirm_leak inst ops (w : Safety.witness) ~explored ~stats =
+  let trace = List.map fst w.Safety.steps in
+  let verdict =
+    match replay_witness inst ops ~trace with
+    | v when Coordinated.Decision.is_granted v -> Leak { ops; witness = w }
+    | _ ->
+        Undetermined
+          {
+            reason =
+              "witness replay diverged from the leaf oracle (engine bug?)";
+            explored;
+          }
+    | exception Invalid_argument m ->
+        Undetermined { reason = "witness replay rejected: " ^ m; explored }
+  in
+  { verdict; stats }
+
+let check ?(max_states = 200_000) inst =
+  let space = make_space inst in
+  let budget = inst.schedule.budget in
+  let counters = fresh_counters () in
+  let memo = Hashtbl.create 64 in
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let parents : (string, string * op) Hashtbl.t = Hashtbl.create 256 in
+  (* Antichain entries grouped by (binding bits, membership): a new
+     state is subsumed iff some explored state in its group has
+     pointwise-superset UA and PA bits and at least as much remaining
+     budget.  Only sound SoD-free (see the .mli). *)
+  let antichain : (string, (Bitset.t * int) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let group_key st =
+    Printf.sprintf "%s%c"
+      (String.sub (Bitset.key st) space.bnd_pos space.bnd_len)
+      (if joined space st then '\001' else '\000')
+  in
+  let subsumed st rem =
+    match Hashtbl.find_opt antichain (group_key st) with
+    | None -> false
+    | Some entries ->
+        List.exists
+          (fun (bigger, rem') ->
+            rem' >= rem
+            && Bitset.subset_bytes st bigger ~pos:0 ~len:space.ua_pa_len)
+          !entries
+  in
+  let record st rem =
+    let k = group_key st in
+    let entries =
+      match Hashtbl.find_opt antichain k with
+      | Some e -> e
+      | None ->
+          let e = ref [] in
+          Hashtbl.replace antichain k e;
+          e
+    in
+    (* keep it an antichain: drop entries the newcomer dominates *)
+    entries :=
+      (st, rem)
+      :: List.filter
+           (fun (smaller, rem') ->
+             not
+               (rem >= rem'
+               && Bitset.subset_bytes smaller st ~pos:0 ~len:space.ua_pa_len))
+           !entries
+  in
+  let queue = Queue.create () in
+  let init = initial space in
+  Hashtbl.replace visited (Bitset.key init) budget;
+  if space.sod_free then record init budget;
+  Queue.push (init, 0) queue;
+  let rec path_to key acc =
+    match Hashtbl.find_opt parents key with
+    | None -> acc
+    | Some (parent, op) -> path_to parent (op :: acc)
+  in
+  let undet = ref 0 in
+  let result = ref None in
+  (while !result = None && not (Queue.is_empty queue) do
+     if counters.c_expanded >= max_states then
+       result :=
+         Some
+           {
+             verdict =
+               Undetermined
+                 {
+                   reason = exhausted_reason max_states;
+                   explored = counters.c_expanded;
+                 };
+             stats = stats_of counters ~antichain:space.sod_free;
+           }
+     else begin
+       let st, depth = Queue.pop queue in
+       counters.c_expanded <- counters.c_expanded + 1;
+       (if joined space st then
+          match leaf space memo counters st with
+          | Safety.Acquirable w ->
+              let ops = path_to (Bitset.key st) [] in
+              result :=
+                Some
+                  (confirm_leak inst ops w ~explored:counters.c_expanded
+                     ~stats:(stats_of counters ~antichain:space.sod_free))
+          | Safety.Undetermined _ -> incr undet
+          | Safety.Impossible _ -> ());
+       if !result = None && depth < budget then
+         List.iter
+           (fun op ->
+             match apply space st op with
+             | None -> ()
+             | Some st' ->
+                 counters.c_generated <- counters.c_generated + 1;
+                 let k' = Bitset.key st' in
+                 let rem' = budget - depth - 1 in
+                 let seen =
+                   match Hashtbl.find_opt visited k' with
+                   | Some r when r >= rem' ->
+                       counters.c_visited_hits <- counters.c_visited_hits + 1;
+                       true
+                   | _ -> false
+                 in
+                 if not seen then
+                   if space.sod_free && subsumed st' rem' then
+                     counters.c_antichain_hits <-
+                       counters.c_antichain_hits + 1
+                   else begin
+                     Hashtbl.replace visited k' rem';
+                     Hashtbl.replace parents k' (Bitset.key st, op);
+                     if space.sod_free then record st' rem';
+                     Queue.push (st', depth + 1) queue
+                   end)
+           inst.schedule.pool
+     end
+   done);
+  match !result with
+  | Some outcome -> outcome
+  | None ->
+      let stats = stats_of counters ~antichain:space.sod_free in
+      let verdict =
+        if !undet > 0 then
+          Undetermined
+            {
+              reason = undetermined_leaves_reason !undet;
+              explored = counters.c_expanded;
+            }
+        else Safe { explored = counters.c_expanded }
+      in
+      { verdict; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Explicit enumeration: every op sequence, no dedup, no pruning. *)
+
+let brute_force ?(max_nodes = 2_000_000) inst =
+  let space = make_space inst in
+  let budget = inst.schedule.budget in
+  let counters = fresh_counters () in
+  let memo = Hashtbl.create 64 in
+  let undet = ref 0 in
+  let found = ref None in
+  let nodes = ref 0 in
+  let exception Cut of string in
+  let rec go st depth acc =
+    if !found = None then begin
+      incr nodes;
+      if !nodes > max_nodes then raise (Cut (exhausted_reason max_nodes));
+      counters.c_expanded <- counters.c_expanded + 1;
+      (if joined space st then
+         match leaf space memo counters st with
+         | Safety.Acquirable w -> found := Some (List.rev acc, w)
+         | Safety.Undetermined _ -> incr undet
+         | Safety.Impossible _ -> ());
+      if !found = None && depth < budget then
+        List.iter
+          (fun op ->
+            match apply space st op with
+            | None -> ()
+            | Some st' ->
+                counters.c_generated <- counters.c_generated + 1;
+                go st' (depth + 1) (op :: acc))
+          inst.schedule.pool
+    end
+  in
+  match go (initial space) 0 [] with
+  | exception Cut reason ->
+      {
+        verdict = Undetermined { reason; explored = counters.c_expanded };
+        stats = stats_of counters ~antichain:false;
+      }
+  | () -> (
+      let stats = stats_of counters ~antichain:false in
+      match !found with
+      | Some (ops, w) ->
+          confirm_leak inst ops w ~explored:counters.c_expanded ~stats
+      | None ->
+          let verdict =
+            if !undet > 0 then
+              Undetermined
+                {
+                  reason = undetermined_leaves_reason !undet;
+                  explored = counters.c_expanded;
+                }
+            else Safe { explored = counters.c_expanded }
+          in
+          { verdict; stats })
+
+let pp_verdict ppf = function
+  | Leak { ops; witness } ->
+      Format.fprintf ppf "@[<v>leak: %d admin op(s) reach an acquirable state"
+        (List.length ops);
+      List.iter (fun op -> Format.fprintf ppf "@,  admin: %a" pp_op op) ops;
+      Format.fprintf ppf "@,then %a@]" Safety.pp_verdict
+        (Safety.Acquirable witness)
+  | Safe { explored } ->
+      Format.fprintf ppf
+        "safe: all %d deployment(s) reachable within the budget keep the \
+         permission unacquirable"
+        explored
+  | Undetermined { reason; explored } ->
+      Format.fprintf ppf "undetermined after %d state(s): %s" explored reason
+
+let pp_outcome ppf { verdict; stats } =
+  Format.fprintf ppf
+    "@[<v>%a@,%d expanded, %d generated, leaf %d+%d (calls+hits), pruned \
+     %d visited / %d antichain%s@]"
+    pp_verdict verdict stats.expanded stats.generated stats.leaf_calls
+    stats.leaf_hits stats.visited_hits stats.antichain_hits
+    (if stats.antichain then "" else " (antichain off: SoD present)")

@@ -1,0 +1,176 @@
+(** Administrative safety: can this user {e ever} acquire this
+    permission, quantifying over administrative actions?
+
+    {!Safety.can_acquire} answers the safety question for one fixed
+    deployment.  In a coalition, the deployment itself evolves:
+    administrators assign and deassign roles, grant and revoke
+    permissions, add separation-of-duty constraints, append bindings,
+    and objects join and leave the coalition.  This module decides
+    reachability of a leak over that {b administrative transition
+    system} — the STACC analogue of NGAC safety analysis.
+
+    {2 The transition system}
+
+    An {!instance} fixes the base deployment (policy + bindings +
+    world), the leak goal [(user, perm, server)], and a {!schedule}: a
+    pool of administrative {!op}s the adversary may fire, a budget on
+    how many fire in total, and the object's initial coalition
+    membership.  Each op's precondition mirrors the real
+    {!Rbac.Policy} API exactly — [Assign] is blocked by an active SSD
+    constraint precisely when {!Rbac.Policy.assign_user} would raise
+    [Ssd_violation], [Add_ssd] is blocked when
+    {!Rbac.Policy.add_ssd} would reject it retroactively — so every
+    reachable symbolic state corresponds to a deployment an
+    administrator can actually produce (and witness replays never trip
+    an exception).
+
+    {2 The engine}
+
+    States are packed {!Bitset}s over the interned (user×role,
+    role×perm, pool-binding, pool-DSD, pool-SSD) universe plus a
+    membership flag, each region byte-aligned.  A breadth-first
+    worklist explores deployments; at every coalition-member state the
+    leak goal is decided by {!Safety.can_acquire} as the {b leaf
+    oracle}, memoized on the state's deployment fingerprint (the
+    UA/PA/binding/DSD byte prefix — SSD constraints restrict admin ops
+    but never decisions, so they are excluded from the fingerprint;
+    this is sound because every {e reachable} state is SSD-consistent
+    by construction).  Two prunings:
+
+    - {b dominance}: a state revisited with no more remaining budget
+      than before is not re-expanded;
+    - {b antichain subsumption} (only on SoD-free instances — no SSD
+      or DSD in the base or the pool): a state whose assignments and
+      grants are pointwise included in an already-explored state with
+      the same active bindings, no less membership and no less
+      remaining budget is never expanded.  The restriction is
+      essential: under SSD, extra assignments can {e block} a needed
+      [Assign]; under DSD, extra assignments can block role
+      activation; and unequal binding sets change which walks the leaf
+      oracle considers — in all three cases pointwise inclusion stops
+      being a simulation.
+
+    A positive verdict carries the admin-op sequence {e and} the leaf
+    witness walk, and is {e replayed} before being reported: the ops
+    are applied through the real [Rbac.Policy] / {!Coordinated.System}
+    API on a clone of the base (each emitting
+    {!Obs.Trace.Policy_changed}), then the walk is driven through the
+    mutated system to [Granted] — zero false positives by
+    construction.  A negative verdict states the frontier invariant
+    (every reachable deployment was explored and none leaks); bounded
+    exhaustion is reported honestly as [Undetermined]. *)
+
+(** One administrative action.  [Join]/[Leave] move the queried object
+    in or out of the schedule's team; the other seven mutate the
+    policy or the binding list. *)
+type op =
+  | Assign of string * string  (** user, role *)
+  | Deassign of string * string
+  | Grant of string * Rbac.Perm.t  (** role, permission *)
+  | Revoke of string * Rbac.Perm.t
+  | Add_ssd of Rbac.Sod.t
+  | Add_dsd of Rbac.Sod.t
+  | Add_binding of Coordinated.Perm_binding.t
+  | Join
+  | Leave
+
+val op_to_string : op -> string
+(** Render in the schedule line syntax ([assign u r], [grant r p],
+    [ssd name r1 r2 max k], [bind perm clauses…], [join], [leave]) —
+    the same string {!op_of_string} parses and
+    {!Obs.Trace.Policy_changed} records. *)
+
+val op_of_string : string -> op
+(** @raise Invalid_argument on a malformed op line. *)
+
+type schedule = {
+  pool : op list;  (** ops the adversary may fire, in declaration order *)
+  budget : int;  (** how many op firings in total *)
+  team : string;  (** the team [Join] joins (default ["coalition"]) *)
+  joined : bool;  (** initial coalition membership (default [true]) *)
+}
+
+val parse_schedule : string -> schedule
+(** Line-oriented, [#] comments; directives [budget <n>],
+    [team <name>], [joined true|false], every other non-blank line one
+    {!op_of_string} op.  @raise Invalid_argument *)
+
+val render_schedule : schedule -> string
+(** Inverse of {!parse_schedule} up to comments and blank lines. *)
+
+type instance = {
+  base : Coordinated.Policy_lang.t;
+  world : World.t;
+  schedule : schedule;
+  user : string;
+  perm : Rbac.Perm.t;
+  server : string;
+}
+
+val make :
+  base:Coordinated.Policy_lang.t ->
+  world:World.t ->
+  schedule:schedule ->
+  user:string ->
+  perm:Rbac.Perm.t ->
+  server:string ->
+  instance
+(** Validated construction.
+    @raise Invalid_argument when the queried user, an op's user, or an
+    op's role is not declared in the base policy; when the queried
+    permission's operation or resource is a wildcard; or when the
+    budget is negative. *)
+
+type stats = {
+  expanded : int;  (** states popped and goal-checked *)
+  generated : int;  (** successor states produced *)
+  leaf_calls : int;  (** leaf-oracle materializations (memo misses) *)
+  leaf_hits : int;  (** leaf-oracle memo hits *)
+  visited_hits : int;  (** successors pruned by exact-state dominance *)
+  antichain_hits : int;  (** successors pruned by antichain subsumption *)
+  antichain : bool;  (** was antichain pruning enabled (SoD-free)? *)
+}
+
+type verdict =
+  | Leak of { ops : op list; witness : Safety.witness }
+      (** [ops] applied in order to the base deployment, then the
+          witness walk, ends in a granted access — replayed through
+          {!Coordinated.System} before being reported *)
+  | Safe of { explored : int }
+      (** frontier invariant: all [explored] deployments reachable
+          within the budget were checked and none leaks *)
+  | Undetermined of { reason : string; explored : int }
+
+type outcome = { verdict : verdict; stats : stats }
+
+val check : ?max_states:int -> instance -> outcome
+(** Decide leak reachability.  [max_states] (default [200_000]) bounds
+    exploration; exhausting it yields [Undetermined] naming the
+    bound. *)
+
+val brute_force : ?max_nodes:int -> instance -> outcome
+(** Explicit enumeration of every op {e sequence} of length ≤ budget
+    (no state dedup, no pruning) with the same leaf rule — the
+    small-model oracle the differential suite compares {!check}
+    against, and the baseline E21 measures against.  [max_nodes]
+    (default [2_000_000]) turns runaway enumerations into
+    [Undetermined]. *)
+
+val replay_witness :
+  ?bus:Obs.Bus.t ->
+  instance ->
+  op list ->
+  trace:Sral.Trace.t ->
+  Coordinated.Decision.verdict
+(** Replay an admin-op sequence through the real API on a clone of the
+    base deployment — each op emits {!Obs.Trace.Policy_changed} on the
+    system bus (pass [bus] to observe them) — then drive the walk via
+    {!Safety.replay_through} and return the final access's verdict.
+    [Leave] moves the object to a fresh singleton team (the system has
+    no leave primitive; an empty team is observationally equal to no
+    team).  @raise Invalid_argument if an op's precondition fails,
+    which cannot happen for sequences produced by {!check}. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -75,6 +75,51 @@ let finding_to_json (f : Analyzer.finding) =
         (escape (Q.to_string needed))
         (escape (Q.to_string budget))
 
+let admin_to_json ~user ~perm ~server (o : Admin.outcome) =
+  let s = o.Admin.stats in
+  let head =
+    Printf.sprintf
+      {|"kind":"admin-query","user":"%s","perm":"%s","server":"%s"|}
+      (escape user)
+      (escape (Rbac.Perm.to_string perm))
+      (escape server)
+  in
+  let tail =
+    Printf.sprintf
+      {|"expanded":%d,"generated":%d,"leaf_calls":%d,"leaf_hits":%d,"visited_hits":%d,"antichain_hits":%d,"antichain":%b|}
+      s.Admin.expanded s.Admin.generated s.Admin.leaf_calls s.Admin.leaf_hits
+      s.Admin.visited_hits s.Admin.antichain_hits s.Admin.antichain
+  in
+  match o.Admin.verdict with
+  | Admin.Leak { ops; witness } ->
+      let ops_json =
+        String.concat ","
+          (List.map
+             (fun op -> "\"" ^ escape (Admin.op_to_string op) ^ "\"")
+             ops)
+      in
+      let steps_json =
+        String.concat ","
+          (List.map
+             (fun (a, t) ->
+               Printf.sprintf {|{"access":"%s","time":"%s"}|}
+                 (escape (Format.asprintf "%a" Sral.Access.pp a))
+                 (escape (Q.to_string t)))
+             witness.Safety.steps)
+      in
+      Printf.sprintf
+        {|{%s,"verdict":"leak","ops":[%s],"entry":"%s","steps":[%s],%s}|}
+        head ops_json
+        (escape witness.Safety.entry)
+        steps_json tail
+  | Admin.Safe { explored } ->
+      Printf.sprintf {|{%s,"verdict":"safe","explored":%d,%s}|} head explored
+        tail
+  | Admin.Undetermined { reason; explored } ->
+      Printf.sprintf
+        {|{%s,"verdict":"undetermined","reason":"%s","explored":%d,%s}|} head
+        (escape reason) explored tail
+
 let to_jsonl (r : Analyzer.report) =
   let header =
     Printf.sprintf

@@ -21,3 +21,11 @@ val to_jsonl : Analyzer.report -> string
 
 val finding_to_json : Analyzer.finding -> string
 (** One JSON object, no trailing newline. *)
+
+val admin_to_json :
+  user:string -> perm:Rbac.Perm.t -> server:string -> Admin.outcome -> string
+(** One [kind = "admin-query"] JSON object for an administrative-safety
+    outcome (no trailing newline): the query, the verdict — with the
+    admin-op sequence, entry server and timed walk on a leak — and the
+    engine's exploration counters.  Deterministic: identical outcomes
+    render byte-identically. *)

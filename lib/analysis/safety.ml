@@ -26,15 +26,8 @@ let activate_all session policy user =
       | Rbac.Session.Not_authorized _ | Rbac.Session.Dsd_violation _ -> ())
     (Rbac.Policy.authorized_roles policy user)
 
-let replay ?mode ?bindings ~world ~policy:(parsed : Coordinated.Policy_lang.t)
-    ~user ~trace () =
+let replay_through ~sys ~world ~user ~trace () =
   if trace = [] then invalid_arg "Safety.replay: empty trace";
-  let bindings =
-    Option.value bindings ~default:parsed.Coordinated.Policy_lang.bindings
-  in
-  let sys =
-    System.create ?mode ~bindings parsed.Coordinated.Policy_lang.policy
-  in
   let session = System.new_session sys ~user in
   activate_all session (System.policy sys) user;
   let program = Sral.Ast.seq (List.map Sral.Ast.access trace) in
@@ -65,6 +58,16 @@ let replay ?mode ?bindings ~world ~policy:(parsed : Coordinated.Policy_lang.t)
         verdict := System.check sys ~session ~object_id:oid ~program ~time a)
     trace;
   !verdict
+
+let replay ?mode ?bindings ~world ~policy:(parsed : Coordinated.Policy_lang.t)
+    ~user ~trace () =
+  let bindings =
+    Option.value bindings ~default:parsed.Coordinated.Policy_lang.bindings
+  in
+  let sys =
+    System.create ?mode ~bindings parsed.Coordinated.Policy_lang.policy
+  in
+  replay_through ~sys ~world ~user ~trace ()
 
 (* Accepted words of [d] with length in [min_len, max_len], shortest
    first, capped; symbols in table order within one length. *)

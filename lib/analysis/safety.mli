@@ -70,4 +70,16 @@ val replay :
     (the oracle tests use it to isolate one binding).
     @raise Invalid_argument on an empty trace. *)
 
+val replay_through :
+  sys:Coordinated.System.t ->
+  world:World.t ->
+  user:string ->
+  trace:Sral.Trace.t ->
+  unit ->
+  Coordinated.Decision.verdict
+(** Like {!replay}, but drives the walk through an {e existing} system
+    — the admin verifier uses it to adjudicate a walk after replaying a
+    sequence of administrative mutations on the live system.
+    @raise Invalid_argument on an empty trace. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -103,6 +103,12 @@ let parse_sod line_no what rest =
       with Invalid_argument m -> error line_no "%s" m)
   | [] -> error line_no "%s needs a name" what
 
+let parse_binding s =
+  match words 1 s with
+  | "bind" :: perm :: clauses | perm :: clauses ->
+      parse_bind_clauses 1 (parse_perm 1 perm) clauses
+  | [] -> error 1 "empty binding"
+
 let parse text =
   let policy = Rbac.Policy.create () in
   let bindings = ref [] in
@@ -153,6 +159,36 @@ let parse_file path =
   close_in ic;
   parse text
 
+let render_binding (b : Perm_binding.t) =
+  let clauses = Buffer.create 64 in
+  (match b.Perm_binding.spatial with
+  | Some c ->
+      Buffer.add_string clauses
+        (Format.asprintf " spatial \"%a\"" Srac.Formula.pp c);
+      Buffer.add_string clauses
+        (match b.Perm_binding.spatial_modality with
+        | Srac.Program_sat.Exists -> " modality exists"
+        | Srac.Program_sat.Forall -> " modality forall");
+      Buffer.add_string clauses
+        (match b.Perm_binding.spatial_scope with
+        | Perm_binding.Program -> " scope program"
+        | Perm_binding.Performed -> " scope performed"
+        | Perm_binding.Both -> " scope both");
+      Buffer.add_string clauses
+        (match b.Perm_binding.proof_scope with
+        | Perm_binding.Own -> ""
+        | Perm_binding.Team -> " proofs team")
+  | None -> ());
+  (match b.Perm_binding.dur with
+  | Some d ->
+      Buffer.add_string clauses
+        (Format.asprintf " dur %a scheme %s" Temporal.Q.pp d
+           (match b.Perm_binding.scheme with
+           | Temporal.Validity.Whole_journey -> "journey"
+           | Temporal.Validity.Per_server -> "server"))
+  | None -> ());
+  Rbac.Perm.to_string b.Perm_binding.perm ^ Buffer.contents clauses
+
 let render t =
   let buf = Buffer.create 512 in
   let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -186,37 +222,5 @@ let render t =
       line "dsd %s %s max %d" c.Rbac.Sod.name (String.concat " " c.Rbac.Sod.roles)
         c.Rbac.Sod.max_roles)
     (Rbac.Policy.dsd_constraints t.policy);
-  List.iter
-    (fun (b : Perm_binding.t) ->
-      let clauses = Buffer.create 64 in
-      (match b.Perm_binding.spatial with
-      | Some c ->
-          Buffer.add_string clauses
-            (Format.asprintf " spatial \"%a\"" Srac.Formula.pp c);
-          Buffer.add_string clauses
-            (match b.Perm_binding.spatial_modality with
-            | Srac.Program_sat.Exists -> " modality exists"
-            | Srac.Program_sat.Forall -> " modality forall");
-          Buffer.add_string clauses
-            (match b.Perm_binding.spatial_scope with
-            | Perm_binding.Program -> " scope program"
-            | Perm_binding.Performed -> " scope performed"
-            | Perm_binding.Both -> " scope both");
-          Buffer.add_string clauses
-            (match b.Perm_binding.proof_scope with
-            | Perm_binding.Own -> ""
-            | Perm_binding.Team -> " proofs team")
-      | None -> ());
-      (match b.Perm_binding.dur with
-      | Some d ->
-          Buffer.add_string clauses
-            (Format.asprintf " dur %a scheme %s" Temporal.Q.pp d
-               (match b.Perm_binding.scheme with
-               | Temporal.Validity.Whole_journey -> "journey"
-               | Temporal.Validity.Per_server -> "server"))
-      | None -> ());
-      line "bind %s%s"
-        (Rbac.Perm.to_string b.Perm_binding.perm)
-        (Buffer.contents clauses))
-    t.bindings;
+  List.iter (fun b -> line "bind %s" (render_binding b)) t.bindings;
   Buffer.contents buf

@@ -38,4 +38,15 @@ val parse_file : string -> t
 (** @raise Error and [Sys_error]. *)
 
 val render : t -> string
-(** Render back to (parseable) policy text. *)
+(** Render back to (parseable) policy text.  [parse (render t)] is a
+    fixed point: rendering the parse of a rendering reproduces it
+    byte for byte. *)
+
+val parse_binding : string -> Perm_binding.t
+(** Parse one binding in the [bind] line syntax, with or without the
+    leading [bind] keyword — e.g. ["read:db@s1 dur 10 scheme journey"].
+    @raise Error (the reported line number is always 1). *)
+
+val render_binding : Perm_binding.t -> string
+(** Render one binding in the [bind] line syntax (without the leading
+    [bind] keyword); inverse of {!parse_binding}. *)

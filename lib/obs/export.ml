@@ -175,6 +175,8 @@ let fields_of_event ev =
       ]
   | Trace.Gave_up { time; agent; attempts } ->
       [ tag "gave_up"; t time; ("agent", jstr agent); ("attempts", jint attempts) ]
+  | Trace.Policy_changed { time; op; version } ->
+      [ tag "policy_changed"; t time; ("op", jstr op); ("version", jint version) ]
   | Trace.Run_finished { time } -> [ tag "run_finished"; t time ]
 
 let to_line ev =
@@ -578,6 +580,9 @@ let event_of_fields fields =
           agent = get_str fields "agent";
           attempts = get_int fields "attempts";
         }
+  | "policy_changed" ->
+      Trace.Policy_changed
+        { time; op = get_str fields "op"; version = get_int fields "version" }
   | "run_finished" -> Trace.Run_finished { time }
   | ev -> fail ("unknown event tag " ^ ev)
 

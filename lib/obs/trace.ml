@@ -52,6 +52,7 @@ type event =
   | Server_up of { time : Q.t; server : string }
   | Retry_scheduled of { time : Q.t; agent : string; attempt : int; at : Q.t }
   | Gave_up of { time : Q.t; agent : string; attempts : int }
+  | Policy_changed of { time : Q.t; op : string; version : int }
   | Run_finished of { time : Q.t }
 
 let time = function
@@ -74,6 +75,7 @@ let time = function
   | Server_up { time; _ }
   | Retry_scheduled { time; _ }
   | Gave_up { time; _ }
+  | Policy_changed { time; _ }
   | Run_finished { time } ->
       time
 
@@ -97,7 +99,7 @@ let subject = function
   | Retry_scheduled { agent; _ }
   | Gave_up { agent; _ } ->
       Some agent
-  | Server_down _ | Server_up _ | Run_finished _ -> None
+  | Server_down _ | Server_up _ | Policy_changed _ | Run_finished _ -> None
 
 let stage_name = function
   | Rbac -> "rbac"
@@ -184,4 +186,7 @@ let pp ppf ev =
   | Gave_up { agent; attempts; _ } ->
       Format.fprintf ppf "[%a] %s: gave up after %d attempts" Q.pp t agent
         attempts
+  | Policy_changed { op; version; _ } ->
+      Format.fprintf ppf "[%a] policy changed: %s (version %d)" Q.pp t op
+        version
   | Run_finished _ -> Format.fprintf ppf "[%a] run finished" Q.pp t

@@ -23,6 +23,10 @@
       [Retry_scheduled] (a failed migration rescheduled with backoff)
       and [Gave_up] (retry budget exhausted; the access is then denied
       fail-closed);
+    - {b administration}: [Policy_changed] records an administrative
+      mutation of the RBAC policy (assign/deassign, grant/revoke,
+      SoD-constraint or binding addition, team join/leave) with the
+      rendered op and the {!Rbac.Policy.version} stamp after it;
     - {b run bookkeeping}: [Run_finished] closes a simulation run.
 
     All events are timestamped with the simulator's exact ℚ clock, so a
@@ -100,6 +104,13 @@ type event =
       at : Temporal.Q.t;  (** when the retry will run (backoff applied) *)
     }
   | Gave_up of { time : Temporal.Q.t; agent : string; attempts : int }
+  | Policy_changed of {
+      time : Temporal.Q.t;
+      op : string;
+          (** rendered admin op, e.g. ["assign u1 doctor"] — the same
+              line syntax {e Analysis.Admin.op_of_string} accepts *)
+      version : int;  (** {!Rbac.Policy.version} after the mutation *)
+    }
   | Run_finished of { time : Temporal.Q.t }
 
 val time : event -> Temporal.Q.t
@@ -107,7 +118,7 @@ val time : event -> Temporal.Q.t
 
 val subject : event -> string option
 (** The mobile object / agent the event concerns ([None] for
-    [Server_down], [Server_up] and [Run_finished]). *)
+    [Server_down], [Server_up], [Policy_changed] and [Run_finished]). *)
 
 val stage_name : stage -> string
 (** ["rbac"], ["spatial"] or ["temporal"]. *)

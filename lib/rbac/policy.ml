@@ -116,8 +116,11 @@ let add_dsd p c =
   p.dsd <- c :: p.dsd
 let users p = String_set.elements p.users
 let roles p = Hierarchy.roles p.hierarchy
-let ssd_constraints p = p.ssd
-let dsd_constraints p = p.dsd
+
+(* Constraints are prepended internally; review reports them in
+   insertion order so render → parse → render is a fixed point. *)
+let ssd_constraints p = List.rev p.ssd
+let dsd_constraints p = List.rev p.dsd
 
 let authorized_roles p u =
   let assigned = assigned_roles p u in

@@ -51,7 +51,10 @@ val add_dsd : t -> Sod.t -> unit
 val users : t -> user list
 val roles : t -> role list
 val ssd_constraints : t -> Sod.t list
+(** In insertion order. *)
+
 val dsd_constraints : t -> Sod.t list
+(** In insertion order. *)
 
 val assigned_roles : t -> user -> role list
 (** Directly assigned, sorted. *)

@@ -1,0 +1,263 @@
+module Q = Temporal.Q
+module Admin = Analysis.Admin
+module Pb = Coordinated.Perm_binding
+
+type family = Reachable | Sabotaged | Adversarial
+
+let family_name = function
+  | Reachable -> "reachable"
+  | Sabotaged -> "sabotaged"
+  | Adversarial -> "adversarial"
+
+let family_of_name = function
+  | "reachable" -> Some Reachable
+  | "sabotaged" -> Some Sabotaged
+  | "adversarial" -> Some Adversarial
+  | _ -> None
+
+let servers = [ "s1"; "s2" ]
+let resources = [ "db"; "log" ]
+let operations = [ "read"; "write" ]
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let universe =
+  List.concat_map
+    (fun op ->
+      List.concat_map
+        (fun res ->
+          List.map
+            (fun srv ->
+              Sral.Access.make
+                ~op:(Sral.Access.operation_of_name op)
+                ~resource:res ~server:srv)
+            servers)
+        resources)
+    operations
+
+let world = Analysis.World.make ~servers ~universe ()
+
+(* The goal is always (u1, read:db@s1, s1); families differ in whether
+   the pool can reach a deployment granting it. *)
+let goal_user = "u1"
+let goal_perm = Rbac.Perm.make ~operation:"read" ~target:"db@s1"
+let goal_server = "s1"
+
+let base_policy rng ~users ~roles ~assigns ~grants =
+  let text = Buffer.create 128 in
+  List.iter (fun u -> Buffer.add_string text ("user " ^ u ^ "\n")) users;
+  List.iter (fun r -> Buffer.add_string text ("role " ^ r ^ "\n")) roles;
+  List.iter
+    (fun (u, r) -> Buffer.add_string text (Printf.sprintf "assign %s %s\n" u r))
+    assigns;
+  List.iter
+    (fun (r, p) ->
+      Buffer.add_string text
+        (Printf.sprintf "grant %s %s\n" r (Rbac.Perm.to_string p)))
+    grants;
+  ignore rng;
+  Coordinated.Policy_lang.parse (Buffer.contents text)
+
+let random_perm rng =
+  let target =
+    match Random.State.int rng 3 with
+    | 0 -> pick rng resources ^ "@*"
+    | 1 -> pick rng resources ^ "@" ^ pick rng servers
+    | _ -> "*@*"
+  in
+  Rbac.Perm.make ~operation:(pick rng operations) ~target
+
+(* A harmless permission: never matches the goal access (concrete
+   resource different from the goal's). *)
+let harmless_perm rng =
+  Rbac.Perm.make ~operation:(pick rng operations)
+    ~target:("log@" ^ pick rng servers)
+
+let random_binding rng =
+  let perm = if Random.State.bool rng then goal_perm else random_perm rng in
+  if Random.State.bool rng then
+    Pb.make ~dur:(Q.of_int (2 + Random.State.int rng 8)) perm
+  else
+    Pb.make
+      ~spatial:
+        (Srac.Formula.at_most
+           (1 + Random.State.int rng 3)
+           (Srac.Selector.Resource (pick rng resources)))
+      ~spatial_scope:Pb.Performed perm
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let distractors rng ~users ~roles n =
+  List.init n (fun _ ->
+      match Random.State.int rng 6 with
+      | 0 -> Admin.Assign (pick rng users, pick rng roles)
+      | 1 -> Admin.Deassign (pick rng users, pick rng roles)
+      | 2 -> Admin.Grant (pick rng roles, harmless_perm rng)
+      | 3 -> Admin.Revoke (pick rng roles, harmless_perm rng)
+      | 4 -> Admin.Add_binding (random_binding rng)
+      | _ -> Admin.Leave)
+
+let reachable rng =
+  let users = [ "u1"; "u2" ] in
+  let roles = [ "r1"; "r2" ] in
+  let base = base_policy rng ~users ~roles ~assigns:[] ~grants:[] in
+  let start_outside = Random.State.bool rng in
+  let planted =
+    (if start_outside then [ Admin.Join ] else [])
+    @ [
+        Admin.Assign (goal_user, "r1");
+        Admin.Grant
+          ( "r1",
+            if Random.State.bool rng then goal_perm
+            else Rbac.Perm.make ~operation:"read" ~target:"db@*" );
+      ]
+  in
+  (* distractors must not make the leak unreachable: none may undo a
+     planted op, and Leave is excluded when the walk starts outside
+     (the planted Join must not be consumable twice) *)
+  let noise =
+    List.filter
+      (function
+        | Admin.Deassign (u, r) -> not (u = goal_user && r = "r1")
+        | Admin.Leave -> not start_outside
+        | _ -> true)
+      (distractors rng ~users ~roles:[ "r2" ] (Random.State.int rng 3))
+  in
+  let budget = List.length planted in
+  Admin.make ~base ~world
+    ~schedule:
+      {
+        pool = shuffle rng (planted @ noise);
+        budget;
+        team = "alpha";
+        joined = not start_outside;
+      }
+    ~user:goal_user ~perm:goal_perm ~server:goal_server
+
+let sabotaged rng =
+  let users = [ "u1"; "u2" ] in
+  let roles = [ "r1"; "r2" ] in
+  match Random.State.int rng 3 with
+  | 0 ->
+      (* nothing ever grants the goal: base and pool grants are all on
+         a different concrete resource *)
+      let base =
+        base_policy rng ~users ~roles
+          ~assigns:[ (goal_user, pick rng roles) ]
+          ~grants:[ (pick rng roles, harmless_perm rng) ]
+      in
+      let pool =
+        shuffle rng
+          (Admin.Assign (goal_user, "r1")
+          :: Admin.Grant ("r2", harmless_perm rng)
+          :: distractors rng ~users ~roles (1 + Random.State.int rng 3))
+      in
+      Admin.make ~base ~world
+        ~schedule:
+          { pool; budget = 1 + Random.State.int rng 3; team = "alpha";
+            joined = true }
+        ~user:goal_user ~perm:goal_perm ~server:goal_server
+  | 1 ->
+      (* the only granting role is SSD-blocked: u1 holds r2, {r1,r2}
+         is exclusive, and the pool cannot deassign r2 *)
+      let text =
+        "user u1\nuser u2\nrole r1\nrole r2\n"
+        ^ "assign u1 r2\n"
+        ^ Printf.sprintf "grant r1 %s\n" (Rbac.Perm.to_string goal_perm)
+        ^ "ssd exclusive r1 r2 max 1\n"
+      in
+      let base = Coordinated.Policy_lang.parse text in
+      let pool =
+        shuffle rng
+          [
+            Admin.Assign ("u1", "r1");
+            Admin.Assign ("u2", "r1");
+            Admin.Grant ("r2", harmless_perm rng);
+          ]
+      in
+      Admin.make ~base ~world
+        ~schedule:
+          { pool; budget = 2 + Random.State.int rng 2; team = "alpha";
+            joined = true }
+        ~user:goal_user ~perm:goal_perm ~server:goal_server
+  | _ ->
+      (* outside the coalition with no way back in *)
+      let base =
+        base_policy rng ~users ~roles
+          ~assigns:[ (goal_user, "r1") ]
+          ~grants:[ ("r1", goal_perm) ]
+      in
+      let pool =
+        List.filter
+          (function Admin.Leave -> false | _ -> true)
+          (distractors rng ~users ~roles (1 + Random.State.int rng 3))
+      in
+      Admin.make ~base ~world
+        ~schedule:
+          { pool; budget = 1 + Random.State.int rng 3; team = "alpha";
+            joined = false }
+        ~user:goal_user ~perm:goal_perm ~server:goal_server
+
+let random_sod rng ~roles name =
+  let k = 1 + Random.State.int rng 1 in
+  Rbac.Sod.make ~name ~roles ~max_roles:k
+
+let adversarial rng =
+  let users = [ "u1"; "u2" ] in
+  let roles = [ "r1"; "r2"; "r3" ] in
+  let assigns =
+    List.filter (fun _ -> Random.State.int rng 4 = 0)
+      (List.concat_map (fun u -> List.map (fun r -> (u, r)) roles) users)
+  in
+  let grants =
+    List.filter_map
+      (fun r ->
+        if Random.State.int rng 3 = 0 then Some (r, random_perm rng) else None)
+      roles
+  in
+  let base = base_policy rng ~users ~roles ~assigns ~grants in
+  let n_ops = 2 + Random.State.int rng 4 in
+  let pool =
+    List.init n_ops (fun i ->
+        match Random.State.int rng 9 with
+        | 0 -> Admin.Assign (pick rng users, pick rng roles)
+        | 1 -> Admin.Deassign (pick rng users, pick rng roles)
+        | 2 ->
+            Admin.Grant
+              ( pick rng roles,
+                if Random.State.bool rng then goal_perm else random_perm rng )
+        | 3 -> Admin.Revoke (pick rng roles, random_perm rng)
+        | 4 ->
+            Admin.Add_ssd
+              (random_sod rng ~roles:[ "r1"; "r2" ]
+                 (Printf.sprintf "ssd%d" i))
+        | 5 ->
+            Admin.Add_dsd
+              (random_sod rng ~roles:[ "r2"; "r3" ]
+                 (Printf.sprintf "dsd%d" i))
+        | 6 -> Admin.Add_binding (random_binding rng)
+        | 7 -> Admin.Join
+        | _ -> Admin.Leave)
+  in
+  Admin.make ~base ~world
+    ~schedule:
+      {
+        pool;
+        budget = Random.State.int rng 5;
+        team = "alpha";
+        joined = Random.State.bool rng;
+      }
+    ~user:goal_user ~perm:goal_perm ~server:goal_server
+
+let generate = function
+  | Reachable -> reachable
+  | Sabotaged -> sabotaged
+  | Adversarial -> adversarial

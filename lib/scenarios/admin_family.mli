@@ -1,0 +1,34 @@
+(** Seeded admin-safety scenario families for the administrative
+    verifier ({!Analysis.Admin}).
+
+    Small-model instances (≤3 users, ≤3 roles, op budgets ≤4) in three
+    families:
+
+    - {b Reachable}: a leak is reachable {e by construction} — the
+      generator plants an op sequence (optionally [join], then the
+      needed [assign] and [grant]s) that provably reaches an
+      acquirable deployment, then buries it among distractor ops and
+      shuffles the pool.  The verifier must answer [Leak].
+    - {b Sabotaged}: the leak is unreachable {e by construction} — the
+      goal permission is granted nowhere and the pool cannot grant it,
+      or the one granting role is SSD-blocked with no deassign in the
+      pool, or the object is outside the coalition with no [join].
+      The verifier must answer [Safe].
+    - {b Adversarial}: everything random over the full op surface
+      (assign/deassign, grant/revoke, ssd/dsd, bind, join/leave) —
+      the differential suite decides these against
+      {!Analysis.Admin.brute_force}.
+
+    Generation draws only from the given [Random.State.t], so a seed
+    reproduces an instance exactly. *)
+
+type family = Reachable | Sabotaged | Adversarial
+
+val family_name : family -> string
+val family_of_name : string -> family option
+
+val generate : family -> Random.State.t -> Analysis.Admin.instance
+
+val reachable : Random.State.t -> Analysis.Admin.instance
+val sabotaged : Random.State.t -> Analysis.Admin.instance
+val adversarial : Random.State.t -> Analysis.Admin.instance

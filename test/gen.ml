@@ -338,3 +338,40 @@ let analysis_binding rng universe =
   in
   PB.make ?spatial ~spatial_modality ~spatial_scope ?dur ~scheme
     (Rbac.Perm.make ~operation ~target)
+
+(* A full random Policy_lang.t — RBAC policy plus hierarchy, SoD
+   constraints and bindings — for the render/parse fixed-point
+   property.  SSD constraints that an already-generated assignment
+   would violate retroactively are simply skipped (the real admin API
+   rejects them too). *)
+let policy_lang rng =
+  let u = universe rng in
+  let p = policy rng in
+  let roles = Parallel.Workload.roles in
+  List.iteri
+    (fun i senior ->
+      List.iteri
+        (fun j junior ->
+          if i < j && Random.State.int rng 5 = 0 then
+            match Rbac.Policy.add_inheritance p ~senior ~junior with
+            | () -> ()
+            | exception Rbac.Hierarchy.Cycle _ -> ())
+        roles)
+    roles;
+  for i = 0 to Random.State.int rng 3 - 1 do
+    let r1 = pick rng roles and r2 = pick rng roles in
+    if not (String.equal r1 r2) then begin
+      let c =
+        Rbac.Sod.make
+          ~name:(Printf.sprintf "c%d" i)
+          ~roles:[ r1; r2 ] ~max_roles:1
+      in
+      if Random.State.bool rng then (
+        try Rbac.Policy.add_ssd p c with Invalid_argument _ -> ())
+      else Rbac.Policy.add_dsd p c
+    end
+  done;
+  let bindings =
+    List.init (Random.State.int rng 4) (fun _ -> analysis_binding rng u)
+  in
+  { Coordinated.Policy_lang.policy = p; bindings }

@@ -626,6 +626,147 @@ let test_workflow_safety_cross_check () =
               | Sf.Acquirable _ | Sf.Undetermined _ -> ())
             witness)
 
+(* ------------------------------------------------------------------ *)
+(* Administrative safety: the symbolic reachability engine             *)
+(* ------------------------------------------------------------------ *)
+
+module Ad = Analysis.Admin
+module AF = Scenarios.Admin_family
+
+(* The committed fixture pair: a policy where nobody can read the
+   database until an administrator fires the two ops in admin.ops.
+   This is the exact scenario the CI smoke test runs through the
+   binary. *)
+let test_admin_fixture () =
+  let base = PL.parse (fixture "admin.policy") in
+  let schedule = Ad.parse_schedule (fixture "admin.ops") in
+  let world = W.of_policy base in
+  let perm = Rbac.Perm.make ~operation:"read" ~target:"db@s1" in
+  let inst u = Ad.make ~base ~world ~schedule ~user:u ~perm ~server:"s1" in
+  let o1 = Ad.check (inst "u1") in
+  (match o1.Ad.verdict with
+  | Ad.Leak { ops; witness } ->
+      Alcotest.(check (list string))
+        "minimal two-op escalation"
+        [ "assign u1 clerk"; "grant clerk read:db@s1" ]
+        (List.map Ad.op_to_string ops);
+      let tr = List.map fst witness.Sf.steps in
+      Alcotest.(check bool)
+        "witness replays to a grant through the real system" true
+        (granted (Ad.replay_witness (inst "u1") ops ~trace:tr))
+  | v -> Alcotest.failf "u1 should leak: %a" Ad.pp_verdict v);
+  (* no SSD/DSD anywhere, so the antichain engine must be engaged *)
+  Alcotest.(check bool) "antichain enabled on SoD-free instance" true
+    o1.Ad.stats.Ad.antichain;
+  (match (Ad.check (inst "u2")).Ad.verdict with
+  | Ad.Safe _ -> ()
+  | v -> Alcotest.failf "u2 should be safe: %a" Ad.pp_verdict v);
+  (* brute force agrees on both committed queries *)
+  (match (Ad.brute_force (inst "u1")).Ad.verdict with
+  | Ad.Leak _ -> ()
+  | v -> Alcotest.failf "brute force misses the u1 leak: %a" Ad.pp_verdict v);
+  match (Ad.brute_force (inst "u2")).Ad.verdict with
+  | Ad.Safe _ -> ()
+  | v -> Alcotest.failf "brute force flags u2: %a" Ad.pp_verdict v
+
+let test_admin_schedule_roundtrip () =
+  let s = Ad.parse_schedule (fixture "admin.ops") in
+  let rendered = Ad.render_schedule s in
+  Alcotest.(check string) "render is a parse fixed point" rendered
+    (Ad.render_schedule (Ad.parse_schedule rendered));
+  List.iter
+    (fun op ->
+      let line = Ad.op_to_string op in
+      Alcotest.(check string) "op line round-trips" line
+        (Ad.op_to_string (Ad.op_of_string line)))
+    s.Ad.pool
+
+let verdict_tag = function
+  | Ad.Leak _ -> "leak"
+  | Ad.Safe _ -> "safe"
+  | Ad.Undetermined _ -> "undetermined"
+
+(* The differential gate from the acceptance criteria: on the
+   small-model corpus the symbolic engine and the explicit sequence
+   enumeration must produce the same verdict constructor on every
+   instance, every planted leak must be found, every planted
+   sabotage must come back Safe, and every Leak witness must replay
+   through the real Coordinated.System to a grant. *)
+let test_admin_differential () =
+  let leaks = ref 0 and safes = ref 0 in
+  let run family ~salt ~count ~expect =
+    Gen.each_seed ~salt ~count (fun ~seed rng ->
+        let inst = AF.generate family rng in
+        let sym = Ad.check inst in
+        let brute = Ad.brute_force inst in
+        if
+          not
+            (String.equal (verdict_tag sym.Ad.verdict)
+               (verdict_tag brute.Ad.verdict))
+        then
+          Alcotest.failf "seed %d (%s): symbolic %a but brute force %a" seed
+            (AF.family_name family) Ad.pp_verdict sym.Ad.verdict Ad.pp_verdict
+            brute.Ad.verdict;
+        (match expect with
+        | Some tag when not (String.equal tag (verdict_tag sym.Ad.verdict)) ->
+            Alcotest.failf "seed %d (%s): expected %s, got %a" seed
+              (AF.family_name family) tag Ad.pp_verdict sym.Ad.verdict
+        | _ -> ());
+        match sym.Ad.verdict with
+        | Ad.Leak { ops; witness } ->
+            incr leaks;
+            let tr = List.map fst witness.Sf.steps in
+            if not (granted (Ad.replay_witness inst ops ~trace:tr)) then
+              Alcotest.failf
+                "seed %d (%s): leak witness does not replay to a grant" seed
+                (AF.family_name family)
+        | Ad.Safe _ -> incr safes
+        | Ad.Undetermined _ -> ())
+  in
+  run AF.Reachable ~salt:9101 ~count:80 ~expect:(Some "leak");
+  run AF.Sabotaged ~salt:9102 ~count:60 ~expect:(Some "safe");
+  run AF.Adversarial ~salt:9103 ~count:120 ~expect:None;
+  Alcotest.(check bool)
+    (Printf.sprintf "leaks exercised (%d)" !leaks)
+    true (!leaks >= 80);
+  Alcotest.(check bool)
+    (Printf.sprintf "safe verdicts exercised (%d)" !safes)
+    true (!safes >= 60)
+
+(* Replaying a leak witness emits one Policy_changed event per admin
+   op on the system bus, each carrying the rendered op line and a
+   strictly increasing policy version. *)
+let test_admin_replay_emits_policy_changed () =
+  let base = PL.parse (fixture "admin.policy") in
+  let schedule = Ad.parse_schedule (fixture "admin.ops") in
+  let world = W.of_policy base in
+  let inst =
+    Ad.make ~base ~world ~schedule ~user:"u1"
+      ~perm:(Rbac.Perm.make ~operation:"read" ~target:"db@s1")
+      ~server:"s1"
+  in
+  match (Ad.check inst).Ad.verdict with
+  | Ad.Leak { ops; witness } ->
+      let bus = Obs.Bus.create () in
+      let seen = ref [] in
+      Obs.Bus.subscribe bus
+        (Obs.Sink.make ~name:"admin-test" (function
+          | Obs.Trace.Policy_changed { op; version; _ } ->
+              seen := (op, version) :: !seen
+          | _ -> ()));
+      let tr = List.map fst witness.Sf.steps in
+      Alcotest.(check bool) "replay grants" true
+        (granted (Ad.replay_witness ~bus inst ops ~trace:tr));
+      let seen = List.rev !seen in
+      Alcotest.(check (list string))
+        "one event per op, in order"
+        (List.map Ad.op_to_string ops)
+        (List.map fst seen);
+      let versions = List.map snd seen in
+      Alcotest.(check bool) "versions strictly increase" true
+        (List.for_all2 ( < ) versions (List.tl versions @ [ max_int ]))
+  | v -> Alcotest.failf "fixture should leak: %a" Ad.pp_verdict v
+
 let () =
   Alcotest.run "analysis"
     [
@@ -680,5 +821,16 @@ let () =
             test_workflow_unsat_binding;
           Alcotest.test_case "safety agrees witnesses are acquirable" `Quick
             test_workflow_safety_cross_check;
+        ] );
+      ( "admin",
+        [
+          Alcotest.test_case "fixture pair: leak and safe, both oracles"
+            `Quick test_admin_fixture;
+          Alcotest.test_case "schedule render/parse fixed point" `Quick
+            test_admin_schedule_roundtrip;
+          Alcotest.test_case "symbolic = brute force on the small-model corpus"
+            `Quick test_admin_differential;
+          Alcotest.test_case "witness replay emits Policy_changed" `Quick
+            test_admin_replay_emits_policy_changed;
         ] );
     ]

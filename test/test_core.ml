@@ -972,6 +972,50 @@ let test_policy_lang_roundtrip () =
     (Rbac.Policy.roles parsed.Policy_lang.policy)
     (Rbac.Policy.roles reparsed.Policy_lang.policy)
 
+(* The render/parse fixed point, as a seeded property over full random
+   deployments (hierarchy edges, SSD/DSD constraints, binding mixes):
+   rendering is canonical, so one render/parse cycle must reach a
+   fixed point — [render (parse (render t))] is byte-identical to
+   [render t].  A failing deployment is shrunk by dropping bindings
+   before being reported. *)
+let test_policy_lang_render_fixed_point () =
+  Gen.each_seed ~salt:5150 ~count:200 (fun ~seed rng ->
+      let t = Gen.policy_lang rng in
+      let rendered = Policy_lang.render t in
+      let again = Policy_lang.render (Policy_lang.parse rendered) in
+      if not (String.equal rendered again) then begin
+        let fails bindings =
+          let t = { t with Policy_lang.bindings } in
+          let r = Policy_lang.render t in
+          not (String.equal r (Policy_lang.render (Policy_lang.parse r)))
+        in
+        let small =
+          if fails t.Policy_lang.bindings then
+            { t with
+              Policy_lang.bindings =
+                Gen.shrink_list ~fails t.Policy_lang.bindings }
+          else t
+        in
+        let r = Policy_lang.render small in
+        Alcotest.failf
+          "seed %d: render is not a parse fixed point@.rendered:@.%s@.@.\
+           reparsed-rendered:@.%s"
+          seed r
+          (Policy_lang.render (Policy_lang.parse r))
+      end)
+
+(* Single bindings round-trip through the line-level entry points the
+   admin-op syntax reuses. *)
+let test_policy_lang_binding_roundtrip () =
+  Gen.each_seed ~salt:5151 ~count:200 (fun ~seed rng ->
+      let u = Gen.universe rng in
+      let b = Gen.analysis_binding rng u in
+      let line = Policy_lang.render_binding b in
+      let b' = Policy_lang.parse_binding line in
+      if not (String.equal line (Policy_lang.render_binding b')) then
+        Alcotest.failf "seed %d: binding line %S does not round-trip" seed
+          line)
+
 let test_policy_lang_errors () =
   let check_error src expected_line =
     match Policy_lang.parse src with
@@ -1105,6 +1149,10 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_policy_lang_parse;
           Alcotest.test_case "roundtrip" `Quick test_policy_lang_roundtrip;
+          Alcotest.test_case "render fixed point (seeded property)" `Quick
+            test_policy_lang_render_fixed_point;
+          Alcotest.test_case "binding line roundtrip" `Quick
+            test_policy_lang_binding_roundtrip;
           Alcotest.test_case "errors" `Quick test_policy_lang_errors;
           Alcotest.test_case "end to end" `Quick test_of_policy_text_end_to_end;
         ] );

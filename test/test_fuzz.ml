@@ -311,6 +311,42 @@ let test_workflow_unsat_never_completes () =
         true
         (Sat.brute_force wf = None))
 
+(* 9. The admin-safety adversarial family as a fuzz workload: random
+   instances over the full administrative op surface, decided twice —
+   symbolically (with pruning) and by explicit sequence enumeration.
+   Constructors must agree on every instance, determinism must hold
+   (same instance, same outcome rendering), and every symbolic Leak
+   must replay through the real system to a grant. *)
+let test_admin_adversarial_differential () =
+  let module Ad = Analysis.Admin in
+  let module AF = Scenarios.Admin_family in
+  let tag = function
+    | Ad.Leak _ -> "leak"
+    | Ad.Safe _ -> "safe"
+    | Ad.Undetermined _ -> "undetermined"
+  in
+  Gen.each_seed ~salt:7780 ~count:60 (fun ~seed rng ->
+      let inst = AF.adversarial rng in
+      let sym = Ad.check inst in
+      let brute = Ad.brute_force inst in
+      if not (String.equal (tag sym.Ad.verdict) (tag brute.Ad.verdict)) then
+        Alcotest.failf "seed %d: symbolic %a but brute force %a" seed
+          Ad.pp_verdict sym.Ad.verdict Ad.pp_verdict brute.Ad.verdict;
+      let again = Ad.check inst in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: deterministic outcome" seed)
+        (Format.asprintf "%a" Ad.pp_outcome sym)
+        (Format.asprintf "%a" Ad.pp_outcome again);
+      match sym.Ad.verdict with
+      | Ad.Leak { ops; witness } ->
+          let trace = List.map fst witness.Analysis.Safety.steps in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: leak replays to a grant" seed)
+            true
+            (Coordinated.Decision.is_granted
+               (Ad.replay_witness inst ops ~trace))
+      | Ad.Safe _ | Ad.Undetermined _ -> ())
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -341,5 +377,10 @@ let () =
             test_workflow_family_invariants;
           Alcotest.test_case "unsat family never completes" `Quick
             test_workflow_unsat_never_completes;
+        ] );
+      ( "admin",
+        [
+          Alcotest.test_case "adversarial family: symbolic = brute force"
+            `Quick test_admin_adversarial_differential;
         ] );
     ]

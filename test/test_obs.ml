@@ -287,6 +287,8 @@ let test_roundtrip_all_variants () =
       Obs.Trace.Retry_scheduled
         { time = t; agent = "a1"; attempt = 2; at = Q.make 11 2 };
       Obs.Trace.Gave_up { time = t; agent = "a1"; attempts = 4 };
+      Obs.Trace.Policy_changed
+        { time = t; op = "assign u1 clerk"; version = 7 };
       Obs.Trace.Run_finished { time = Q.of_int 9 };
     ]
   in

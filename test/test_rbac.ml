@@ -163,6 +163,90 @@ let test_sod_validation () =
     (Invalid_argument "Sod.make: need at least two conflicting roles")
     (fun () -> ignore (Sod.make ~name:"x" ~roles:[ "a" ] ~max_roles:1))
 
+(* --- the version counter: the admin verifier's cache stamp --- *)
+
+(* Every successful administrative mutation must bump the version, and
+   a rejected one must leave it alone — Analysis.Admin memoizes its
+   leaf oracle on deployment fingerprints and the Policy_changed trace
+   event records the version, so a missed bump is a stale-cache bug
+   and a spurious bump is a phantom audit event. *)
+let test_version_monotone_across_admin_ops () =
+  let policy = Policy.create () in
+  let v = ref (Policy.version policy) in
+  let bumped what f =
+    f ();
+    let v' = Policy.version policy in
+    if v' <= !v then
+      Alcotest.failf "%s did not bump the version (%d -> %d)" what !v v';
+    v := v'
+  in
+  bumped "add_user" (fun () -> Policy.add_user policy "alice");
+  bumped "add_user bob" (fun () -> Policy.add_user policy "bob");
+  bumped "add_role payer" (fun () -> Policy.add_role policy "payer");
+  bumped "add_role approver" (fun () -> Policy.add_role policy "approver");
+  bumped "add_role clerk" (fun () -> Policy.add_role policy "clerk");
+  bumped "add_inheritance" (fun () ->
+      Policy.add_inheritance policy ~senior:"payer" ~junior:"clerk");
+  bumped "assign_user" (fun () -> Policy.assign_user policy "alice" "payer");
+  bumped "grant" (fun () -> Policy.grant policy "payer" (p "read" "db@s1"));
+  bumped "revoke" (fun () -> Policy.revoke policy "payer" (p "read" "db@s1"));
+  bumped "deassign_user" (fun () ->
+      Policy.deassign_user policy "alice" "payer");
+  bumped "add_ssd" (fun () ->
+      Policy.add_ssd policy
+        (Sod.make ~name:"s" ~roles:[ "payer"; "approver" ] ~max_roles:1));
+  bumped "add_dsd" (fun () ->
+      Policy.add_dsd policy
+        (Sod.make ~name:"d" ~roles:[ "payer"; "clerk" ] ~max_roles:1))
+
+let test_version_unchanged_on_rejected_ops () =
+  let policy = fixture () in
+  Policy.add_role policy "payer";
+  Policy.add_role policy "approver";
+  Policy.add_ssd policy
+    (Sod.make ~name:"x" ~roles:[ "payer"; "approver" ] ~max_roles:1);
+  Policy.assign_user policy "alice" "payer";
+  let v = Policy.version policy in
+  (try Policy.assign_user policy "alice" "approver"
+   with Policy.Ssd_violation _ -> ());
+  Alcotest.(check int) "ssd-rejected assign does not bump" v
+    (Policy.version policy);
+  (try Policy.assign_user policy "ghost" "payer"
+   with Policy.Unknown _ -> ());
+  Alcotest.(check int) "unknown-user assign does not bump" v
+    (Policy.version policy);
+  (try Policy.grant policy "ghost" (p "read" "db@s1")
+   with Policy.Unknown _ -> ());
+  Alcotest.(check int) "unknown-role grant does not bump" v
+    (Policy.version policy);
+  (* alice already holds both payer and auditor, so this SSD is a
+     retroactive violation and must be rejected *)
+  (try
+     Policy.add_ssd policy
+       (Sod.make ~name:"late" ~roles:[ "payer"; "auditor" ] ~max_roles:1)
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "retroactive add_ssd does not bump" v
+    (Policy.version policy)
+
+(* Constraint review must report insertion order — Policy_lang renders
+   from these accessors, so reversal would break the render/parse
+   fixed point the analyzer's round-trip property depends on. *)
+let test_constraints_in_insertion_order () =
+  let policy = fixture () in
+  List.iter (Policy.add_role policy) [ "a"; "b"; "c"; "d" ];
+  let c1 = Sod.make ~name:"first" ~roles:[ "a"; "b" ] ~max_roles:1 in
+  let c2 = Sod.make ~name:"second" ~roles:[ "c"; "d" ] ~max_roles:1 in
+  Policy.add_ssd policy c1;
+  Policy.add_ssd policy c2;
+  Policy.add_dsd policy c2;
+  Policy.add_dsd policy c1;
+  Alcotest.(check (list string))
+    "ssd in insertion order" [ "first"; "second" ]
+    (List.map (fun c -> c.Sod.name) (Policy.ssd_constraints policy));
+  Alcotest.(check (list string))
+    "dsd in insertion order" [ "second"; "first" ]
+    (List.map (fun c -> c.Sod.name) (Policy.dsd_constraints policy))
+
 (* --- sessions --- *)
 
 let test_session_activation () =
@@ -407,6 +491,15 @@ let () =
           Alcotest.test_case "ssd blocks" `Quick test_ssd;
           Alcotest.test_case "retroactive" `Quick test_ssd_retroactive_rejected;
           Alcotest.test_case "validation" `Quick test_sod_validation;
+        ] );
+      ( "version",
+        [
+          Alcotest.test_case "every admin op bumps" `Quick
+            test_version_monotone_across_admin_ops;
+          Alcotest.test_case "rejected ops do not bump" `Quick
+            test_version_unchanged_on_rejected_ops;
+          Alcotest.test_case "constraints in insertion order" `Quick
+            test_constraints_in_insertion_order;
         ] );
       ( "session",
         [
