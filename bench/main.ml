@@ -438,6 +438,7 @@ let e13_tests =
   let mode_name = function
     | Coordinated.System.Naive -> "naive"
     | Coordinated.System.Indexed -> "indexed"
+    | Coordinated.System.Lazy -> "lazy"
   in
   Test.make_grouped ~name:"E13-decision-fastpath"
     (List.concat_map
@@ -448,7 +449,11 @@ let e13_tests =
                ~name:
                  (Printf.sprintf "%s,objects=%04d" (mode_name mode) objects)
                (Staged.stage (make ~mode ~objects)))
-           [ Coordinated.System.Naive; Coordinated.System.Indexed ])
+           [
+             Coordinated.System.Naive;
+             Coordinated.System.Indexed;
+             Coordinated.System.Lazy;
+           ])
        [ 16; 64; 256; 1024 ])
 
 (* ------------------------------------------------------------------ *)
@@ -590,6 +595,7 @@ let e14_report () =
   let mode_name = function
     | Coordinated.System.Naive -> "naive"
     | Coordinated.System.Indexed -> "indexed"
+    | Coordinated.System.Lazy -> "lazy"
   in
   List.iter
     (fun mode ->
@@ -615,6 +621,7 @@ let e15_report () =
   let mode_name = function
     | Coordinated.System.Naive -> "naive"
     | Coordinated.System.Indexed -> "indexed"
+    | Coordinated.System.Lazy -> "lazy"
   in
   Printf.printf
     "  %-8s %-10s %7s %8s %7s %7s %7s %7s %7s %9s %10s\n%!" "mode" "plan"
@@ -1068,6 +1075,231 @@ let e21_report () =
     [ 8; 10; 12 ]
 
 (* ------------------------------------------------------------------ *)
+(* E22 — the lazy-derivative decision path, in four acts.
+
+   First the differential gate, in the E18/E21 mould: a span of seeded
+   randomized coalitions is interpreted under [Lazy] and [Naive]
+   decision modes, and everything observable — the rendered verdicts
+   (denial reasons included), the audit log, and the entire bus trace
+   with its per-stage spans — must match byte for byte.  Any
+   divergence exits 1; the latency rows below only count if the gate
+   passes.
+
+   Then three latency rows, all three modes side by side:
+   - warm hit: the E13 steady state — a Program-scope spatial
+     constraint whose verdict the indexed path caches; the lazy path
+     must keep up without carrying a verdict cache at all;
+   - warm miss: a Performed-scope constraint granted on every check,
+     so every grant moves the history epoch and invalidates the
+     indexed verdict cache — the eager paths re-run trace
+     satisfaction over the whole growing history, the lazy machine
+     folds exactly one derivative step per recorded proof;
+   - cold: the first decision on a fresh coalition — the eager paths
+     pay subset construction for activation feasibility, the lazy
+     machine interns a couple of residuals and answers from
+     nullability.
+
+   Last the allocation gate: a burst of direct, uninstrumented
+   steady-state [Decision.decide_lazy] calls must allocate ~0 minor
+   words per decision (exits 1 above 1.0 words/decision).
+
+   Env knobs for CI: [E22_GATE_COUNT] sizes the differential gate
+   (default 300); [E22_CHECKS] sizes each latency row (default 4000);
+   [E22_TRACE_OUT] writes the fixed-seed (salt 2222, seed 7)
+   Lazy-mode rendered trace + log to a file so two runs can be
+   [cmp]'d for byte determinism. *)
+
+let e22_report () =
+  let env_int name default =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n -> n
+    | None -> default
+  in
+  let gate_count = env_int "E22_GATE_COUNT" 300 in
+  let checks = env_int "E22_CHECKS" 4000 in
+  let time f =
+    let t0 = Monotonic_clock.now () in
+    let r = f () in
+    (r, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0))
+  in
+  let render outcome =
+    String.concat "\n"
+      (List.map
+         (Format.asprintf "%a" Obs.Trace.pp)
+         outcome.Parallel.Scenario.trace)
+    ^ "\n--log--\n" ^ outcome.Parallel.Scenario.log
+  in
+  let run_seed ~mode seed =
+    let rng = Random.State.make [| 2222; seed |] in
+    Parallel.Scenario.run ~mode (Parallel.Workload.scenario rng)
+  in
+  (* 1. differential gate: verdicts + log + spans, byte for byte *)
+  let divergences = ref 0 in
+  for seed = 0 to gate_count - 1 do
+    let l = run_seed ~mode:Coordinated.System.Lazy seed in
+    let n = run_seed ~mode:Coordinated.System.Naive seed in
+    if
+      not
+        (l.Parallel.Scenario.verdicts = n.Parallel.Scenario.verdicts
+        && String.equal (render l) (render n))
+    then begin
+      incr divergences;
+      Printf.printf "  divergence (verdicts/log/spans) at seed %d\n%!" seed
+    end
+  done;
+  Printf.printf
+    "  differential (lazy vs naive, verdicts+log+spans): %d/%d (%d \
+     divergence(s))\n%!"
+    (gate_count - !divergences) gate_count !divergences;
+  if !divergences > 0 then exit 1;
+  (match Sys.getenv_opt "E22_TRACE_OUT" with
+  | None -> ()
+  | Some path ->
+      let body = render (run_seed ~mode:Coordinated.System.Lazy 7) in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "  fixed-seed trace: %d bytes written to %s\n%!"
+        (String.length body) path);
+  (* 2. latency rows *)
+  let policy () =
+    let policy = Rbac.Policy.create () in
+    Rbac.Policy.add_user policy "u";
+    Rbac.Policy.add_role policy "r";
+    Rbac.Policy.assign_user policy "u" "r";
+    Rbac.Policy.grant policy "r"
+      (Rbac.Perm.make ~operation:"read" ~target:"*@*");
+    policy
+  in
+  let access = Sral.Access.read "db" ~at:"s1" in
+  let program = Sral.Parser.program "read cfg @ s1; read db @ s1" in
+  let hit_bindings =
+    (* Program-scope constraint: verdict cacheable, history-independent *)
+    [
+      Coordinated.Perm_binding.make
+        ~spatial:
+          (Srac.Formula.Ordered (Sral.Access.read "cfg" ~at:"s1", access))
+        (Rbac.Perm.make ~operation:"read" ~target:"db@s1");
+    ]
+  in
+  let miss_bindings =
+    (* Performed-scope and granted on every check: each grant moves the
+       history epoch, so the indexed verdict cache never survives *)
+    [
+      Coordinated.Perm_binding.make
+        ~spatial:(Srac.Formula.at_least 1 (Srac.Selector.Resource "db"))
+        ~spatial_scope:Coordinated.Perm_binding.Performed
+        (Rbac.Perm.make ~operation:"read" ~target:"db@s1");
+    ]
+  in
+  let fresh ~mode ~bindings =
+    let control =
+      Coordinated.System.create ~mode ~bindings ~log_capacity:64 (policy ())
+    in
+    let session = Coordinated.System.new_session control ~user:"u" in
+    Rbac.Session.activate session "r";
+    Coordinated.System.join_team control ~object_id:"o0" ~team:"t0";
+    Coordinated.System.arrive control ~object_id:"o0" ~server:"s1"
+      ~time:Q.zero;
+    let t = ref 0 in
+    fun () ->
+      incr t;
+      Coordinated.System.check control ~session ~object_id:"o0" ~program
+        ~time:(Q.of_int !t) access
+  in
+  let modes =
+    [
+      ("naive", Coordinated.System.Naive);
+      ("indexed", Coordinated.System.Indexed);
+      ("lazy", Coordinated.System.Lazy);
+    ]
+  in
+  let per_check ns = ns /. float_of_int checks in
+  let row name per_mode =
+    let cells = List.map (fun (_, m) -> per_mode m) modes in
+    (match cells with
+    | [ naive; indexed; lzy ] ->
+        Printf.printf "  %-22s %9.0f ns %9.0f ns %9.0f ns %10.2fx\n%!" name
+          naive indexed lzy (indexed /. lzy)
+    | _ -> assert false);
+    cells
+  in
+  Printf.printf "  %-22s %12s %12s %12s %10s   (%d checks/row)\n%!" ""
+    "naive" "indexed" "lazy" "idx/lazy" checks;
+  let hit =
+    row "warm hit" (fun mode ->
+        let check = fresh ~mode ~bindings:hit_bindings in
+        for _ = 1 to 64 do
+          ignore (check ())
+        done;
+        let _, ns =
+          time (fun () ->
+              for _ = 1 to checks do
+                ignore (check ())
+              done)
+        in
+        per_check ns)
+  in
+  let _miss =
+    row "warm miss (history)" (fun mode ->
+        let check = fresh ~mode ~bindings:miss_bindings in
+        ignore (check ());
+        let _, ns =
+          time (fun () ->
+              for _ = 1 to checks do
+                ignore (check ())
+              done)
+        in
+        per_check ns)
+  in
+  let cold_rounds = min checks 400 in
+  let cold =
+    row "cold (first decision)" (fun mode ->
+        (* warm the allocator/caches shared across rounds *)
+        ignore (fresh ~mode ~bindings:hit_bindings ());
+        let _, ns =
+          time (fun () ->
+              for _ = 1 to cold_rounds do
+                ignore (fresh ~mode ~bindings:hit_bindings ())
+              done)
+        in
+        ns /. float_of_int cold_rounds)
+  in
+  (match (hit, cold) with
+  | [ _; idx_hit; lazy_hit ], [ _; idx_cold; lazy_cold ] ->
+      Printf.printf
+        "  hit: lazy/indexed = %.2f   cold: lazy/indexed = %.2f\n%!"
+        (lazy_hit /. idx_hit) (lazy_cold /. idx_cold)
+  | _ -> ());
+  (* 3. allocation gate: the direct steady-state path, no bus, no
+     recording — two warm calls settle the residual arena, then the
+     burst must stay out of the minor heap *)
+  let session = Rbac.Session.create (policy ()) ~user:"u" in
+  Rbac.Session.activate session "r";
+  let monitor = Coordinated.Monitor.create ~object_id:"o0" in
+  Coordinated.Monitor.record_arrival monitor ~server:"s1" ~time:Q.zero;
+  let applicable = hit_bindings in
+  let t = Q.one in
+  let decide () =
+    Coordinated.Decision.decide_lazy ~session ~monitor ~applicable
+      ~team_version:0 ~team_history:0 ~program ~time:t access
+  in
+  ignore (decide ());
+  ignore (decide ());
+  let burst = 100_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to burst do
+    ignore (decide ())
+  done;
+  let per_decision = (Gc.minor_words () -. w0) /. float_of_int burst in
+  Printf.printf "  allocation: %.4f minor words/decision over %d calls\n%!"
+    per_decision burst;
+  if per_decision > 1.0 then begin
+    Printf.printf "  allocation gate FAILED (budget: 1.0 words/decision)\n%!";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
 
 let all_groups =
@@ -1121,7 +1353,7 @@ let () =
     | _ :: (_ :: _ as ids) -> ids
     | _ ->
         List.map fst all_groups
-        @ [ "E14"; "E15"; "E17"; "E18"; "E19"; "E20"; "E21" ]
+        @ [ "E14"; "E15"; "E17"; "E18"; "E19"; "E20"; "E21"; "E22" ]
   in
   List.iter
     (fun id ->
@@ -1153,6 +1385,10 @@ let () =
         Printf.printf "== E21 ==\n%!";
         e21_report ()
       end
+      else if id = "E22" then begin
+        Printf.printf "== E22 ==\n%!";
+        e22_report ()
+      end
       else
         match List.assoc_opt id all_groups with
         | Some test ->
@@ -1161,7 +1397,7 @@ let () =
         | None ->
             Printf.printf
               "unknown experiment id %S (known: %s, E14, E15, E17, E18, E19, \
-               E20, E21)\n"
+               E20, E21, E22)\n"
               id
               (String.concat ", " (List.map fst all_groups)))
     selected

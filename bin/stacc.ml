@@ -66,10 +66,14 @@ let q_conv =
 
 let mode_conv =
   Arg.enum
-    [ ("indexed", Coordinated.System.Indexed); ("naive", Coordinated.System.Naive) ]
+    [
+      ("indexed", Coordinated.System.Indexed);
+      ("naive", Coordinated.System.Naive);
+      ("lazy", Coordinated.System.Lazy);
+    ]
 
 let mode_arg =
-  let doc = "Decision mode: $(b,indexed) or $(b,naive)." in
+  let doc = "Decision mode: $(b,indexed), $(b,naive) or $(b,lazy)." in
   Arg.(value & opt mode_conv Coordinated.System.Indexed & info [ "mode" ] ~docv:"MODE" ~doc)
 
 let exit_status_man lines = `S Manpage.s_exit_status :: List.map (fun p -> `P p) lines

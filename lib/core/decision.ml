@@ -348,6 +348,355 @@ let decide_indexed ?obs ?(companions = []) ~session ~monitor ~applicable
         };
       verdict
 
+(* ------------------------------------------------------------------ *)
+(* Lazy-derivative decision path.
+
+   [decide_lazy] mirrors [decide_naive]'s observable behavior —
+   verdicts, denial strings, Obs trace spans, monitor clock and epoch
+   movement — while replacing the per-decision spatial recomputation
+   with incremental Brzozowski-derivative residuals ({!Srac.Lazy_dfa})
+   and version-stamped RBAC caches, so a warm decision allocates
+   nothing.  Per binding, the monitor keeps a {!Residual.slot} holding
+   the binding's lazy machine and a cursor into the object's performed
+   history; each decision folds only the not-yet-seen proof entries
+   into the residual state, then answers grant (residual nullability
+   after the access) and activation (residual feasibility) from
+   memoized per-state bits.  Denial details fall back to the eager
+   oracle so messages stay byte-identical. *)
+
+let get_slot ~session ~monitor (b : Perm_binding.t) =
+  let store = Monitor.residuals monitor in
+  match Residual.Binding_tbl.find store.Residual.slots b with
+  | slot -> slot
+  | exception Not_found ->
+      let machine =
+        match (b.spatial, b.spatial_scope) with
+        | Some c, (Perm_binding.Performed | Perm_binding.Both) ->
+            Some (Srac.Lazy_dfa.create c)
+        | _ -> None
+      in
+      let slot =
+        {
+          Residual.machine;
+          cell = Monitor.activation_cell monitor ~key:(Perm_binding.key b);
+          own_state = 0;
+          own_consumed = 0;
+          team_state = -1;
+          team_stamp_version = -1;
+          team_stamp_history = -1;
+          team_stamp_own = -1;
+          may_session = session;
+          may_version = Rbac.Session.version session;
+          may_ok =
+            Rbac.Session.may session ~operation:b.perm.Rbac.Perm.operation
+              ~target:b.perm.Rbac.Perm.target;
+          prog_program = None;
+          prog_result = Ok ();
+        }
+      in
+      Residual.Binding_tbl.add store.Residual.slots b slot;
+      slot
+
+(* [Session.may] rebuilds the active permission set on every call; its
+   result is fully determined by the session object and its version
+   (which bumps on every role activation change and policy edit), so
+   one cached bit per (binding, session, version) suffices. *)
+let slot_may_ok ~session slot (b : Perm_binding.t) =
+  let v = Rbac.Session.version session in
+  if slot.Residual.may_session == session && slot.Residual.may_version = v then
+    slot.Residual.may_ok
+  else begin
+    let ok =
+      Rbac.Session.may session ~operation:b.perm.Rbac.Perm.operation
+        ~target:b.perm.Rbac.Perm.target
+    in
+    slot.Residual.may_session <- session;
+    slot.Residual.may_version <- v;
+    slot.Residual.may_ok <- ok;
+    ok
+  end
+
+(* The Program-scope outcome is fixed by (program, constraint,
+   modality).  [program_scope_ok]'s monitor memo already exploits
+   that, but its key is a formatted permission string rebuilt on every
+   probe; the slot re-caches the result against the program's physical
+   identity so the warm path touches no allocator.  A
+   structurally-equal-but-distinct program falls through to the memo,
+   which compares with [Ast.equal] — slower, never wrong. *)
+let program_ok_cached ~monitor ~program slot (b : Perm_binding.t) c =
+  match slot.Residual.prog_program with
+  | Some p when p == program -> slot.Residual.prog_result
+  | _ ->
+      let r = program_scope_ok ~monitor ~program b c in
+      slot.Residual.prog_program <- Some program;
+      slot.Residual.prog_result <- r;
+      r
+
+(* Same caching argument for the full per-access RBAC verdict. *)
+let rbac_cached ~session ~monitor access =
+  let store = Monitor.residuals monitor in
+  let v = Rbac.Session.version session in
+  match Residual.Access_tbl.find store.Residual.rbac access with
+  | e when e.Residual.r_session == session && e.Residual.r_version = v ->
+      e.Residual.r_verdict
+  | e ->
+      let verdict = Rbac.Engine.decide_access session access in
+      e.Residual.r_session <- session;
+      e.Residual.r_version <- v;
+      e.Residual.r_verdict <- verdict;
+      verdict
+  | exception Not_found ->
+      let verdict = Rbac.Engine.decide_access session access in
+      Residual.Access_tbl.add store.Residual.rbac access
+        { Residual.r_session = session; r_version = v; r_verdict = verdict };
+      verdict
+
+(* Fold the [k] newest proof entries (given newest-first) into the
+   slot's own-residual cursor, oldest first.  [k] is 1 in steady state
+   — the access granted by the previous decision. *)
+let rec fold_newest machine slot k (entries : Srac.Proof.entry list) =
+  if k > 0 then
+    match entries with
+    | [] -> ()
+    | e :: older ->
+        fold_newest machine slot (k - 1) older;
+        slot.Residual.own_state <-
+          Srac.Lazy_dfa.step_access machine slot.Residual.own_state
+            e.Srac.Proof.access
+
+(* The monitor clock forces non-decreasing proof times, so insertion
+   order is execution-time order and the cursor fold visits entries
+   exactly as [Monitor.performed] would list them; [history_epoch]
+   counts proofs, so it doubles as the entry count. *)
+let own_state ~monitor machine slot =
+  let total = Monitor.history_epoch monitor in
+  if slot.Residual.own_consumed < total then begin
+    fold_newest machine slot
+      (total - slot.Residual.own_consumed)
+      (Srac.Proof.rev_entries (Monitor.proofs monitor));
+    slot.Residual.own_consumed <- total
+  end;
+  slot.Residual.own_state
+
+(* Team-scope residuals cannot be cursor-incremental (companions'
+   entries interleave by time), so the state is cached against the
+   same stamps the verdict cache uses and refolded from scratch when
+   any of them moves. *)
+let team_state ~monitor ~companions ~team_version ~team_history machine slot b
+    =
+  let own = Monitor.history_epoch monitor in
+  if
+    slot.Residual.team_state >= 0
+    && slot.Residual.team_stamp_version = team_version
+    && slot.Residual.team_stamp_history = team_history
+    && slot.Residual.team_stamp_own = own
+  then slot.Residual.team_state
+  else begin
+    let st =
+      List.fold_left
+        (fun q a -> Srac.Lazy_dfa.step_access machine q a)
+        (Srac.Lazy_dfa.start machine)
+        (history ~monitor ~companions b)
+    in
+    slot.Residual.team_state <- st;
+    slot.Residual.team_stamp_version <- team_version;
+    slot.Residual.team_stamp_history <- team_history;
+    slot.Residual.team_stamp_own <- own;
+    st
+  end
+
+let scope_state ~monitor ~companions ~team_version ~team_history machine slot
+    (b : Perm_binding.t) =
+  match b.proof_scope with
+  | Perm_binding.Own -> own_state ~monitor machine slot
+  | Perm_binding.Team ->
+      team_state ~monitor ~companions ~team_version ~team_history machine slot
+        b
+
+let refresh_one_lazy ~session ~monitor ~companions ~program ~time
+    ~team_version ~team_history (b : Perm_binding.t) =
+  let slot = get_slot ~session ~monitor b in
+  let rbac_ok = slot_may_ok ~session slot b in
+  let spatial_active =
+    match b.spatial with
+    | None -> true
+    | Some c -> (
+        match b.spatial_scope with
+        | Perm_binding.Program | Perm_binding.Both ->
+            Result.is_ok (program_ok_cached ~monitor ~program slot b c)
+        | Perm_binding.Performed -> (
+            match slot.Residual.machine with
+            | Some machine ->
+                Srac.Lazy_dfa.feasible machine
+                  (scope_state ~monitor ~companions ~team_version ~team_history
+                     machine slot b)
+            | None -> assert false))
+  in
+  Monitor.set_active_cell monitor slot.Residual.cell ~time
+    (rbac_ok && spatial_active)
+
+let rec refresh_all_lazy ~session ~monitor ~companions ~program ~time
+    ~team_version ~team_history = function
+  | [] -> ()
+  | b :: rest ->
+      refresh_one_lazy ~session ~monitor ~companions ~program ~time
+        ~team_version ~team_history b;
+      refresh_all_lazy ~session ~monitor ~companions ~program ~time
+        ~team_version ~team_history rest
+
+let performed_ok_lazy ~session ~monitor ~companions ~access ~team_version
+    ~team_history (b : Perm_binding.t) c =
+  let slot = get_slot ~session ~monitor b in
+  match slot.Residual.machine with
+  | None -> assert false
+  | Some machine ->
+      let q =
+        scope_state ~monitor ~companions ~team_version ~team_history machine
+          slot b
+      in
+      if Srac.Lazy_dfa.nullable_after machine q access then Ok ()
+      else
+        (* deny: rerun the oracle so the denial detail is byte-identical
+           (and a residual false-negative can never deny a granting
+           oracle — equivalence of the grant direction is enforced by
+           the residual property tests and the differential gate) *)
+        performed_scope_ok ~monitor ~companions ~access b c
+
+let spatial_ok_lazy ~session ~monitor ~companions ~program ~access
+    ~team_version ~team_history (b : Perm_binding.t) =
+  match b.spatial with
+  | None -> Ok ()
+  | Some c -> (
+      let slot = get_slot ~session ~monitor b in
+      match b.spatial_scope with
+      | Perm_binding.Program -> program_ok_cached ~monitor ~program slot b c
+      | Perm_binding.Performed ->
+          performed_ok_lazy ~session ~monitor ~companions ~access ~team_version
+            ~team_history b c
+      | Perm_binding.Both -> (
+          match program_ok_cached ~monitor ~program slot b c with
+          | Ok () ->
+              performed_ok_lazy ~session ~monitor ~companions ~access
+                ~team_version ~team_history b c
+          | Error _ as failure -> failure))
+
+let rec first_spatial_failure_lazy ~session ~monitor ~companions ~program
+    ~access ~team_version ~team_history = function
+  | [] -> None
+  | b :: rest -> (
+      match
+        spatial_ok_lazy ~session ~monitor ~companions ~program ~access
+          ~team_version ~team_history b
+      with
+      | Ok () ->
+          first_spatial_failure_lazy ~session ~monitor ~companions ~program
+            ~access ~team_version ~team_history rest
+      | Error detail ->
+          Some (Spatial_violation { binding = Perm_binding.key b; detail }))
+
+let temporal_state_lazy ~monitor ~time slot (b : Perm_binding.t) =
+  if not (Monitor.arrived monitor) then `Not_arrived
+  else
+    match b.dur with
+    | None ->
+        (* no duration budget: the validity window union covers
+           [first arrival, ∞) under both schemes, so validity at the
+           (clock-current) query time is exactly the newest activation
+           state — the cell head.  Expiry needs a budget, so the
+           remaining distinction is only Valid/Inactive. *)
+        if Residual.active_now slot.Residual.cell then `Valid else `Inactive
+    | Some _ -> temporal_state ~monitor ~time b
+
+let rec first_temporal_failure_lazy ~session ~monitor ~time = function
+  | [] -> None
+  | b :: rest -> (
+      let slot = get_slot ~session ~monitor b in
+      match temporal_state_lazy ~monitor ~time slot b with
+      | `Valid -> first_temporal_failure_lazy ~session ~monitor ~time rest
+      | `Inactive -> Some (Not_active (Perm_binding.key b))
+      | `Not_arrived -> Some Not_arrived
+      | `Expired spent ->
+          Some (Temporal_expired { binding = Perm_binding.key b; spent }))
+
+let decide_lazy ?obs ?(companions = []) ~session ~monitor ~applicable
+    ~team_version ~team_history ~program ~time access =
+  match obs with
+  | None -> (
+      (* uninstrumented fast path: no span closures, short-circuits at
+         the first spatial failure (the skipped evaluations have no
+         observable effect — they only warm caches that later
+         decisions recompute identically) *)
+      let rbac = rbac_cached ~session ~monitor access in
+      refresh_all_lazy ~session ~monitor ~companions ~program ~time
+        ~team_version ~team_history applicable;
+      match rbac with
+      | Rbac.Engine.Denied why -> Denied (Rbac_denied why)
+      | Rbac.Engine.Granted -> (
+          match
+            first_spatial_failure_lazy ~session ~monitor ~companions ~program
+              ~access ~team_version ~team_history applicable
+          with
+          | Some reason -> Denied reason
+          | None -> (
+              match
+                first_temporal_failure_lazy ~session ~monitor ~time applicable
+              with
+              | Some reason -> Denied reason
+              | None -> Granted)))
+  | Some _ -> (
+      (* instrumented: identical stage bracketing to decide_naive so
+         traces are byte-comparable *)
+      let rbac =
+        span ~obs ~monitor ~time Obs.Trace.Rbac
+          (function
+            | Rbac.Engine.Granted -> true
+            | Rbac.Engine.Denied _ -> false)
+          (fun () -> rbac_cached ~session ~monitor access)
+      in
+      let spatial_results =
+        span ~obs ~monitor ~time Obs.Trace.Spatial
+          (List.for_all (fun (_, r) -> Result.is_ok r))
+          (fun () ->
+            refresh_all_lazy ~session ~monitor ~companions ~program ~time
+              ~team_version ~team_history applicable;
+            List.map
+              (fun b ->
+                ( b,
+                  spatial_ok_lazy ~session ~monitor ~companions ~program
+                    ~access ~team_version ~team_history b ))
+              applicable)
+      in
+      match rbac with
+      | Rbac.Engine.Denied why -> Denied (Rbac_denied why)
+      | Rbac.Engine.Granted -> (
+          let spatial_failure =
+            List.find_map
+              (fun (b, spatial) ->
+                match spatial with
+                | Ok () -> None
+                | Error detail ->
+                    Some
+                      (Spatial_violation
+                         { binding = Perm_binding.key b; detail }))
+              spatial_results
+          in
+          match spatial_failure with
+          | Some reason -> Denied reason
+          | None -> (
+              match
+                span ~obs ~monitor ~time Obs.Trace.Temporal Option.is_none
+                  (fun () ->
+                    first_temporal_failure_lazy ~session ~monitor ~time
+                      applicable)
+              with
+              | Some reason -> Denied reason
+              | None -> Granted)))
+
+let refresh_activation_lazy ?(companions = []) ~session ~monitor ~bindings
+    ~team_version ~team_history ~program ~time () =
+  refresh_all_lazy ~session ~monitor ~companions ~program ~time ~team_version
+    ~team_history bindings
+
 let validity_dc_check ~monitor ~(binding : Perm_binding.t) ~time =
   match binding.dur with
   | None -> true

@@ -115,6 +115,34 @@ val decide_indexed :
     {!Obs.Trace.Cache_probe} event (hit or miss) before the span
     events of whatever stages then run. *)
 
+val decide_lazy :
+  ?obs:Obs.Bus.t ->
+  ?companions:Monitor.t list ->
+  session:Rbac.Session.t ->
+  monitor:Monitor.t ->
+  applicable:Perm_binding.t list ->
+  team_version:int ->
+  team_history:int ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  Sral.Access.t ->
+  verdict
+(** The lazy-derivative path.  Observationally identical to
+    {!decide_naive} on the same inputs — verdicts, denial strings,
+    stage spans, monitor clock/epoch movement — but evaluates
+    history-scope spatial constraints incrementally: each binding owns
+    a {!Srac.Lazy_dfa} machine in the monitor's {!Residual} store, a
+    cursor folds newly performed accesses into the residual state, and
+    the grant / activation answers are memoized per-state nullability
+    / feasibility bits.  RBAC verdicts and role checks are cached per
+    access / binding, stamped by {!Rbac.Session.version}.  Unlike
+    {!decide_indexed} there is no verdict cache to invalidate: cost
+    does not regress when every grant moves the history epoch.  With
+    [obs] the three stage spans are emitted exactly as the naive path
+    does; without it the decision short-circuits at the first failure
+    and the warm path performs zero allocation (benchmarked in E22,
+    differentially fuzzed in [test/test_fuzz.ml]). *)
+
 val refresh_activation :
   ?companions:Monitor.t list ->
   session:Rbac.Session.t ->
@@ -128,6 +156,21 @@ val refresh_activation :
     given time — call at arrival/role-activation events so validity
     durations start burning when the permission becomes active, not
     when it is first exercised. *)
+
+val refresh_activation_lazy :
+  ?companions:Monitor.t list ->
+  session:Rbac.Session.t ->
+  monitor:Monitor.t ->
+  bindings:Perm_binding.t list ->
+  team_version:int ->
+  team_history:int ->
+  program:Sral.Ast.t ->
+  time:Temporal.Q.t ->
+  unit ->
+  unit
+(** {!refresh_activation} through the lazy machinery: same activation
+    flips and epoch movement, computed from residual feasibility
+    instead of a fresh DFA per history-scope binding. *)
 
 val is_granted : verdict -> bool
 val pp_reason : Format.formatter -> reason -> unit

@@ -27,6 +27,7 @@ type t = {
       (* per key, reverse-order change list *)
   spatial_memo : (string, Sral.Ast.t * (unit, string) result) Hashtbl.t;
   decision_memo : (string, cached_decision) Hashtbl.t;
+  residuals : Residual.store;
   mutable clock : Q.t;
   mutable location_epoch : int;
   mutable activation_epoch : int;
@@ -41,6 +42,7 @@ let create ~object_id =
     activations = Hashtbl.create 8;
     spatial_memo = Hashtbl.create 8;
     decision_memo = Hashtbl.create 8;
+    residuals = Residual.create ();
     clock = Q.zero;
     location_epoch = 0;
     activation_epoch = 0;
@@ -66,6 +68,7 @@ let record_arrival m ~server ~time =
   m.visits <- (server, time) :: m.visits
 
 let arrivals m = List.rev_map snd m.visits
+let arrived m = m.visits <> []
 let itinerary m = List.rev m.visits
 let current_server m = match m.visits with [] -> None | (s, _) :: _ -> Some s
 
@@ -84,15 +87,19 @@ let changes_ref m key =
       Hashtbl.add m.activations key r;
       r
 
-let set_active m ~key ~time state =
+let set_active_cell m (r : Residual.cell) ~time state =
   advance m time;
-  let r = changes_ref m key in
   let current = match !r with [] -> false | (_, v) :: _ -> v in
   if Bool.equal current state then ()
   else begin
     m.activation_epoch <- m.activation_epoch + 1;
     r := (time, state) :: !r
   end
+
+let set_active m ~key ~time state = set_active_cell m (changes_ref m key) ~time state
+
+let activation_cell m ~key = changes_ref m key
+let residuals m = m.residuals
 
 let activation_fn m ~key =
   match Hashtbl.find_opt m.activations key with

@@ -21,6 +21,9 @@ val record_arrival : t -> server:string -> time:Temporal.Q.t -> unit
 val arrivals : t -> Temporal.Q.t list
 (** Ascending arrival times; empty until the first arrival. *)
 
+val arrived : t -> bool
+(** [arrivals m <> []], without building the list. *)
+
 val itinerary : t -> (string * Temporal.Q.t) list
 (** Servers visited with arrival times, in order. *)
 
@@ -39,6 +42,20 @@ val set_active : t -> key:string -> time:Temporal.Q.t -> bool -> unit
 val activation_fn : t -> key:string -> Temporal.Step_fn.t
 (** The permission's [active(perm, ·)] function so far; initially
     constant-false. *)
+
+val activation_cell : t -> key:string -> Residual.cell
+(** The key's raw activation-change cell, creating it empty if absent.
+    The lazy decision path caches it per binding slot so refreshes and
+    current-state reads skip the hashtable probe. *)
+
+val set_active_cell : t -> Residual.cell -> time:Temporal.Q.t -> bool -> unit
+(** {!set_active} against an already-resolved cell: same clock
+    advancement and epoch accounting, no key lookup. *)
+
+val residuals : t -> Residual.store
+(** The monitor's lazy-decision state (binding slots, RBAC verdict
+    cache).  Owned by the monitor so its lifetime matches the proof
+    store the residual cursors index into. *)
 
 val is_active_at : t -> key:string -> Temporal.Q.t -> bool
 

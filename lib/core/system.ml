@@ -1,6 +1,6 @@
 module String_set = Set.Make (String)
 
-type decision_mode = Indexed | Naive
+type decision_mode = Indexed | Naive | Lazy
 
 type t = {
   policy : Rbac.Policy.t;
@@ -126,6 +126,13 @@ let check t ~session ~object_id ~program ~time access =
           ~team_version:t.teams_version
           ~team_history:(team_history_stamp companions)
           ~program ~time access
+    | Lazy ->
+        let applicable = Binding_index.applicable t.index access in
+        let companions = companions t ~object_id in
+        Decision.decide_lazy ~obs:t.bus ~companions ~session ~monitor:m
+          ~applicable ~team_version:t.teams_version
+          ~team_history:(team_history_stamp companions)
+          ~program ~time access
   in
   Obs.Bus.emit t.bus (Obs.Trace.Decision { time; object_id; access; verdict });
   (match verdict with
@@ -143,12 +150,26 @@ let arrive t ~object_id ~server ~time =
   Obs.Bus.emit t.bus (Obs.Trace.Arrival { time; object_id; server })
 
 let refresh t ~session ~object_id ~program ~time =
-  let companions =
-    match t.mode with
-    | Naive -> companions_scan t ~object_id
-    | Indexed -> companions t ~object_id
-  in
-  Decision.refresh_activation ~companions ~session
-    ~monitor:(monitor t ~object_id)
-    ~bindings:(Binding_index.to_list t.index)
-    ~program ~time ()
+  match t.mode with
+  | Naive ->
+      Decision.refresh_activation
+        ~companions:(companions_scan t ~object_id)
+        ~session
+        ~monitor:(monitor t ~object_id)
+        ~bindings:(Binding_index.to_list t.index)
+        ~program ~time ()
+  | Indexed ->
+      Decision.refresh_activation
+        ~companions:(companions t ~object_id)
+        ~session
+        ~monitor:(monitor t ~object_id)
+        ~bindings:(Binding_index.to_list t.index)
+        ~program ~time ()
+  | Lazy ->
+      let companions = companions t ~object_id in
+      Decision.refresh_activation_lazy ~companions ~session
+        ~monitor:(monitor t ~object_id)
+        ~bindings:(Binding_index.to_list t.index)
+        ~team_version:t.teams_version
+        ~team_history:(team_history_stamp companions)
+        ~program ~time ()

@@ -4,7 +4,7 @@
     monitors and the audit log into the single object a server (or the
     Naplet emulation's security manager) consults.
 
-    Two decision modes share one observable behavior:
+    Three decision modes share one observable behavior:
 
     - [Indexed] (the default) resolves applicable bindings through
       {!Binding_index}, looks companions up in precomputed team
@@ -13,14 +13,18 @@
     - [Naive] is the seed's linear path — full binding scan, companion
       fold over every object, no caching — kept as the differential
       oracle and the E13 baseline.
+    - [Lazy] evaluates history-scope spatial constraints incrementally
+      as memoized Brzozowski-derivative residuals
+      ({!Decision.decide_lazy} over {!Srac.Lazy_dfa}): no verdict
+      cache to invalidate, no per-decision constraint compilation.
 
-    The differential fuzz suite ([test/test_fuzz.ml]) checks that both
+    The differential fuzz suite ([test/test_fuzz.ml]) checks that all
     modes produce identical verdicts (including denial reasons) and
     identical audit logs on randomized coalitions. *)
 
 type t
 
-type decision_mode = Indexed | Naive
+type decision_mode = Indexed | Naive | Lazy
 
 val create :
   ?mode:decision_mode ->

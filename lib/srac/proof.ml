@@ -35,6 +35,7 @@ let count_matching store pred =
   List.length (List.filter (fun e -> pred e.access) (entry_list store))
 
 let entries = entry_list
+let rev_entries = function Always -> [] | Store entries -> !entries
 
 let performed_trace store =
   let by_time =

@@ -30,6 +30,12 @@ val count_matching : store -> (Sral.Access.t -> bool) -> int
 val entries : store -> entry list
 (** All proofs in issue order. *)
 
+val rev_entries : store -> entry list
+(** All proofs newest-first, O(1) — the store's native order.  The
+    lazy decision path reads only the suffix it has not yet folded
+    into its residual cursor, so it must not pay a list reversal per
+    decision. *)
+
 val performed_trace : store -> Sral.Trace.t
 (** The accesses in execution-time order — the trace the object has
     actually performed so far. *)

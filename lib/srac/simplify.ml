@@ -24,6 +24,39 @@ let card_status ~lo ~hi =
     | Some h when h < 0 -> `Never
     | _ -> `Other
 
+(* Left-to-right conjunct/disjunct spines.  [And]/[Or] are treated as
+   n-ary: the rewrite flattens the whole spine, folds constants,
+   removes duplicates (keeping the first occurrence) and rebuilds
+   right-nested.  Binary-only rewriting cannot reach a canonical form
+   for derivative residuals — deriving seq(b,c) by b repeatedly yields
+   ever-deeper [Or (Atom c, Or (Atom c, ...))] towers that only n-ary
+   dedup collapses, and a finite residual state space (see
+   {!Lazy_dfa}) depends on that collapse. *)
+let rec and_spine c acc =
+  match c with
+  | And (c1, c2) -> and_spine c1 (and_spine c2 acc)
+  | c -> c :: acc
+
+let rec or_spine c acc =
+  match c with
+  | Or (c1, c2) -> or_spine c1 (or_spine c2 acc)
+  | c -> c :: acc
+
+let dedup parts =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | p :: rest ->
+        if List.exists (equal p) seen then go seen rest
+        else go (p :: seen) rest
+  in
+  go [] parts
+
+(* c && !c (resp. c or !c) anywhere in the spine *)
+let has_complementary parts =
+  List.exists
+    (fun p -> match p with Not q -> List.exists (equal q) parts | _ -> false)
+    parts
+
 let rec rewrite c =
   match c with
   | True | False | Atom _ | Ordered _ -> c
@@ -38,30 +71,65 @@ let rec rewrite c =
       | False -> True
       | Not c2 -> c2
       | c1' -> Not c1')
-  | And (c1, c2) -> (
-      match (rewrite c1, rewrite c2) with
-      | False, _ | _, False -> False
-      | True, c' | c', True -> c'
-      | c1', c2' when equal c1' c2' -> c1'
-      (* absorption: c && (c or d) = c *)
-      | c1', Or (a, b) when equal c1' a || equal c1' b -> c1'
-      | Or (a, b), c2' when equal c2' a || equal c2' b -> c2'
-      (* contradiction: c && !c = false *)
-      | c1', Not c2' when equal c1' c2' -> False
-      | Not c1', c2' when equal c1' c2' -> False
-      | c1', c2' -> And (c1', c2'))
-  | Or (c1, c2) -> (
-      match (rewrite c1, rewrite c2) with
-      | True, _ | _, True -> True
-      | False, c' | c', False -> c'
-      | c1', c2' when equal c1' c2' -> c1'
-      (* absorption: c or (c && d) = c *)
-      | c1', And (a, b) when equal c1' a || equal c1' b -> c1'
-      | And (a, b), c2' when equal c2' a || equal c2' b -> c2'
-      (* excluded middle: c or !c = true *)
-      | c1', Not c2' when equal c1' c2' -> True
-      | Not c1', c2' when equal c1' c2' -> True
-      | c1', c2' -> Or (c1', c2'))
+  | And (c1, c2) ->
+      let parts = and_spine (rewrite c1) (and_spine (rewrite c2) []) in
+      if List.exists (equal False) parts then False
+      else
+        let parts = List.filter (fun p -> not (equal True p)) parts in
+        let parts = dedup parts in
+        if has_complementary parts then False
+        else
+          (* absorption: c && (c or d) = c — drop any disjunction one
+             of whose disjuncts also appears as a conjunct *)
+          let parts =
+            List.filter
+              (fun p ->
+                match p with
+                | Or _ ->
+                    not
+                      (List.exists
+                         (fun q ->
+                           (not (equal q p))
+                           && List.exists (equal q) (or_spine p []))
+                         parts)
+                | _ -> true)
+              parts
+          in
+          rebuild_and parts
+  | Or (c1, c2) ->
+      let parts = or_spine (rewrite c1) (or_spine (rewrite c2) []) in
+      if List.exists (equal True) parts then True
+      else
+        let parts = List.filter (fun p -> not (equal False p)) parts in
+        let parts = dedup parts in
+        if has_complementary parts then True
+        else
+          (* absorption: c or (c && d) = c *)
+          let parts =
+            List.filter
+              (fun p ->
+                match p with
+                | And _ ->
+                    not
+                      (List.exists
+                         (fun q ->
+                           (not (equal q p))
+                           && List.exists (equal q) (and_spine p []))
+                         parts)
+                | _ -> true)
+              parts
+          in
+          rebuild_or parts
+
+and rebuild_and = function
+  | [] -> True
+  | [ p ] -> p
+  | p :: rest -> And (p, rebuild_and rest)
+
+and rebuild_or = function
+  | [] -> False
+  | [ p ] -> p
+  | p :: rest -> Or (p, rebuild_or rest)
 
 let simplify c =
   let rec fix c =

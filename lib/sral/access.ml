@@ -39,7 +39,13 @@ let compare a1 a2 =
     if c <> 0 then c else String.compare a1.server a2.server
 
 let equal a1 a2 = compare a1 a2 = 0
-let hash a = Hashtbl.hash (operation_name a.op, a.resource, a.server)
+(* combined without building a tuple: this hash sits on allocation-free
+   hot paths (symbol interning, per-access verdict caches) *)
+let hash a =
+  let h = Hashtbl.hash (operation_name a.op) in
+  let h = (h * 131) + Hashtbl.hash a.resource in
+  let h = (h * 131) + Hashtbl.hash a.server in
+  h land max_int
 
 let pp_operation ppf op = Format.pp_print_string ppf (operation_name op)
 

@@ -280,8 +280,25 @@ let selector rng universe =
   | 3 -> Srac.Selector.Server (pick rng ("s9" :: oracle_servers))
   | _ -> Srac.Selector.Exactly (oracle_access rng universe)
 
-let rec formula rng universe depth =
-  if depth = 0 || Random.State.int rng 3 = 0 then
+(* One depth-bounded boolean skeleton over caller-supplied leaves — the
+   shared shape of every random SRAC constraint in the suites (the
+   analysis-oracle worlds, the simplify/derivative properties and the
+   lazy-DFA fuzz all draw through it, so "a random constraint" means
+   the same thing everywhere). *)
+let rec formula_over ~leaf rng depth =
+  if depth = 0 || Random.State.int rng 3 = 0 then leaf rng
+  else
+    match Random.State.int rng 3 with
+    | 0 ->
+        F.And
+          (formula_over ~leaf rng (depth - 1), formula_over ~leaf rng (depth - 1))
+    | 1 ->
+        F.Or
+          (formula_over ~leaf rng (depth - 1), formula_over ~leaf rng (depth - 1))
+    | _ -> F.Not (formula_over ~leaf rng (depth - 1))
+
+let formula rng universe depth =
+  let leaf rng =
     match Random.State.int rng 3 with
     | 0 -> F.Atom (oracle_access rng universe)
     | 1 -> F.Ordered (oracle_access rng universe, oracle_access rng universe)
@@ -291,13 +308,46 @@ let rec formula rng universe depth =
           if Random.State.bool rng then None else Some (Random.State.int rng 3)
         in
         F.Card { lo; hi; sel = selector rng universe }
-  else
-    match Random.State.int rng 3 with
-    | 0 ->
-        F.And (formula rng universe (depth - 1), formula rng universe (depth - 1))
-    | 1 ->
-        F.Or (formula rng universe (depth - 1), formula rng universe (depth - 1))
-    | _ -> F.Not (formula rng universe (depth - 1))
+  in
+  formula_over ~leaf rng depth
+
+(* Random constraint over a concrete access pool (the srac suites'
+   universe): atoms, orderings and cardinalities whose selectors are
+   derived from the pool itself, plus the constants.  Replaces the
+   ad-hoc generators the srac and lazy-DFA suites each used to carry. *)
+let srac_selector rng accesses =
+  match Random.State.int rng 5 with
+  | 0 -> Srac.Selector.Any
+  | 1 -> Srac.Selector.Op (if Random.State.bool rng then A.Read else A.Write)
+  | 2 -> Srac.Selector.Resource (pick rng accesses).A.resource
+  | 3 -> Srac.Selector.Server (pick rng accesses).A.server
+  | _ -> Srac.Selector.Exactly (pick rng accesses)
+
+let srac_formula ?(depth = 2) ~accesses rng =
+  let leaf rng =
+    match Random.State.int rng 4 with
+    | 0 -> F.Atom (pick rng accesses)
+    | 1 -> F.Ordered (pick rng accesses, pick rng accesses)
+    | 2 ->
+        let lo = Random.State.int rng 2 in
+        F.Card
+          {
+            lo;
+            hi =
+              (if Random.State.bool rng then Some (lo + Random.State.int rng 3)
+               else None);
+            sel = srac_selector rng accesses;
+          }
+    | _ -> (if Random.State.bool rng then F.True else F.False)
+  in
+  formula_over ~leaf rng depth
+
+(* Immediate-subterm candidates: with {!shrink} this walks a failing
+   formula down to a minimal failing subformula. *)
+let formula_subterms = function
+  | F.And (a, b) | F.Or (a, b) -> [ a; b ]
+  | F.Not a -> [ a ]
+  | F.True | F.False | F.Atom _ | F.Ordered _ | F.Card _ -> []
 
 let analysis_binding rng universe =
   let concrete () =

@@ -70,6 +70,71 @@ let test_regex_matches () =
   Alcotest.(check bool) "0" false (Regex.matches r [ 0 ]);
   Alcotest.(check bool) "010" false (Regex.matches r [ 0; 1; 0 ])
 
+(* Brzozowski derivatives agree with the compiled DFA's transition
+   function symbol by symbol: walking a word through [Regex.derivative]
+   and through the subset-constructed DFA must give residuals that agree
+   on nullability (state finality) and on residual-language emptiness
+   (final-state reachability) after *every* step, not just at the end.
+   This is the eager half of the lazy-derivative decision path's
+   correctness argument.  Failures shrink to a minimal failing
+   subregex. *)
+let regex_subterms = function
+  | Regex.Empty | Regex.Eps | Regex.Sym _ -> []
+  | Regex.Alt (a, b) | Regex.Cat (a, b) -> [ a; b ]
+  | Regex.Star a -> [ a ]
+
+let test_derivative_matches_dfa_stepwise () =
+  let alphabet = [ 0; 1; 2 ] in
+  Gen.each_seed ~salt:911 ~count:300 (fun ~seed rng ->
+      let re = Regex.generate ~symbols:alphabet ~size:8 rng in
+      let words =
+        List.init 12 (fun _ ->
+            List.init (Random.State.int rng 7) (fun _ -> Random.State.int rng 3))
+      in
+      let agrees re =
+        let d = Dfa.of_nfa ~alphabet (Nfa.of_regex re) in
+        let sym_index s =
+          let rec find i =
+            if i >= Array.length d.Dfa.alphabet then None
+            else if d.Dfa.alphabet.(i) = s then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let step_agrees (r, q) s =
+          let r' = Regex.derivative s r in
+          match sym_index s with
+          | None -> None
+          | Some i ->
+              let q' = d.Dfa.next.(q).(i) in
+              if
+                Regex.nullable r' = d.Dfa.finals.(q')
+                && Regex.is_empty_lang r' = not (Dfa.final_reachable_from d q')
+              then Some (r', q')
+              else None
+        in
+        List.for_all
+          (fun w ->
+            let rec walk st = function
+              | [] -> true
+              | s :: rest -> (
+                  match step_agrees st s with
+                  | None -> false
+                  | Some st' -> walk st' rest)
+            in
+            walk (re, d.Dfa.start) w)
+          words
+      in
+      if not (agrees re) then begin
+        let small =
+          Gen.shrink
+            ~fails:(fun re -> not (agrees re))
+            ~candidates:regex_subterms re
+        in
+        Gen.report_minimized ~seed ~what:"regex" Regex.pp small;
+        Alcotest.failf "seed %d: derivative and DFA transition diverge" seed
+      end)
+
 (* --- NFA --- *)
 
 let test_nfa_combinators () =
@@ -390,6 +455,8 @@ let () =
             test_regex_smart_constructors;
           Alcotest.test_case "nullable" `Quick test_regex_nullable;
           Alcotest.test_case "matches" `Quick test_regex_matches;
+          Alcotest.test_case "derivative = DFA stepwise (shrinking)" `Quick
+            test_derivative_matches_dfa_stepwise;
         ] );
       ( "nfa",
         [

@@ -247,6 +247,177 @@ let test_differential_repeated_checks () =
         true
         (v_fast = v_naive && String.equal log_fast log_naive))
 
+(* ------------------------------------------------------------------ *)
+(* Differential testing: the lazy-derivative decision path vs the
+   seed's linear path.  Stronger gate than the indexed one: besides
+   verdicts (with denial reasons) and audit logs, the *entire bus
+   trace* — every Stage_start/Stage_end span, every Decision and
+   Arrival event — must render byte-identically, because decide_lazy
+   promises the naive path's exact observable behavior.  Failing
+   coalitions are shrunk to a local minimum before reporting. *)
+
+let render_trace events =
+  String.concat "\n" (List.map (Format.asprintf "%a" Obs.Trace.pp) events)
+
+(* a readable rendering of a (shrunk) coalition for failure reports *)
+let pp_coalition ppf (sc : Parallel.Scenario.t) =
+  let module S = Parallel.Scenario in
+  Format.fprintf ppf "@[<v>%d objects, %d bindings, %d grants@,"
+    (List.length sc.S.objects)
+    (List.length sc.S.bindings)
+    (List.length sc.S.grants);
+  List.iter
+    (fun (o : S.obj) ->
+      Format.fprintf ppf "object %s owner=%s roles=%s program=%a@," o.S.id
+        o.S.owner
+        (String.concat "," o.S.roles)
+        Sral.Pretty.pp o.S.program)
+    sc.S.objects;
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | S.Arrive (o, s) -> Format.fprintf ppf "t%d: %s arrives %s@," (i + 1) o s
+      | S.Check (o, a) ->
+          Format.fprintf ppf "t%d: %s checks %a@," (i + 1) o Sral.Access.pp a
+      | S.Activate (o, r) ->
+          Format.fprintf ppf "t%d: %s activates %s@," (i + 1) o r
+      | S.Deactivate (o, r) ->
+          Format.fprintf ppf "t%d: %s deactivates %s@," (i + 1) o r
+      | S.Join (o, team) ->
+          Format.fprintf ppf "t%d: %s joins %s@," (i + 1) o team
+      | S.Refresh o -> Format.fprintf ppf "t%d: refresh %s@," (i + 1) o
+      | S.Add_binding b ->
+          Format.fprintf ppf "t%d: add binding %s@," (i + 1)
+            (Coordinated.Perm_binding.key b))
+    sc.S.events;
+  Format.fprintf ppf "@]"
+
+let test_differential_lazy_vs_naive () =
+  Gen.each_seed ~salt:4243 ~count:diff_runs (fun ~seed rng ->
+      let sc = Gen.coalition rng in
+      let diverges sc =
+        let o_lazy = Parallel.Scenario.run ~mode:Coordinated.System.Lazy sc in
+        let o_naive = Parallel.Scenario.run ~mode:Coordinated.System.Naive sc in
+        o_lazy.Parallel.Scenario.verdicts <> o_naive.Parallel.Scenario.verdicts
+        || not (String.equal o_lazy.Parallel.Scenario.log o_naive.Parallel.Scenario.log)
+        || not
+             (String.equal
+                (render_trace o_lazy.Parallel.Scenario.trace)
+                (render_trace o_naive.Parallel.Scenario.trace))
+      in
+      if diverges sc then begin
+        Gen.report_minimized ~seed ~what:"coalition" pp_coalition
+          (Gen.shrink_coalition ~fails:diverges sc);
+        Alcotest.failf "seed %d: lazy path diverges from the naive oracle" seed
+      end)
+
+(* Duplicated checks make the second decision of each pair hit the
+   warm, fully-memoized lazy path — residual states, RBAC stamps,
+   cursors all populated — and it must still be span-identical. *)
+let test_differential_lazy_repeated_checks () =
+  Gen.each_seed ~salt:31338 ~count:100 (fun ~seed rng ->
+      let sc = Gen.coalition rng in
+      let sc =
+        {
+          sc with
+          Parallel.Scenario.events =
+            List.concat_map
+              (function
+                | Parallel.Scenario.Check _ as e -> [ e; e ] | e -> [ e ])
+              sc.Parallel.Scenario.events;
+        }
+      in
+      let o_lazy = Parallel.Scenario.run ~mode:Coordinated.System.Lazy sc in
+      let o_naive = Parallel.Scenario.run ~mode:Coordinated.System.Naive sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: warm lazy path stays faithful" seed)
+        true
+        (o_lazy.Parallel.Scenario.verdicts = o_naive.Parallel.Scenario.verdicts
+        && String.equal o_lazy.Parallel.Scenario.log
+             o_naive.Parallel.Scenario.log
+        && String.equal
+             (render_trace o_lazy.Parallel.Scenario.trace)
+             (render_trace o_naive.Parallel.Scenario.trace)))
+
+(* The uninstrumented branch ([?obs:None], the zero-allocation one)
+   has no bus to compare, so drive Decision.decide_lazy and
+   Decision.decide_naive directly against side-by-side monitors fed
+   identical histories: verdicts, clock movement and change epochs
+   must stay in lockstep through arrivals, refreshes, role flips and
+   grants. *)
+let test_differential_lazy_direct () =
+  let module D = Coordinated.Decision in
+  let module M = Coordinated.Monitor in
+  Gen.each_seed ~salt:4244 ~count:300 (fun ~seed rng ->
+      let policy = Gen.policy rng in
+      let bindings = Gen.bindings rng in
+      let index = Coordinated.Binding_index.of_list bindings in
+      let servers = [ "s1"; "s2" ] in
+      let user = if Random.State.bool rng then "u1" else "u2" in
+      let session = Rbac.Session.create policy ~user in
+      let toggle_role () =
+        let r = Gen.pick rng [ "ra"; "rb"; "rc" ] in
+        if List.mem r (Rbac.Session.active_roles session) then
+          Rbac.Session.deactivate session r
+        else try Rbac.Session.activate session r with _ -> ()
+      in
+      toggle_role ();
+      toggle_role ();
+      let program =
+        Sral.Generate.program ~allow_io:false ~resources ~servers
+          ~size:(4 + Random.State.int rng 8)
+          rng
+      in
+      let m_lazy = M.create ~object_id:"obj" in
+      let m_naive = M.create ~object_id:"obj" in
+      let random_access () =
+        let r = Gen.pick rng resources and s = Gen.pick rng servers in
+        if Random.State.bool rng then Sral.Access.read r ~at:s
+        else Sral.Access.write r ~at:s
+      in
+      let time = ref Q.zero in
+      for step = 1 to 25 do
+        time := Q.add !time Q.one;
+        match Random.State.int rng 6 with
+        | 0 ->
+            let server = Gen.pick rng servers in
+            M.record_arrival m_lazy ~server ~time:!time;
+            M.record_arrival m_naive ~server ~time:!time
+        | 1 ->
+            D.refresh_activation ~session ~monitor:m_naive ~bindings ~program
+              ~time:!time ();
+            D.refresh_activation_lazy ~session ~monitor:m_lazy ~bindings
+              ~team_version:0 ~team_history:0 ~program ~time:!time ()
+        | 2 -> toggle_role ()
+        | _ -> (
+            let access = random_access () in
+            let v_naive =
+              D.decide_naive ~session ~monitor:m_naive ~bindings ~program
+                ~time:!time access
+            in
+            let v_lazy =
+              D.decide_lazy ~session ~monitor:m_lazy
+                ~applicable:(Coordinated.Binding_index.applicable index access)
+                ~team_version:0 ~team_history:0 ~program ~time:!time access
+            in
+            if v_naive <> v_lazy then
+              Alcotest.failf
+                "seed %d step %d: %a (lazy) vs %a (naive) on %a" seed step
+                D.pp_verdict v_lazy D.pp_verdict v_naive Sral.Access.pp access;
+            match v_naive with
+            | D.Granted ->
+                M.record_access m_lazy access ~time:!time;
+                M.record_access m_naive access ~time:!time
+            | D.Denied _ -> ())
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: monitors moved in lockstep" seed)
+        true
+        (Q.equal (M.now m_lazy) (M.now m_naive)
+        && M.location_epoch m_lazy = M.location_epoch m_naive
+        && M.activation_epoch m_lazy = M.activation_epoch m_naive
+        && M.history_epoch m_lazy = M.history_epoch m_naive))
+
 (* 8. The temporal-workflow family as a fuzz workload: the model-level
    safety properties must hold on workflow-shaped runs too.  (a) The
    satisfiable family's planted witness really completes and the
@@ -370,6 +541,14 @@ let () =
             `Quick test_differential_indexed_vs_naive;
           Alcotest.test_case "cache hits stay faithful" `Quick
             test_differential_repeated_checks;
+          Alcotest.test_case
+            (Printf.sprintf "lazy = naive (spans too) over %d coalitions"
+               diff_runs)
+            `Quick test_differential_lazy_vs_naive;
+          Alcotest.test_case "warm lazy path stays faithful" `Quick
+            test_differential_lazy_repeated_checks;
+          Alcotest.test_case "uninstrumented lazy = naive, direct" `Quick
+            test_differential_lazy_direct;
         ] );
       ( "workflows",
         [

@@ -404,11 +404,13 @@ let test_world_enumeration_order_stable () =
    coalitions (teams, channels, fault plans, mid-run admin actions)
    driven through the SoA world and the retained legacy world must
    export byte-identical traces.  The full-width gate lives in the E19
-   bench; this keeps a slice of it on every dune runtest. *)
+   bench; this keeps a slice of it on every dune runtest.  Widened
+   from 12 to 24 seeds as a soak checkpoint — cumulative divergence
+   count across the widenings is tracked in EXPERIMENTS.md. *)
 let test_world_matches_legacy_oracle () =
   Alcotest.(check (list int))
     "no divergent seeds" []
-    (Scenarios.Scale_family.divergences ~runs:12 (1000 + Gen.offset))
+    (Scenarios.Scale_family.divergences ~runs:24 (1000 + Gen.offset))
 
 let test_world_producer_consumer () =
   let world = world_with_servers [ "s1" ] in

@@ -164,30 +164,9 @@ let test_formula_pp_roundtrip () =
 
 (* --- compile: DFA semantics match Definition 3.6 (sans proofs) --- *)
 
-let formula_gen rng =
-  let accesses = [ a1; a2; a3 ] in
-  let pick l = List.nth l (Random.State.int rng (List.length l)) in
-  let rec gen depth =
-    if depth = 0 then
-      match Random.State.int rng 4 with
-      | 0 -> Formula.Atom (pick accesses)
-      | 1 -> Formula.Ordered (pick accesses, pick accesses)
-      | 2 ->
-          let lo = Random.State.int rng 2 in
-          Formula.Card
-            {
-              lo;
-              hi = (if Random.State.bool rng then Some (lo + Random.State.int rng 3) else None);
-              sel = pick [ Selector.Any; Selector.Server "s1"; Selector.Resource "a" ];
-            }
-      | _ -> pick [ Formula.True; Formula.False ]
-    else
-      match Random.State.int rng 3 with
-      | 0 -> Formula.And (gen (depth - 1), gen (depth - 1))
-      | 1 -> Formula.Or (gen (depth - 1), gen (depth - 1))
-      | _ -> Formula.Not (gen (depth - 1))
-  in
-  gen 2
+(* random constraints come from the shared generator ([test/gen.ml]) —
+   the same distribution the lazy-DFA and analysis suites draw from *)
+let formula_gen rng = Gen.srac_formula ~accesses:[ a1; a2; a3 ] rng
 
 let compile_matches_def36 =
   QCheck.Test.make
@@ -393,6 +372,117 @@ let derivative_feasibility_agrees =
       in
       dfa_route = syntactic_route)
 
+(* --- lazy-derivative machines (the decide_lazy spatial core) --- *)
+
+let pool = [ a1; a2; a3 ]
+let trace_gen rng n = List.init (Random.State.int rng n) (fun _ -> Gen.pick rng pool)
+
+let walk m t = List.fold_left (Lazy_dfa.step_access m) (Lazy_dfa.start m) t
+
+(* Per-symbol agreement with the trace-satisfaction oracle, with greedy
+   shrinking down to a minimal failing subformula. *)
+let test_lazy_nullable_matches_sat () =
+  Gen.each_seed ~salt:5150 ~count:300 (fun ~seed rng ->
+      let c = formula_gen rng in
+      let traces = List.init 10 (fun _ -> trace_gen rng 7) in
+      let agrees c =
+        let m = Lazy_dfa.create c in
+        List.for_all (fun t -> Lazy_dfa.nullable m (walk m t) = sat t c) traces
+      in
+      if not (agrees c) then begin
+        let small =
+          Gen.shrink
+            ~fails:(fun c -> not (agrees c))
+            ~candidates:Gen.formula_subterms c
+        in
+        Gen.report_minimized ~seed ~what:"constraint" Formula.pp small;
+        Alcotest.failf "seed %d: lazy nullability diverges from Definition 3.6"
+          seed
+      end)
+
+let lazy_feasible_matches_oracle =
+  QCheck.Test.make
+    ~name:"Lazy_dfa.feasible = DFA prefix feasibility (interleaved, warm)"
+    ~count:200
+    (QCheck.make (fun rng ->
+         let c = formula_gen rng in
+         let trace = trace_gen rng 6 in
+         (c, trace)))
+    (fun (c, trace) ->
+      let m = Lazy_dfa.create c in
+      let q = ref (Lazy_dfa.start m) in
+      let performed = ref [] in
+      let step_ok a =
+        q := Lazy_dfa.step_access m !q a;
+        performed := a :: !performed;
+        (* the machine arena is now exactly the oracle's default
+           universe: the constraint's accesses plus the prefix *)
+        let want =
+          Program_sat.prefix_feasible ~performed:(List.rev !performed) c
+        in
+        Lazy_dfa.feasible m !q = want
+        (* asking again must hit the memo and agree *)
+        && Lazy_dfa.feasible m !q = want
+      in
+      Program_sat.prefix_feasible ~performed:[] c
+      = Lazy_dfa.feasible m !q
+      && List.for_all step_ok trace)
+
+let test_lazy_cold_warm_identical () =
+  Gen.each_seed ~salt:5151 ~count:200 (fun ~seed rng ->
+      let c = formula_gen rng in
+      let t = trace_gen rng 7 in
+      let m = Lazy_dfa.create c in
+      let run () =
+        let q = walk m t in
+        (q, Lazy_dfa.nullable m q, Lazy_dfa.feasible m q)
+      in
+      let cold = run () in
+      let stats () =
+        (Lazy_dfa.num_states m, Lazy_dfa.num_symbols m, Lazy_dfa.transitions m)
+      in
+      let s0 = stats () in
+      let warm = run () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: warm replay identical" seed)
+        true (cold = warm);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: warm replay materializes nothing" seed)
+        true
+        (s0 = stats ());
+      (* hypothetical (possibly denied) accesses answer the oracle but
+         never enter the arena *)
+      let foreign = read_ "zz" "s9" in
+      let q, _, _ = cold in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: hypothetical access = Definition 3.6" seed)
+        (sat (t @ [ foreign ]) c)
+        (Lazy_dfa.nullable_after m q foreign);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: hypothetical access leaves arena alone" seed)
+        true
+        (s0 = stats ()))
+
+let lazy_machine_deterministic =
+  QCheck.Test.make
+    ~name:"two machines over the same trace are bit-identical" ~count:150
+    (QCheck.make (fun rng ->
+         let c = formula_gen rng in
+         let trace = trace_gen rng 7 in
+         (c, trace)))
+    (fun (c, trace) ->
+      let probe () =
+        let m = Lazy_dfa.create c in
+        let q = walk m trace in
+        ( q,
+          Lazy_dfa.nullable m q,
+          Lazy_dfa.feasible m q,
+          Lazy_dfa.num_states m,
+          Lazy_dfa.num_symbols m,
+          Lazy_dfa.transitions m )
+      in
+      probe () = probe ())
+
 (* --- proof store --- *)
 
 let test_proof_store () =
@@ -489,6 +579,15 @@ let simplify_preserves_semantics =
              sat t s = reference && sat t n = reference)
            traces)
 
+(* simplify is a fixed point: one pass reaches the normal form, so the
+   lazy machines' state interning (which keys on simplified residuals)
+   never sees two spellings of the same canonical formula *)
+let simplify_idempotent =
+  QCheck.Test.make ~name:"simplify is idempotent (fixed point)" ~count:300
+    (QCheck.make formula_gen) (fun c ->
+      let s = Simplify.simplify c in
+      Formula.equal (Simplify.simplify s) s)
+
 let () =
   Alcotest.run "srac"
     [
@@ -540,6 +639,7 @@ let () =
           Alcotest.test_case "trivial predicates" `Quick
             test_trivial_predicates;
           QCheck_alcotest.to_alcotest simplify_preserves_semantics;
+          QCheck_alcotest.to_alcotest simplify_idempotent;
         ] );
       ( "derivative",
         [
@@ -548,6 +648,15 @@ let () =
           Alcotest.test_case "cardinality" `Quick test_derivative_card;
           QCheck_alcotest.to_alcotest derivative_agrees_with_sat;
           QCheck_alcotest.to_alcotest derivative_feasibility_agrees;
+        ] );
+      ( "lazy-dfa",
+        [
+          Alcotest.test_case "nullability = Definition 3.6 (shrinking)" `Quick
+            test_lazy_nullable_matches_sat;
+          QCheck_alcotest.to_alcotest lazy_feasible_matches_oracle;
+          Alcotest.test_case "cold = warm, arena stays clean" `Quick
+            test_lazy_cold_warm_identical;
+          QCheck_alcotest.to_alcotest lazy_machine_deterministic;
         ] );
       ( "proofs",
         [
